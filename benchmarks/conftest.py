@@ -1,0 +1,31 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+The headline figures (4, 12, 13, 14, 15, 16) all read different
+statistics from the same workload × architecture matrix, so that matrix
+is computed once per session over a representative cross-suite subset of
+Table 2 at the harness's default scaled configuration.
+"""
+
+import pytest
+
+from repro.harness import bench_config, run_suite
+
+#: Cross-suite subset used by the headline-figure benchmarks: every
+#: behaviour class is represented (2D-index stencils, dense loops,
+#: small-kernel cascades, irregular graph/tree traversal, trig compute,
+#: atomics, divergence), keeping the session cost a few minutes.
+BENCH_APPS = (
+    "2DC", "BP", "BFS", "CFD", "DWT", "FDT", "GAS", "GEM", "HIS",
+    "HSP", "LUD", "MRQ", "NN", "PTH", "RAY", "SGM", "SRAD1", "SRAD2",
+)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return run_suite(abbrs=BENCH_APPS, scale="small",
+                     config=bench_config())
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()

@@ -1,0 +1,87 @@
+"""Ablations of R2D2 design choices called out in DESIGN.md.
+
+1. Shared-part grouping (Section 3.1.4) on vs off: grouping packs more
+   linear combinations into the 16-entry register table and shares
+   thread-index registers, so disabling it must not improve (and
+   typically worsens) coverage and register footprint.
+2. Register-table capacity: shrinking the table below the paper's 16
+   entries reduces coverage on multi-stream kernels.
+3. Scheduler policy during execution: GTO vs round-robin both complete
+   with identical instruction counts (Section 4.1 discusses issue order
+   only).
+"""
+
+import dataclasses
+
+from repro.harness import bench_config
+from repro.harness.runner import run_workload
+from repro.transform import r2d2_transform
+from repro.sim import Device
+from repro.workloads import factory
+
+APPS = ("BP", "CFD", "SRAD1")
+
+
+def _reduction(abbr, config, **r2d2_kwargs):
+    res = run_workload(
+        factory(abbr, "small"), config=config,
+        arch_names=("baseline", "r2d2"), r2d2_kwargs=r2d2_kwargs,
+    )
+    return res.instruction_reduction("r2d2"), res
+
+
+def test_grouping_ablation(benchmark, config):
+    def run():
+        out = {}
+        for abbr in APPS:
+            grouped, _ = _reduction(abbr, config)
+            ungrouped, _ = _reduction(
+                abbr, config, group_shared_parts=False
+            )
+            out[abbr] = (grouped, ungrouped)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for abbr, (grouped, ungrouped) in results.items():
+        print(f"{abbr}: grouped={grouped:+.3f} ungrouped={ungrouped:+.3f}")
+        # Grouping never hurts coverage.
+        assert grouped >= ungrouped - 0.02, abbr
+
+
+def test_grouping_register_footprint(config):
+    """Grouping shares %tr/%lr entries: footprint must not grow."""
+    workload = factory("CFD", "small")()
+    device = Device(config)
+    spec = workload.prepare(device)[0]
+    grouped = r2d2_transform(spec.kernel, group_shared_parts=True)
+    ungrouped = r2d2_transform(spec.kernel, group_shared_parts=False)
+    assert (
+        grouped.plan.num_linear_registers
+        <= ungrouped.plan.num_linear_registers
+    )
+    assert (
+        grouped.plan.num_thread_registers
+        <= ungrouped.plan.num_thread_registers
+    )
+
+
+def test_register_table_capacity(config):
+    """A 4-entry table cannot cover more than the paper's 16-entry one."""
+    for abbr in ("CFD", "SRAD1"):
+        full, _ = _reduction(abbr, config)
+        small_table, _ = _reduction(abbr, config, max_entries=4)
+        assert small_table <= full + 0.02, abbr
+
+
+def test_scheduler_policy_ablation(config):
+    """GTO vs round-robin: identical work, comparable time."""
+    gto_cfg = config.with_scheduler("gto")
+    rr_cfg = config.with_scheduler("rr")
+    _, gto = _reduction("BP", gto_cfg)
+    _, rr = _reduction("BP", rr_cfg)
+    assert (
+        gto["r2d2"].warp_instructions == rr["r2d2"].warp_instructions
+    )
+    ratio = gto["r2d2"].cycles / max(1, rr["r2d2"].cycles)
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,39 @@
+"""Figure 4 — ideal machines WP / TB / LN.
+
+Paper: eliminating redundant thread instructions within a warp (WP),
+redundant warp instructions within a block (TB), or via linearity (LN)
+removes 27% / 22% / 33% of dynamic thread instructions on average, with
+LN above both WP and TB.
+"""
+
+from repro.harness import fig4_ideal_machines, mean
+
+
+def test_fig4_ideal_machines(suite, benchmark):
+    table = benchmark.pedantic(
+        fig4_ideal_machines, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+
+    reductions = {
+        arch: mean(
+            [suite[a].thread_instruction_reduction(arch)
+             for a in suite.abbrs()]
+        )
+        for arch in ("wp", "tb", "ln")
+    }
+
+    # Shape: all three remove a substantial fraction...
+    assert 0.10 < reductions["tb"] < 0.60
+    assert 0.15 < reductions["wp"] < 0.65
+    assert 0.20 < reductions["ln"] < 0.70
+    # ...LN exploits strictly more redundancy than both WP and TB
+    # (paper: 33% vs 27% and 22%)...
+    assert reductions["ln"] >= reductions["wp"]
+    assert reductions["ln"] > reductions["tb"]
+    # ...and per-app LN subsumes WP/TB up to small slack.
+    for abbr in suite.abbrs():
+        ln = suite[abbr].thread_instruction_reduction("ln")
+        tb = suite[abbr].thread_instruction_reduction("tb")
+        assert ln >= tb - 0.10, abbr

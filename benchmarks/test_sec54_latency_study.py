@@ -1,0 +1,59 @@
+"""Section 5.4 — pipeline-latency tolerance.
+
+Paper: R2D2 tolerates its added latencies — a 7-cycle starting-PC-table
+fetch penalty or a 5-cycle linear-register-ID computation penalty each
+cost only ~1% average speedup; the LD/ST-unit thread+block addition is
+assumed to take 4 cycles like a baseline add.  We sweep all three knobs
+and assert the drops stay small.
+"""
+
+import pytest
+
+from repro.harness import geomean, sec54_latency_study
+from repro.harness.runner import run_workload
+from repro.workloads import factory
+
+APPS = ("BP", "NN", "DWT")
+
+
+def _mean_speedup(config):
+    speeds = []
+    for abbr in APPS:
+        res = run_workload(
+            factory(abbr, "small"), config=config,
+            arch_names=("baseline", "r2d2"),
+        )
+        speeds.append(res.speedup("r2d2"))
+    return geomean(speeds)
+
+
+def test_sec54_latency_study(benchmark, config):
+    table = benchmark.pedantic(
+        sec54_latency_study,
+        kwargs={"abbrs": APPS, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+    zero = config.with_latency(
+        r2d2_fetch_extra=0, r2d2_regid_extra=0, r2d2_address_add=0
+    )
+    reference = _mean_speedup(zero)
+
+    # 7-cycle fetch penalty: ~1% drop in the paper; allow a few %.
+    fetch7 = _mean_speedup(zero.with_latency(r2d2_fetch_extra=7))
+    assert (reference - fetch7) / reference < 0.05
+
+    # 5-cycle register-ID computation penalty.
+    regid5 = _mean_speedup(zero.with_latency(r2d2_regid_extra=5))
+    assert (reference - regid5) / reference < 0.05
+
+    # 4-cycle LD/ST addition (the paper's default assumption).
+    add4 = _mean_speedup(zero.with_latency(r2d2_address_add=4))
+    assert (reference - add4) / reference < 0.06
+
+    # Latency knobs only ever hurt, never help.
+    assert fetch7 <= reference + 1e-9
+    assert regid5 <= reference + 1e-9

@@ -1,0 +1,41 @@
+"""Section 5.8.2 — SM-count sensitivity.
+
+Paper: scaling the GPU from 80 to 160 SMs with fixed kernel sizes does
+not degrade R2D2 — each SM computes its linear combinations
+independently and the linear-instruction count is small relative to the
+non-linear work.  We scale 2 -> 8 SMs with fixed grids and assert the
+speedup holds up.
+"""
+
+from repro.harness import sec58_sm_scaling, bench_config
+from repro.harness.runner import run_workload
+from repro.workloads import factory
+
+APPS = ("BP", "NN")
+SM_COUNTS = (2, 4, 8)
+
+
+def test_sec58_sm_scaling(benchmark):
+    table = benchmark.pedantic(
+        sec58_sm_scaling,
+        kwargs={"abbrs": APPS, "sm_counts": SM_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+    for abbr in APPS:
+        speeds = []
+        for n_sms in SM_COUNTS:
+            res = run_workload(
+                factory(abbr, "small"), config=bench_config(n_sms),
+                arch_names=("baseline", "r2d2"),
+            )
+            speeds.append(res.speedup("r2d2"))
+        # No performance cliff as SMs scale: the most-SM point stays
+        # within a few percent of the best point (paper: no drop from
+        # 80 to 160 SMs).
+        assert max(speeds) - speeds[-1] < 0.12, (abbr, speeds)
+        # R2D2 never falls meaningfully below baseline at any width.
+        assert min(speeds) > 0.92, (abbr, speeds)

@@ -1,0 +1,64 @@
+"""Raw-performance benchmarks of the simulator substrate itself
+(pytest-benchmark timings, no paper claims): functional execution,
+timing replay, and the R2D2 transform."""
+
+import numpy as np
+
+from repro.isa import CmpOp, DType, KernelBuilder, Param
+from repro.sim import Device, TimingSimulator, tiny
+from repro.transform import r2d2_transform
+from repro.linear import analyze_kernel
+
+
+def _vadd_kernel():
+    b = KernelBuilder(
+        "vadd",
+        params=[Param("a", is_pointer=True), Param("c", is_pointer=True),
+                Param("n", DType.S32)],
+    )
+    a_p, c_p, n_p = b.param(0), b.param(1), b.param(2)
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n_p)
+    with b.if_then(ok):
+        v = b.ld_global(b.addr(a_p, i, 4), DType.F32)
+        b.st_global(b.addr(c_p, i, 4), b.mul(v, 2.0, DType.F32),
+                    DType.F32)
+    return b.build()
+
+
+def test_functional_execution_throughput(benchmark):
+    kernel = _vadd_kernel()
+    n = 16384
+
+    def run():
+        dev = Device(tiny())
+        da = dev.upload(np.ones(n, dtype=np.float32))
+        dc = dev.alloc(4 * n)
+        return dev.launch(kernel, n // 256, 256, (da, dc, n))
+
+    trace = benchmark(run)
+    assert trace.warp_instruction_count() > 0
+
+
+def test_timing_replay_throughput(benchmark):
+    kernel = _vadd_kernel()
+    n = 16384
+    dev = Device(tiny())
+    da = dev.upload(np.ones(n, dtype=np.float32))
+    dc = dev.alloc(4 * n)
+    trace = dev.launch(kernel, n // 256, 256, (da, dc, n))
+
+    result = benchmark(lambda: TimingSimulator(tiny(), trace).run())
+    assert result.cycles > 0
+
+
+def test_analyzer_throughput(benchmark):
+    kernel = _vadd_kernel()
+    result = benchmark(lambda: analyze_kernel(kernel))
+    assert result.demanded
+
+
+def test_transform_throughput(benchmark):
+    kernel = _vadd_kernel()
+    rk = benchmark(lambda: r2d2_transform(kernel))
+    assert rk.removed_static > 0

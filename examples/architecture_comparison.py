@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Compare all modeled architectures on a few Table 2 workloads.
+
+Runs the ideal machines (WP/TB/LN of Figure 4), the prior-work models
+(DAC, DARSIE, DARSIE+Scalar) and R2D2 over a handful of benchmarks and
+prints miniature versions of the paper's Figures 4, 12, 13 and 16.
+
+Run:  python examples/architecture_comparison.py  [APP ...]
+"""
+
+import sys
+
+from repro.harness import (
+    Table,
+    bench_config,
+    geomean,
+    mean,
+    percent,
+    run_workload,
+)
+from repro.workloads import all_abbrs, factory
+
+DEFAULT_APPS = ("BP", "NN", "DWT", "GEM", "SRAD2", "BFS")
+
+
+def main(apps):
+    config = bench_config()
+    results = {}
+    for abbr in apps:
+        print(f"running {abbr} ...", flush=True)
+        results[abbr] = run_workload(factory(abbr, "small"), config=config)
+
+    ideal = Table(
+        "Ideal machines: dynamic thread-instruction reduction (Fig. 4)",
+        ["app", "WP", "TB", "LN"],
+    )
+    for abbr, res in results.items():
+        ideal.add_row(
+            abbr,
+            percent(res.thread_instruction_reduction("wp")),
+            percent(res.thread_instruction_reduction("tb")),
+            percent(res.thread_instruction_reduction("ln")),
+        )
+    print()
+    print(ideal.render())
+
+    comparison = Table(
+        "Prior work vs R2D2 (Figs. 12/13/16)",
+        ["app", "arch", "instr_reduction", "speedup", "energy_reduction"],
+    )
+    for abbr, res in results.items():
+        for arch in ("dac", "darsie", "darsie+scalar", "r2d2"):
+            comparison.add_row(
+                abbr,
+                arch,
+                percent(res.instruction_reduction(arch)),
+                f"{res.speedup(arch):.3f}x",
+                percent(res.energy_reduction(arch)),
+            )
+    print()
+    print(comparison.render())
+
+    print()
+    for arch in ("dac", "darsie", "r2d2"):
+        red = mean(
+            [r.instruction_reduction(arch) for r in results.values()]
+        )
+        spd = geomean([r.speedup(arch) for r in results.values()])
+        print(f"{arch:>14}: avg reduction {percent(red)}, "
+              f"geomean speedup {spd:.3f}x")
+
+
+if __name__ == "__main__":
+    apps = sys.argv[1:] or DEFAULT_APPS
+    unknown = [a for a in apps if a not in all_abbrs()]
+    if unknown:
+        raise SystemExit(
+            f"unknown workloads {unknown}; choose from {all_abbrs()}"
+        )
+    main(apps)

@@ -1,0 +1,14 @@
+"""Legacy setup shim: the sandbox has no `wheel` package, so editable
+installs must go through `pip install -e . --no-use-pep517
+--no-build-isolation` (see README)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    python_requires=">=3.9",
+)

@@ -1,0 +1,42 @@
+"""R2D2 reproduction: removing redundancy utilizing linearity of address
+generation in GPUs (Ha, Oh & Ro — ISCA 2023).
+
+Top-level convenience re-exports; see the subpackage docs for detail:
+
+- :mod:`repro.isa` — the PTX-like virtual ISA and kernel-builder DSL
+- :mod:`repro.linear` — coefficient-vector linearity analysis
+- :mod:`repro.transform` — the R2D2 instruction decoupling pipeline
+- :mod:`repro.sim` — functional + timing GPU simulation
+- :mod:`repro.arch` — architecture variants (baseline … R2D2)
+- :mod:`repro.workloads` — the Table 2 benchmark suite
+- :mod:`repro.harness` — experiment runner and figure regeneration
+"""
+
+from .isa import Dim3, DType, Kernel, KernelBuilder, Param
+from .linear import CoeffVec, LinExpr, analyze_kernel, build_plan
+from .sim import Device, GPUConfig, TimingSimulator, small, tiny, titan_v
+from .transform import R2D2Kernel, R2D2Values, r2d2_transform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoeffVec",
+    "Device",
+    "Dim3",
+    "DType",
+    "GPUConfig",
+    "Kernel",
+    "KernelBuilder",
+    "LinExpr",
+    "Param",
+    "R2D2Kernel",
+    "R2D2Values",
+    "TimingSimulator",
+    "analyze_kernel",
+    "build_plan",
+    "r2d2_transform",
+    "small",
+    "tiny",
+    "titan_v",
+    "__version__",
+]

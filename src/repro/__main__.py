@@ -1,0 +1,8 @@
+"""``python -m repro`` — regenerate the paper's evaluation artifacts."""
+
+import sys
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

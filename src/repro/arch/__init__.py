@@ -1,0 +1,21 @@
+"""Architecture variants: baseline, ideal machines, prior work, R2D2."""
+
+from .base import Architecture, ArchStats
+from .baseline import BaselineArch
+from .dac import DACArch
+from .darsie import DARSIEArch
+from .ideal import IdealLN, IdealTB, IdealWP
+from .r2d2 import LinearPhaseCounts, R2D2Arch
+
+__all__ = [
+    "Architecture",
+    "ArchStats",
+    "BaselineArch",
+    "DACArch",
+    "DARSIEArch",
+    "IdealLN",
+    "IdealTB",
+    "IdealWP",
+    "LinearPhaseCounts",
+    "R2D2Arch",
+]

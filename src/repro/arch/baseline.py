@@ -1,0 +1,23 @@
+"""The baseline GPU of Table 1."""
+
+from __future__ import annotations
+
+from ..sim.config import GPUConfig
+from ..sim.timing import TimingSimulator
+from ..sim.trace import KernelTrace
+from .base import ArchStats, Architecture
+
+
+class BaselineArch(Architecture):
+    """Issues every traced warp instruction on the SIMD pipeline."""
+
+    name = "baseline"
+
+    def process_trace(
+        self, trace: KernelTrace, config: GPUConfig, stats: ArchStats, l2=None
+    ) -> None:
+        stats.launches += 1
+        stats.warp_instructions += trace.warp_instruction_count()
+        stats.thread_instructions += trace.thread_instruction_count()
+        timing = TimingSimulator(config, trace, l2=l2).run()
+        stats.add_timing(timing)

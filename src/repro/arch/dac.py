@@ -1,0 +1,123 @@
+"""Decoupled Affine Computation (Wang & Lin, ISCA'17), modeled as the
+paper models it: "an optimistically working DAC by computing all warp
+instructions producing consecutive affine values with a single warp
+instruction without any overhead".
+
+An instruction is lifted onto the (free) affine unit when
+
+- its opcode is one the affine unit implements on (base, stride) tuples
+  (the strength-reducible set: mov/cvt/add/sub/mul/mad/shl + parameter
+  loads),
+- its destination values form an affine sequence across the active
+  lanes, and
+- every register source is itself an affine tuple (produced by a lifted
+  instruction): the affine unit has no path to read vector registers, so
+  a value loaded from memory — even one that happens to be affine —
+  forces the computation back onto the SIMD pipeline.
+
+Memory and control instructions stay put — DAC decouples computation,
+not memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..isa.opcodes import Opcode
+from ..sim.config import GPUConfig
+from ..sim.timing import IssueMode, IssuePolicy, TimingSimulator, WarpIssuePlan
+from ..sim.trace import BlockTrace, KernelTrace, WarpTrace
+from .base import ArchStats, Architecture
+
+#: Operations the affine unit executes on (base, stride) tuples.
+_AFFINE_UNIT_OPS = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.CVT,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.MAD,
+        Opcode.SHL,
+        Opcode.LD_PARAM,
+    }
+)
+
+
+def _warp_lift_flags(warp: WarpTrace, instrs) -> List[bool]:
+    """Per-record affine-unit lift decision for one warp.
+
+    Walks the records in order, tracking which registers currently hold
+    affine tuples; an instruction lifts only if its register sources are
+    all tuples and its destination came out affine.
+    """
+    tuple_regs: Set[str] = set()
+    flags: List[bool] = []
+    for record in warp.records:
+        instr = instrs[record.pc]
+        lift = (
+            instr.opcode in _AFFINE_UNIT_OPS
+            and instr.dst is not None
+            and instr.dtype.is_integer
+            and instr.pred is None
+            and record.affine
+        )
+        if lift:
+            for reg in instr.source_regs():
+                if reg.name not in tuple_regs:
+                    lift = False
+                    break
+        if instr.dst is not None:
+            if lift:
+                tuple_regs.add(instr.dst.name)
+            else:
+                tuple_regs.discard(instr.dst.name)
+        flags.append(lift)
+    return flags
+
+
+class _DACPolicy(IssuePolicy):
+    name = "dac"
+
+    def __init__(self, trace: KernelTrace) -> None:
+        self.instrs = trace.kernel.instructions
+        self._flags: Dict[tuple, List[bool]] = {}
+        for block in trace.blocks:
+            for warp in block.warps:
+                key = (block.block_linear_id, warp.warp_in_block)
+                self._flags[key] = _warp_lift_flags(warp, self.instrs)
+
+    def flags_for(self, block: BlockTrace, warp: WarpTrace) -> List[bool]:
+        return self._flags[(block.block_linear_id, warp.warp_in_block)]
+
+    def plan_warp(self, block: BlockTrace, warp: WarpTrace) -> WarpIssuePlan:
+        flags = self.flags_for(block, warp)
+        modes = [
+            IssueMode.SKIP if lifted else IssueMode.SIMD for lifted in flags
+        ]
+        return WarpIssuePlan(modes=modes)
+
+
+class DACArch(Architecture):
+    name = "dac"
+
+    def process_trace(
+        self, trace: KernelTrace, config: GPUConfig, stats: ArchStats, l2=None
+    ) -> None:
+        stats.launches += 1
+        policy = _DACPolicy(trace)
+        warp_instrs = 0
+        thread_instrs = 0
+        for block in trace.blocks:
+            for warp in block.warps:
+                flags = policy.flags_for(block, warp)
+                for record, lifted in zip(warp.records, flags):
+                    if lifted:
+                        continue
+                    warp_instrs += 1
+                    thread_instrs += record.active
+        stats.warp_instructions += warp_instrs
+        stats.thread_instructions += thread_instrs
+
+        timing = TimingSimulator(config, trace, policy=policy, l2=l2).run()
+        stats.add_timing(timing)

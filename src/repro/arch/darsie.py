@@ -1,0 +1,146 @@
+"""DARSIE (Yeh, Green & Rogers, ASPLOS'20), modeled as the paper models
+it: redundant warp instructions within a thread block are skipped with no
+overhead.  A warp instruction is redundant when an earlier warp of the
+same block already executed the same PC with identical source values
+(including redundant loads, which DARSIE can skip when no memory
+dependency intervenes — our trace hashes capture the loaded-from address
+values, so a store in between changes nothing about the *address* hash;
+we conservatively never skip across an intervening store to global
+memory).
+
+``DARSIE+Scalar`` additionally routes non-skipped uniform warp
+instructions through the scalar pipeline (energy benefit, freed SIMD
+lanes), matching the paper's third comparison point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..sim.config import GPUConfig
+from ..sim.timing import (
+    IssueMode,
+    IssuePolicy,
+    TimingSimulator,
+    WarpIssuePlan,
+)
+from ..sim.trace import BlockTrace, KernelTrace, WarpTrace
+from .base import ArchStats, Architecture
+
+
+def _compute_skips(
+    block: BlockTrace, instrs, store_fence: bool = True
+) -> Dict[int, Set[int]]:
+    """Per warp-in-block: indices of records skipped by memoization.
+
+    Warps execute in warp order for memoization purposes (DARSIE detects
+    redundancy at kernel launch time from thread-hierarchy analysis; our
+    dynamic-value model is strictly more permissive, which matches the
+    paper's optimistic treatment).  ``store_fence`` enforces the paper's
+    "no memory dependency problems" condition at memory-line
+    granularity: a memoized load is invalidated once any warp of the
+    block stores or atomically updates one of the lines it covers.
+    """
+    skips: Dict[int, Set[int]] = {}
+    seen: Set[int] = set()
+    #: load hash -> lines the original load covered
+    seen_loads: Dict[int, frozenset] = {}
+    stored_lines: Set[int] = set()
+    for warp in block.warps:
+        warp_skips: Set[int] = set()
+        for idx, record in enumerate(warp.records):
+            instr = instrs[record.pc]
+            if record.src_hash is None:
+                if (
+                    instr.is_store
+                    or instr.opcode.value.startswith("atom")
+                ) and record.lines:
+                    stored_lines.update(record.lines)
+                continue
+            if instr.is_load and instr.is_global_memory:
+                lines = frozenset(record.lines or ())
+                prior = seen_loads.get(record.src_hash)
+                clean = not (store_fence and (lines & stored_lines))
+                if prior is not None and prior == lines and clean:
+                    warp_skips.add(idx)
+                elif clean:
+                    seen_loads[record.src_hash] = lines
+                continue
+            if record.src_hash in seen:
+                warp_skips.add(idx)
+            else:
+                seen.add(record.src_hash)
+        skips[warp.warp_in_block] = warp_skips
+    return skips
+
+
+class _DARSIEPolicy(IssuePolicy):
+    def __init__(self, trace: KernelTrace, with_scalar: bool) -> None:
+        self.instrs = trace.kernel.instructions
+        self.with_scalar = with_scalar
+        self._skips: Dict[int, Dict[int, Set[int]]] = {}
+        for block in trace.blocks:
+            self._skips[block.block_linear_id] = _compute_skips(
+                block, self.instrs
+            )
+
+    def plan_warp(self, block: BlockTrace, warp: WarpTrace) -> WarpIssuePlan:
+        skips = self._skips[block.block_linear_id].get(
+            warp.warp_in_block, set()
+        )
+        modes: List[int] = []
+        for idx, record in enumerate(warp.records):
+            if idx in skips:
+                modes.append(IssueMode.SKIP)
+            elif (
+                self.with_scalar
+                and record.uniform
+                and not self.instrs[record.pc].is_memory
+                and not self.instrs[record.pc].is_control
+            ):
+                # energy benefit only: the scalar pipeline shares the
+                # issue slot (paper Section 2.2)
+                modes.append(IssueMode.SCALAR_INLINE)
+            else:
+                modes.append(IssueMode.SIMD)
+        return WarpIssuePlan(modes=modes)
+
+
+class DARSIEArch(Architecture):
+    """``with_scalar=True`` gives the paper's DARSIE+Scalar variant."""
+
+    def __init__(self, with_scalar: bool = False) -> None:
+        self.with_scalar = with_scalar
+        self.name = "darsie+scalar" if with_scalar else "darsie"
+
+    def process_trace(
+        self, trace: KernelTrace, config: GPUConfig, stats: ArchStats, l2=None
+    ) -> None:
+        stats.launches += 1
+        policy = _DARSIEPolicy(trace, self.with_scalar)
+        instrs = trace.kernel.instructions
+
+        warp_instrs = 0
+        thread_instrs = 0
+        for block in trace.blocks:
+            skips = policy._skips[block.block_linear_id]
+            for warp in block.warps:
+                warp_skips = skips.get(warp.warp_in_block, set())
+                for idx, record in enumerate(warp.records):
+                    if idx in warp_skips:
+                        continue
+                    warp_instrs += 1
+                    if (
+                        self.with_scalar
+                        and record.uniform
+                        and not instrs[record.pc].is_memory
+                        and not instrs[record.pc].is_control
+                    ):
+                        thread_instrs += 1
+                    else:
+                        thread_instrs += record.active
+        stats.warp_instructions += warp_instrs
+        stats.thread_instructions += thread_instrs
+
+        timing = TimingSimulator(config, trace, policy=policy, l2=l2).run()
+        stats.add_timing(timing)

@@ -1,0 +1,159 @@
+"""The ideal machines of Figure 4: WP, TB, and LN.
+
+These are instruction-count-only models (the paper reports no timing for
+them): each quantifies how many dynamic *thread* instructions an ideal
+eliminator of one redundancy class would execute.
+
+- **WP** removes redundant thread instructions within a warp: a warp
+  instruction whose active lanes all read identical source values costs
+  one thread instruction instead of ``active``.  (The paper's WP
+  "ideally skips all scalar computations, even if the computations
+  require runtime information".)
+- **TB** removes redundant warp instructions within a thread block: a
+  warp instruction identical (same PC, same source values) to one
+  already executed by an earlier warp of the same block costs nothing.
+- **LN** exploits the linearity of SIMT: scalar computations run once
+  per kernel, thread-index computations once per kernel (by one block),
+  block-index computations once per block, and fully-linear values are
+  never computed at all (they live as thread/block tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..linear.analyzer import AnalysisResult, LinearKind, analyze_kernel
+from ..sim.config import GPUConfig
+from ..sim.trace import KernelTrace
+from .base import ArchStats, Architecture
+
+
+class IdealWP(Architecture):
+    name = "wp"
+    needs_timing = False
+
+    def process_trace(
+        self, trace: KernelTrace, config: GPUConfig, stats: ArchStats, l2=None
+    ) -> None:
+        stats.launches += 1
+        warp_instrs = 0
+        thread_instrs = 0
+        for _block, _warp, record in trace.records():
+            warp_instrs += 1
+            thread_instrs += 1 if record.uniform else record.active
+        stats.warp_instructions += warp_instrs
+        stats.thread_instructions += thread_instrs
+
+
+class IdealTB(Architecture):
+    name = "tb"
+    needs_timing = False
+
+    def process_trace(
+        self, trace: KernelTrace, config: GPUConfig, stats: ArchStats, l2=None
+    ) -> None:
+        stats.launches += 1
+        warp_instrs = 0
+        thread_instrs = 0
+        for block in trace.blocks:
+            seen: Set[int] = set()
+            for warp in block.warps:
+                for record in warp.records:
+                    h = record.src_hash
+                    if h is not None and h in seen:
+                        continue  # redundant warp instruction: skipped
+                    if h is not None:
+                        seen.add(h)
+                    warp_instrs += 1
+                    thread_instrs += record.active
+        stats.warp_instructions += warp_instrs
+        stats.thread_instructions += thread_instrs
+
+
+class IdealLN(Architecture):
+    """Uses the R2D2 analyzer's classification to cost each static
+    instruction at its ideal multiplicity."""
+
+    name = "ln"
+    needs_timing = False
+
+    def __init__(self) -> None:
+        self._analysis_cache: Dict[int, AnalysisResult] = {}
+
+    def _analysis(self, trace: KernelTrace) -> AnalysisResult:
+        key = id(trace.kernel)
+        cached = self._analysis_cache.get(key)
+        if cached is None:
+            cached = analyze_kernel(trace.kernel)
+            self._analysis_cache[key] = cached
+        return cached
+
+    def process_trace(
+        self, trace: KernelTrace, config: GPUConfig, stats: ArchStats, l2=None
+    ) -> None:
+        stats.launches += 1
+        analysis = self._analysis(trace)
+        kinds = analysis.kind_by_pc
+
+        # Aggregate dynamic behaviour per static pc.
+        pc_blocks: Dict[int, Set[int]] = {}
+        pc_active: Dict[int, int] = {}
+        pc_first_block_active: Dict[int, int] = {}
+        pc_count: Dict[int, int] = {}
+        pc_wp_cost: Dict[int, int] = {}
+        first_block = trace.blocks[0].block_linear_id if trace.blocks else 0
+        for block in trace.blocks:
+            for warp in block.warps:
+                for record in warp.records:
+                    pc = record.pc
+                    pc_blocks.setdefault(pc, set()).add(
+                        block.block_linear_id
+                    )
+                    pc_active[pc] = pc_active.get(pc, 0) + record.active
+                    pc_count[pc] = pc_count.get(pc, 0) + 1
+                    # "The redundancy addressed by WP ... is also incurred
+                    # by the linearity" (Section 2.2): LN never pays more
+                    # than WP for a record it cannot classify statically.
+                    pc_wp_cost[pc] = pc_wp_cost.get(pc, 0) + (
+                        1 if record.uniform else record.active
+                    )
+                    if block.block_linear_id == first_block:
+                        pc_first_block_active[pc] = (
+                            pc_first_block_active.get(pc, 0) + record.active
+                        )
+
+        thread_instrs = 0
+        warp_instrs = 0
+        for pc, total_active in pc_active.items():
+            kind = kinds.get(pc, LinearKind.NONLINEAR)
+            n_blocks = len(pc_blocks[pc])
+            if kind is LinearKind.SCALAR:
+                thread_instrs += 1
+                warp_instrs += 1
+            elif kind is LinearKind.THREAD:
+                per_kernel = pc_first_block_active.get(pc, 32)
+                thread_instrs += per_kernel
+                warp_instrs += max(1, per_kernel // 32)
+            elif kind in (LinearKind.BLOCK, LinearKind.UNIFORM_UPDATE):
+                # once per block (block part), or one scalar update per
+                # loop iteration per block for promoted uniform updates.
+                if kind is LinearKind.BLOCK:
+                    thread_instrs += n_blocks
+                    warp_instrs += n_blocks
+                else:
+                    per_block = max(1, pc_count[pc] // max(1, n_blocks))
+                    thread_instrs += n_blocks * per_block
+                    warp_instrs += n_blocks * per_block
+            elif kind is LinearKind.FULL:
+                # held as (thread, block) tuples; never computed directly
+                pass
+            elif kind is LinearKind.MOV_REPLACED:
+                thread_instrs += pc_wp_cost[pc]
+                warp_instrs += pc_count[pc]
+            else:
+                # Not statically linear: LN still subsumes WP's dynamic
+                # scalar coverage (uniform executions cost one thread op).
+                thread_instrs += pc_wp_cost[pc]
+                warp_instrs += pc_count[pc]
+        stats.warp_instructions += warp_instrs
+        stats.thread_instructions += thread_instrs

@@ -1,0 +1,301 @@
+"""The R2D2 GPU architecture (paper Sections 3–4).
+
+Execution flow per launch:
+
+1. the kernel is transformed once (cached) by the R2D2 software pipeline;
+2. the register-pressure check (Section 4.4) decides between the
+   transformed stream and the original binary (the fallback);
+3. the transformed stream executes functionally with %lr/%cr operands
+   resolved by :class:`~repro.transform.values.R2D2Values`;
+4. timing replays the trace with the R2D2 issue policy: an SM prologue
+   models warp 0 computing coefficients on the scalar pipeline and the
+   first block computing thread-index parts (round-robin issue, Section
+   4.1); a per-block prologue models the block's first warp computing
+   block-index parts; memory operations addressed through %lr pay the
+   LD/ST-unit addition (and any Section 5.4 latency knobs);
+5. the decoupled linear instructions are charged to instruction and
+   energy statistics (Figures 14/15's linear fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.kernel import Dim3, Kernel, LaunchConfig
+from ..isa.operands import LinearRef, LinearRegOperand
+from ..sim.config import GPUConfig
+from ..sim.gpu import Device, as_dim3
+from ..sim.timing import (
+    IssueMode,
+    IssuePolicy,
+    TimingSimulator,
+    WarpIssuePlan,
+)
+from ..sim.trace import BlockTrace, KernelTrace, WarpTrace
+from ..transform.decouple import R2D2Kernel, r2d2_transform
+from ..transform.values import R2D2Values
+from .base import ArchStats, Architecture
+
+
+@dataclass(frozen=True)
+class LinearPhaseCounts:
+    """Dynamic instruction counts of the decoupled linear blocks."""
+
+    coef_per_sm: int
+    thread_per_sm: int
+    block_per_block: int
+    sms_used: int
+    n_blocks: int
+    warps_per_block: int
+    lanes_per_block_instr: int
+
+    @property
+    def coef_total(self) -> int:
+        return self.coef_per_sm * self.sms_used
+
+    @property
+    def thread_total(self) -> int:
+        return self.thread_per_sm * self.sms_used
+
+    @property
+    def block_total(self) -> int:
+        return self.block_per_block * self.n_blocks
+
+    @property
+    def warp_total(self) -> int:
+        return self.coef_total + self.thread_total + self.block_total
+
+
+class _R2D2Policy(IssuePolicy):
+    name = "r2d2"
+
+    def __init__(
+        self,
+        rkernel: R2D2Kernel,
+        counts: LinearPhaseCounts,
+        config: GPUConfig,
+    ) -> None:
+        self.rkernel = rkernel
+        self.counts = counts
+        self.config = config
+        self.instrs = rkernel.transformed.instructions
+        lat = config.latency
+        self._mem_extra = lat.r2d2_regid_extra + lat.r2d2_address_add
+        self._reg_extra = lat.r2d2_regid_extra
+        # Per-pc plans are identical across warps (same static stream).
+        self._pc_mode: List[int] = []
+        self._pc_extra: List[int] = []
+        for pc, instr in enumerate(self.instrs):
+            mode = IssueMode.SIMD
+            if pc in rkernel.uniform_pcs:
+                mode = IssueMode.SCALAR
+            extra = 0
+            for op in instr.srcs:
+                if isinstance(op, LinearRef):
+                    extra = max(extra, self._mem_extra)
+                elif isinstance(op, LinearRegOperand):
+                    extra = max(extra, self._reg_extra)
+            self._pc_mode.append(mode)
+            self._pc_extra.append(extra)
+        self._any_special = any(
+            m != IssueMode.SIMD for m in self._pc_mode
+        ) or any(e for e in self._pc_extra)
+
+    # ------------------------------------------------------------------
+    def plan_warp(self, block: BlockTrace, warp: WarpTrace) -> WarpIssuePlan:
+        if not self._any_special:
+            return WarpIssuePlan()
+        modes = [self._pc_mode[r.pc] for r in warp.records]
+        extras = [self._pc_extra[r.pc] for r in warp.records]
+        return WarpIssuePlan(modes=modes, extra_latency=extras)
+
+    def sm_prologue_cycles(self, sm_id: int) -> int:
+        lat = self.config.latency
+        counts = self.counts
+        # The starting-PC table is consulted once per instruction-block
+        # redirect (Section 5.4's fetch-latency knob), not per
+        # instruction.
+        fetch = lat.r2d2_fetch_extra
+        # Coefficients: pipelined on the scalar unit.
+        coef = counts.coef_per_sm + (
+            lat.alu + fetch if counts.coef_per_sm else 0
+        )
+        # Thread-index parts: all warps of the first block, issued
+        # round-robin across the schedulers (Section 4.1).
+        n_thread = counts.thread_per_sm
+        sched = self.config.num_schedulers
+        thread = (
+            (n_thread + sched - 1) // sched
+            + (lat.alu + fetch if n_thread else 0)
+        )
+        return coef + thread
+
+    def block_prologue_cycles(self, block: BlockTrace) -> int:
+        lat = self.config.latency
+        n = self.counts.block_per_block
+        if not n:
+            return 0
+        # mov + dependent mads by the block's first warp; one
+        # starting-PC-table lookup for the redirect.
+        return n + lat.alu + lat.r2d2_fetch_extra
+
+
+class R2D2Arch(Architecture):
+    """The proposed design.  Not a trace-analyzing variant: it executes
+    its own transformed kernels via :meth:`execute_launch`."""
+
+    def __init__(
+        self,
+        max_entries: int = 16,
+        group_shared_parts: bool = True,
+        name: str = "r2d2",
+    ) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self.group_shared_parts = group_shared_parts
+        self._transform_cache: Dict[int, R2D2Kernel] = {}
+
+    # ------------------------------------------------------------------
+    def transform(self, kernel: Kernel) -> R2D2Kernel:
+        key = id(kernel)
+        cached = self._transform_cache.get(key)
+        if cached is None:
+            cached = r2d2_transform(
+                kernel,
+                max_entries=self.max_entries,
+                group_shared_parts=self.group_shared_parts,
+            )
+            self._transform_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def linear_phase_counts(
+        self, rkernel: R2D2Kernel, launch: LaunchConfig, config: GPUConfig
+    ) -> LinearPhaseCounts:
+        blocks = rkernel.linear_blocks
+        n_blocks = launch.num_blocks
+        sms_used = min(config.num_sms, max(1, n_blocks))
+        warps_per_block = (
+            launch.threads_per_block + config.warp_size - 1
+        ) // config.warp_size
+        return LinearPhaseCounts(
+            coef_per_sm=blocks.n_coef,
+            thread_per_sm=blocks.n_thread * warps_per_block,
+            block_per_block=blocks.n_block,
+            sms_used=sms_used,
+            n_blocks=n_blocks,
+            warps_per_block=warps_per_block,
+            lanes_per_block_instr=min(
+                16, max(1, rkernel.plan.num_linear_registers)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def execute_launch(
+        self,
+        device: Device,
+        kernel: Kernel,
+        grid,
+        block,
+        args,
+        config: GPUConfig,
+        stats: ArchStats,
+        l2=None,
+    ) -> KernelTrace:
+        stats.launches += 1
+        rkernel = self.transform(kernel)
+        launch = LaunchConfig(
+            grid=as_dim3(grid), block=as_dim3(block), args=tuple(args)
+        )
+
+        use_fallback = (
+            rkernel.plan.is_empty()
+            or not rkernel.fits(config, launch.threads_per_block)
+        )
+        if use_fallback:
+            stats.fallback_launches += 1
+            trace = device.launch(kernel, grid, block, args)
+            stats.warp_instructions += trace.warp_instruction_count()
+            stats.thread_instructions += trace.thread_instruction_count()
+            timing = TimingSimulator(config, trace, l2=l2).run()
+            stats.add_timing(timing)
+            return trace
+
+        values = R2D2Values(rkernel.plan, launch)
+        trace = device.launch(
+            rkernel.transformed, grid, block, args, linear_values=values
+        )
+        counts = self.linear_phase_counts(rkernel, launch, config)
+        policy = _R2D2Policy(rkernel, counts, config)
+        timing = TimingSimulator(
+            config,
+            trace,
+            policy=policy,
+            l2=l2,
+            regs_per_thread=rkernel.register_usage.original_regs_per_thread,
+        ).run()
+
+        # Loop updates promoted to the uniform datapath (Section 3.1.2)
+        # leave the SIMT instruction stream: one scalar operation replaces
+        # the 32-lane warp instruction.
+        uniform_pcs = rkernel.uniform_pcs
+        uniform_records = 0
+        uniform_lanes = 0
+        if uniform_pcs:
+            for _b, _w, record in trace.records():
+                if record.pc in uniform_pcs:
+                    uniform_records += 1
+                    uniform_lanes += record.active
+        nonlinear_warp = trace.warp_instruction_count() - uniform_records
+        stats.warp_instructions += nonlinear_warp + counts.warp_total
+        stats.thread_instructions += (
+            trace.thread_instruction_count()
+            - uniform_lanes
+            + uniform_records
+            + counts.coef_total
+            + counts.thread_total * 32
+            + counts.block_total * counts.lanes_per_block_instr
+        )
+        stats.linear_warp_instructions += counts.warp_total
+        stats.linear_coef_instructions += counts.coef_total
+        stats.linear_thread_instructions += counts.thread_total
+        stats.linear_block_instructions += counts.block_total
+        stats.add_timing(timing)
+        self._charge_linear_energy(counts, config, stats)
+        return trace
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _charge_linear_energy(
+        counts: LinearPhaseCounts, config: GPUConfig, stats: ArchStats
+    ) -> None:
+        e = config.energy
+        energy = stats.energy
+        # Coefficients: scalar-pipeline ops.
+        energy.add(
+            "scalar",
+            counts.coef_total * (e.scalar_op_pj + e.fetch_decode_pj),
+        )
+        energy.add(
+            "rf", counts.coef_total * (e.rf_read_pj + e.rf_write_pj)
+        )
+        # Thread-index parts: full warps.
+        energy.add("fetch", counts.thread_total * e.fetch_decode_pj)
+        energy.add("alu", counts.thread_total * 32 * e.int_lane_pj)
+        energy.add(
+            "rf",
+            counts.thread_total * (2 * e.rf_read_pj + e.rf_write_pj),
+        )
+        # Block-index parts: 16-lane warps.
+        energy.add("fetch", counts.block_total * e.fetch_decode_pj)
+        energy.add(
+            "alu",
+            counts.block_total
+            * counts.lanes_per_block_instr
+            * e.int_lane_pj,
+        )
+        energy.add(
+            "rf", counts.block_total * (2 * e.rf_read_pj + e.rf_write_pj)
+        )
+        stats.energy_pj = energy.total()

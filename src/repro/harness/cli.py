@@ -1,0 +1,107 @@
+"""Command-line interface: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro fig12                 # one artifact
+    python -m repro fig13 --apps BP NN    # restrict the suite
+    python -m repro all --scale tiny      # everything, quickly
+    python -m repro list                  # what's available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from . import experiments
+from .experiments import SuiteResults, bench_config, run_suite
+
+#: figure name -> (needs shared suite?, callable)
+SUITE_FIGURES = {
+    "fig4": experiments.fig4_ideal_machines,
+    "fig12": experiments.fig12_instruction_reduction,
+    "fig13": experiments.fig13_speedup,
+    "fig14": experiments.fig14_instruction_breakdown,
+    "fig15": experiments.fig15_cycle_breakdown,
+    "fig16": experiments.fig16_energy,
+}
+
+STANDALONE_FIGURES = {
+    "tab3": lambda config, scale: experiments.table3_blocks_sensitivity(
+        config
+    ),
+    "sec54": lambda config, scale: experiments.sec54_latency_study(
+        scale=scale, config=config
+    ),
+    "sec56": lambda config, scale: experiments.sec56_register_usage(
+        scale=scale, config=config
+    ),
+    "sec57": lambda config, scale: experiments.sec57_persistent_threads(
+        config=config, scale=scale
+    ),
+    "sec58": lambda config, scale: experiments.sec58_sm_scaling(
+        scale=scale
+    ),
+}
+
+ALL_NAMES = list(SUITE_FIGURES) + list(STANDALONE_FIGURES)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the R2D2 paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=ALL_NAMES + ["all", "list"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=("tiny", "small"),
+        help="workload scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--sms", type=int, default=4,
+        help="number of SMs in the benchmark GPU (default: 4)",
+    )
+    parser.add_argument(
+        "--apps", nargs="*", default=None,
+        help="restrict the suite figures to these Table 2 abbreviations",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.artifact == "list":
+        print("suite figures  :", ", ".join(SUITE_FIGURES))
+        print("standalone     :", ", ".join(STANDALONE_FIGURES))
+        return 0
+
+    config = bench_config(args.sms)
+    names = ALL_NAMES if args.artifact == "all" else [args.artifact]
+
+    suite: Optional[SuiteResults] = None
+    if any(n in SUITE_FIGURES for n in names):
+        t0 = time.time()
+        print(
+            f"running suite (scale={args.scale}, {config.num_sms} SMs) ...",
+            file=sys.stderr,
+        )
+        suite = run_suite(
+            abbrs=args.apps, scale=args.scale, config=config
+        )
+        print(f"suite done in {time.time() - t0:.0f}s", file=sys.stderr)
+
+    for name in names:
+        if name in SUITE_FIGURES:
+            table = SUITE_FIGURES[name](suite)
+        else:
+            table = STANDALONE_FIGURES[name](config, args.scale)
+        print()
+        print(table.render())
+    return 0

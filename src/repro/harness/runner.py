@@ -1,0 +1,172 @@
+"""Experiment runner: workload × architecture → statistics.
+
+For one workload the runner
+
+1. executes all launches functionally on a baseline device, verifies the
+   results against the workload's numpy reference, and keeps the traces;
+2. feeds the traces to every trace-analyzing architecture (baseline,
+   ideal WP/TB/LN, DAC, DARSIE, DARSIE+Scalar), each with a fresh L2;
+3. executes the R2D2-transformed kernels on a second device, verifies
+   them the same way, and additionally compares every output buffer
+   bit-for-bit against the baseline device's;
+4. returns an :class:`ArchStats` per architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..arch import (
+    ArchStats,
+    Architecture,
+    BaselineArch,
+    DACArch,
+    DARSIEArch,
+    IdealLN,
+    IdealTB,
+    IdealWP,
+    R2D2Arch,
+)
+from ..sim.caches import Cache
+from ..sim.config import GPUConfig, small
+from ..sim.gpu import Device
+from ..workloads.base import Workload
+
+WorkloadFactory = Callable[[], Workload]
+
+#: Architecture sets used by the harness.
+TIMING_ARCHES = ("baseline", "dac", "darsie", "darsie+scalar", "r2d2")
+IDEAL_ARCHES = ("wp", "tb", "ln")
+ALL_ARCHES = ("baseline",) + IDEAL_ARCHES + (
+    "dac",
+    "darsie",
+    "darsie+scalar",
+    "r2d2",
+)
+
+
+def make_architecture(name: str, **kw) -> Architecture:
+    if name == "baseline":
+        return BaselineArch()
+    if name == "wp":
+        return IdealWP()
+    if name == "tb":
+        return IdealTB()
+    if name == "ln":
+        return IdealLN()
+    if name == "dac":
+        return DACArch()
+    if name == "darsie":
+        return DARSIEArch(with_scalar=False)
+    if name == "darsie+scalar":
+        return DARSIEArch(with_scalar=True)
+    if name == "r2d2":
+        return R2D2Arch(**kw)
+    raise ValueError(f"unknown architecture {name!r}")
+
+
+@dataclass
+class WorkloadResult:
+    """All architectures' statistics for one workload run."""
+
+    abbr: str
+    scale: str
+    stats: Dict[str, ArchStats] = field(default_factory=dict)
+    verified: bool = False
+    outputs_identical: bool = False
+
+    def __getitem__(self, arch: str) -> ArchStats:
+        return self.stats[arch]
+
+    # Paper-metric helpers ------------------------------------------------
+    def instruction_reduction(self, arch: str) -> float:
+        return self.stats[arch].instruction_reduction(
+            self.stats["baseline"]
+        )
+
+    def thread_instruction_reduction(self, arch: str) -> float:
+        return self.stats[arch].thread_instruction_reduction(
+            self.stats["baseline"]
+        )
+
+    def speedup(self, arch: str) -> float:
+        return self.stats[arch].speedup(self.stats["baseline"])
+
+    def energy_reduction(self, arch: str) -> float:
+        return self.stats[arch].energy_reduction(self.stats["baseline"])
+
+
+def run_workload(
+    factory: WorkloadFactory,
+    config: Optional[GPUConfig] = None,
+    arch_names: Sequence[str] = ALL_ARCHES,
+    r2d2_kwargs: Optional[dict] = None,
+    verify: bool = True,
+) -> WorkloadResult:
+    """Run one workload through the requested architectures."""
+    config = config or small()
+    r2d2_kwargs = r2d2_kwargs or {}
+
+    # ------------------------------------------------------------ 1+2
+    workload = factory()
+    device = Device(config)
+    launches = workload.prepare(device)
+    traces = [
+        device.launch(spec.kernel, spec.grid, spec.block, spec.args)
+        for spec in launches
+    ]
+    if verify:
+        workload.check(device)
+
+    result = WorkloadResult(abbr=workload.abbr, scale=workload.scale)
+    result.verified = verify
+
+    for name in arch_names:
+        if name == "r2d2":
+            continue
+        arch = make_architecture(name)
+        stats = arch.make_stats()
+        l2 = Cache(config.l2)
+        for trace in traces:
+            arch.process_trace(trace, config, stats, l2=l2)
+        result.stats[name] = stats
+
+    # ------------------------------------------------------------ 3
+    if "r2d2" in arch_names:
+        r2d2 = make_architecture("r2d2", **r2d2_kwargs)
+        workload2 = factory()
+        device2 = Device(config)
+        launches2 = workload2.prepare(device2)
+        stats = r2d2.make_stats()
+        l2 = Cache(config.l2)
+        for spec in launches2:
+            r2d2.execute_launch(
+                device2,
+                spec.kernel,
+                spec.grid,
+                spec.block,
+                spec.args,
+                config,
+                stats,
+                l2=l2,
+            )
+        if verify:
+            workload2.check(device2)
+            result.outputs_identical = _outputs_match(
+                workload, device, workload2, device2
+            )
+        result.stats["r2d2"] = stats
+
+    return result
+
+
+def _outputs_match(w1: Workload, d1: Device, w2: Workload, d2: Device) -> bool:
+    for buf1, buf2 in zip(w1.output_buffers(), w2.output_buffers()):
+        a = d1.download(buf1.addr, buf1.count, buf1.dtype)
+        b = d2.download(buf2.addr, buf2.count, buf2.dtype)
+        if not np.array_equal(a, b):
+            return False
+    return True

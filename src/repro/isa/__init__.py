@@ -1,0 +1,89 @@
+"""Virtual ISA: the PTX-like intermediate representation R2D2 analyzes.
+
+Public surface:
+
+- :class:`Opcode`, :class:`DType`, :class:`CmpOp`, :class:`AtomOp`
+- operand kinds (:class:`Reg`, :class:`Imm`, :class:`SpecialReg`,
+  :class:`ParamRef`, :class:`MemRef`, :class:`LinearRef`)
+- :class:`Instruction`, :class:`Kernel`, :class:`Param`
+- :class:`KernelBuilder` — the DSL used by all workloads
+- :class:`Dim3`, :class:`LaunchConfig` — launch geometry
+- :class:`ControlFlowGraph` — CFG + reconvergence analysis
+- :func:`validate_kernel`
+"""
+
+from .builder import KernelBuilder
+from .cfg import BasicBlock, ControlFlowGraph
+from .instruction import Instruction
+from .kernel import Dim3, Kernel, LaunchConfig, Param
+from .opcodes import (
+    ARITHMETIC_OPCODES,
+    CONTROL_OPCODES,
+    GLOBAL_MEMORY_OPCODES,
+    LINEAR_TRACKABLE,
+    MEMORY_OPCODES,
+    SFU_OPCODES,
+    SHARED_MEMORY_OPCODES,
+    STORE_OPCODES,
+    AtomOp,
+    CmpOp,
+    DType,
+    Opcode,
+)
+from .operands import (
+    BLOCK_INDEX_REGS,
+    CoeffRegOperand,
+    THREAD_INDEX_REGS,
+    Imm,
+    LinearRef,
+    LinearRegOperand,
+    MemRef,
+    Operand,
+    ParamRef,
+    Reg,
+    SpecialReg,
+)
+from .regalloc import allocated_registers
+from .text import ParseError, kernel_to_text, parse_kernel
+from .validate import ValidationError, collect_errors, validate_kernel
+
+__all__ = [
+    "ARITHMETIC_OPCODES",
+    "AtomOp",
+    "BLOCK_INDEX_REGS",
+    "BasicBlock",
+    "CmpOp",
+    "CoeffRegOperand",
+    "CONTROL_OPCODES",
+    "ControlFlowGraph",
+    "Dim3",
+    "DType",
+    "GLOBAL_MEMORY_OPCODES",
+    "Imm",
+    "Instruction",
+    "Kernel",
+    "KernelBuilder",
+    "LaunchConfig",
+    "LINEAR_TRACKABLE",
+    "LinearRef",
+    "LinearRegOperand",
+    "MemRef",
+    "MEMORY_OPCODES",
+    "Opcode",
+    "Operand",
+    "Param",
+    "ParamRef",
+    "Reg",
+    "SFU_OPCODES",
+    "SHARED_MEMORY_OPCODES",
+    "SpecialReg",
+    "STORE_OPCODES",
+    "THREAD_INDEX_REGS",
+    "ValidationError",
+    "collect_errors",
+    "allocated_registers",
+    "kernel_to_text",
+    "parse_kernel",
+    "ParseError",
+    "validate_kernel",
+]

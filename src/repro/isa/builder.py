@@ -1,0 +1,581 @@
+"""A small DSL for writing virtual-ISA kernels.
+
+The builder mimics what ``nvcc`` emits for CUDA C: address arithmetic is
+spelled out as ``mov/cvt/add/mul/shl/mad`` chains over built-in indices and
+``ld.param`` results, so the R2D2 analyzer sees exactly the instruction
+shapes of the paper's Figures 3 and 7.  Registers follow PTX naming
+(``%r`` 32-bit int, ``%rd`` 64-bit int, ``%f``/%fd`` float, ``%p``
+predicate) and are written in SSA style except for loop counters and
+if/else merges, which intentionally produce the *multi-write registers*
+of Section 3.1.2.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .instruction import Instruction
+from .kernel import Kernel, Param
+from .opcodes import AtomOp, CmpOp, DType, Opcode
+from .operands import Imm, MemRef, Operand, ParamRef, Reg, SpecialReg
+
+Value = Union[Reg, int, float]
+
+_PREFIXES = {
+    DType.S32: "%r",
+    DType.U32: "%r",
+    DType.S64: "%rd",
+    DType.U64: "%rd",
+    DType.F32: "%f",
+    DType.F64: "%fd",
+    DType.PRED: "%p",
+}
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`Kernel`."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Param] = (),
+        shared_mem_bytes: int = 0,
+    ) -> None:
+        self.name = name
+        self.params: List[Param] = list(params)
+        self.shared_mem_bytes = shared_mem_bytes
+        self._instrs: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._counters: Dict[str, int] = {}
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Low-level plumbing
+    # ------------------------------------------------------------------
+    def new_reg(self, dtype: DType = DType.S32) -> Reg:
+        prefix = _PREFIXES[dtype]
+        n = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = n
+        return Reg(f"{prefix}{n}", dtype)
+
+    def emit(self, instr: Instruction) -> Optional[Reg]:
+        self._instrs.append(instr)
+        return instr.dst
+
+    def fresh_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f"${hint}_{self._label_counter}"
+
+    def place_label(self, label: str) -> None:
+        if label in self._labels:
+            raise ValueError(f"label {label!r} placed twice")
+        self._labels[label] = len(self._instrs)
+
+    def _as_operand(self, value: Value, dtype: DType) -> Operand:
+        if isinstance(value, Reg):
+            return value
+        if isinstance(value, (int, float)):
+            return Imm(value)
+        raise TypeError(f"cannot use {value!r} as an operand")
+
+    def _coerce(self, value: Value, dtype: DType) -> Operand:
+        """Return ``value`` as an operand of ``dtype``, inserting a CVT for
+        register width/type mismatches (as nvcc does for 32->64-bit
+        address arithmetic)."""
+        if isinstance(value, Reg) and value.dtype is not dtype:
+            if value.dtype is DType.PRED or dtype is DType.PRED:
+                raise TypeError("cannot convert predicate registers")
+            return self.cvt(value, dtype)
+        return self._as_operand(value, dtype)
+
+    def _result_dtype(self, *values: Value) -> DType:
+        """Widest register dtype among operands, defaulting to S32."""
+        best: Optional[DType] = None
+        for v in values:
+            if isinstance(v, Reg):
+                d = v.dtype
+                if best is None:
+                    best = d
+                elif d.is_float and not best.is_float:
+                    best = d
+                elif d.is_float is best.is_float and d.nbytes > best.nbytes:
+                    best = d
+        return best or DType.S32
+
+    # ------------------------------------------------------------------
+    # Parameters and built-ins
+    # ------------------------------------------------------------------
+    def add_param(self, name: str, dtype: DType = DType.S32,
+                  is_pointer: bool = False) -> int:
+        self.params.append(Param(name, dtype, is_pointer))
+        return len(self.params) - 1
+
+    def param(self, index: int) -> Reg:
+        """Emit ``ld.param`` for parameter slot ``index``."""
+        p = self.params[index]
+        dtype = DType.S64 if p.is_pointer else p.dtype
+        dst = self.new_reg(dtype)
+        self.emit(
+            Instruction(
+                Opcode.LD_PARAM,
+                dtype=dtype,
+                dst=dst,
+                srcs=(ParamRef(index),),
+                comment=p.name,
+            )
+        )
+        return dst
+
+    def param_by_name(self, name: str) -> Reg:
+        for i, p in enumerate(self.params):
+            if p.name == name:
+                return self.param(i)
+        raise KeyError(f"no kernel parameter named {name!r}")
+
+    def special(self, sreg: SpecialReg) -> Reg:
+        """Emit ``mov dst, %tid.x`` style reads of built-in registers."""
+        dst = self.new_reg(DType.S32)
+        self.emit(
+            Instruction(Opcode.MOV, dtype=DType.S32, dst=dst, srcs=(sreg,))
+        )
+        return dst
+
+    def tid_x(self) -> Reg:
+        return self.special(SpecialReg.TID_X)
+
+    def tid_y(self) -> Reg:
+        return self.special(SpecialReg.TID_Y)
+
+    def tid_z(self) -> Reg:
+        return self.special(SpecialReg.TID_Z)
+
+    def ctaid_x(self) -> Reg:
+        return self.special(SpecialReg.CTAID_X)
+
+    def ctaid_y(self) -> Reg:
+        return self.special(SpecialReg.CTAID_Y)
+
+    def ctaid_z(self) -> Reg:
+        return self.special(SpecialReg.CTAID_Z)
+
+    def ntid_x(self) -> Reg:
+        return self.special(SpecialReg.NTID_X)
+
+    def ntid_y(self) -> Reg:
+        return self.special(SpecialReg.NTID_Y)
+
+    def nctaid_x(self) -> Reg:
+        return self.special(SpecialReg.NCTAID_X)
+
+    def nctaid_y(self) -> Reg:
+        return self.special(SpecialReg.NCTAID_Y)
+
+    def global_tid_x(self) -> Reg:
+        """The idiomatic ``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self.mad(self.ctaid_x(), self.ntid_x(), self.tid_x())
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _binary(self, opcode: Opcode, a: Value, b: Value,
+                dtype: Optional[DType] = None) -> Reg:
+        dt = dtype or self._result_dtype(a, b)
+        dst = self.new_reg(dt)
+        self.emit(
+            Instruction(
+                opcode,
+                dtype=dt,
+                dst=dst,
+                srcs=(self._coerce(a, dt), self._coerce(b, dt)),
+            )
+        )
+        return dst
+
+    def _unary(self, opcode: Opcode, a: Value,
+               dtype: Optional[DType] = None) -> Reg:
+        dt = dtype or self._result_dtype(a)
+        dst = self.new_reg(dt)
+        self.emit(
+            Instruction(opcode, dtype=dt, dst=dst, srcs=(self._coerce(a, dt),))
+        )
+        return dst
+
+    def add(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.ADD, a, b, dtype)
+
+    def sub(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.SUB, a, b, dtype)
+
+    def mul(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.MUL, a, b, dtype)
+
+    def div(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.DIV, a, b, dtype)
+
+    def rem(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.REM, a, b, dtype)
+
+    def min_(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.MIN, a, b, dtype)
+
+    def max_(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.MAX, a, b, dtype)
+
+    def and_(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.AND, a, b, dtype)
+
+    def or_(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.OR, a, b, dtype)
+
+    def xor(self, a: Value, b: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.XOR, a, b, dtype)
+
+    def shl(self, a: Value, amount: Value,
+            dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.SHL, a, amount, dtype)
+
+    def shr(self, a: Value, amount: Value,
+            dtype: Optional[DType] = None) -> Reg:
+        return self._binary(Opcode.SHR, a, amount, dtype)
+
+    def neg(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.NEG, a, dtype)
+
+    def abs_(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.ABS, a, dtype)
+
+    def not_(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.NOT, a, dtype)
+
+    def sqrt(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.SQRT, a, dtype or DType.F32)
+
+    def rsqrt(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.RSQRT, a, dtype or DType.F32)
+
+    def rcp(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.RCP, a, dtype or DType.F32)
+
+    def ex2(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.EX2, a, dtype or DType.F32)
+
+    def lg2(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.LG2, a, dtype or DType.F32)
+
+    def sin(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.SIN, a, dtype or DType.F32)
+
+    def cos(self, a: Value, dtype: Optional[DType] = None) -> Reg:
+        return self._unary(Opcode.COS, a, dtype or DType.F32)
+
+    def mad(self, a: Value, b: Value, c: Value,
+            dtype: Optional[DType] = None) -> Reg:
+        dt = dtype or self._result_dtype(a, b, c)
+        dst = self.new_reg(dt)
+        self.emit(
+            Instruction(
+                Opcode.MAD,
+                dtype=dt,
+                dst=dst,
+                srcs=(
+                    self._coerce(a, dt),
+                    self._coerce(b, dt),
+                    self._coerce(c, dt),
+                ),
+            )
+        )
+        return dst
+
+    def fma(self, a: Value, b: Value, c: Value,
+            dtype: DType = DType.F32) -> Reg:
+        dst = self.new_reg(dtype)
+        self.emit(
+            Instruction(
+                Opcode.FMA,
+                dtype=dtype,
+                dst=dst,
+                srcs=(
+                    self._coerce(a, dtype),
+                    self._coerce(b, dtype),
+                    self._coerce(c, dtype),
+                ),
+            )
+        )
+        return dst
+
+    def mov(self, value: Value, dtype: Optional[DType] = None) -> Reg:
+        dt = dtype or self._result_dtype(value)
+        dst = self.new_reg(dt)
+        self.emit(
+            Instruction(Opcode.MOV, dtype=dt, dst=dst,
+                        srcs=(self._as_operand(value, dt),))
+        )
+        return dst
+
+    def mov_to(self, dst: Reg, value: Value) -> Reg:
+        """Write an existing register (creates a multi-write register)."""
+        self.emit(
+            Instruction(Opcode.MOV, dtype=dst.dtype, dst=dst,
+                        srcs=(self._as_operand(value, dst.dtype),))
+        )
+        return dst
+
+    def add_to(self, dst: Reg, a: Value, b: Value) -> Reg:
+        """``add dst, a, b`` into an existing register (loop updates)."""
+        self.emit(
+            Instruction(
+                Opcode.ADD,
+                dtype=dst.dtype,
+                dst=dst,
+                srcs=(self._coerce(a, dst.dtype), self._coerce(b, dst.dtype)),
+            )
+        )
+        return dst
+
+    def cvt(self, value: Reg, dtype: DType) -> Reg:
+        dst = self.new_reg(dtype)
+        self.emit(
+            Instruction(Opcode.CVT, dtype=dtype, dst=dst, srcs=(value,))
+        )
+        return dst
+
+    def setp(self, cmp: CmpOp, a: Value, b: Value,
+             dtype: Optional[DType] = None) -> Reg:
+        dt = dtype or self._result_dtype(a, b)
+        dst = self.new_reg(DType.PRED)
+        self.emit(
+            Instruction(
+                Opcode.SETP,
+                dtype=dt,
+                dst=dst,
+                srcs=(self._coerce(a, dt), self._coerce(b, dt)),
+                cmp=cmp,
+            )
+        )
+        return dst
+
+    def selp(self, a: Value, b: Value, pred: Reg,
+             dtype: Optional[DType] = None) -> Reg:
+        dt = dtype or self._result_dtype(a, b)
+        dst = self.new_reg(dt)
+        self.emit(
+            Instruction(
+                Opcode.SELP,
+                dtype=dt,
+                dst=dst,
+                srcs=(self._coerce(a, dt), self._coerce(b, dt), pred),
+            )
+        )
+        return dst
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _addr_reg(self, addr: Value) -> Reg:
+        if isinstance(addr, Reg):
+            if addr.dtype is not DType.S64:
+                return self.cvt(addr, DType.S64)
+            return addr
+        raise TypeError("memory addresses must be registers")
+
+    def ld_global(self, addr: Reg, dtype: DType = DType.F32,
+                  disp: int = 0) -> Reg:
+        dst = self.new_reg(dtype)
+        self.emit(
+            Instruction(
+                Opcode.LD_GLOBAL,
+                dtype=dtype,
+                dst=dst,
+                srcs=(MemRef(self._addr_reg(addr), disp),),
+            )
+        )
+        return dst
+
+    def st_global(self, addr: Reg, value: Value,
+                  dtype: Optional[DType] = None, disp: int = 0) -> None:
+        dt = dtype or self._result_dtype(value)
+        if dt is DType.S64 and not isinstance(value, Reg):
+            dt = DType.S32
+        self.emit(
+            Instruction(
+                Opcode.ST_GLOBAL,
+                dtype=dt,
+                srcs=(MemRef(self._addr_reg(addr), disp),
+                      self._coerce(value, dt)),
+            )
+        )
+
+    def ld_shared(self, addr: Reg, dtype: DType = DType.F32,
+                  disp: int = 0) -> Reg:
+        dst = self.new_reg(dtype)
+        self.emit(
+            Instruction(
+                Opcode.LD_SHARED,
+                dtype=dtype,
+                dst=dst,
+                srcs=(MemRef(self._addr_reg(addr), disp),),
+            )
+        )
+        return dst
+
+    def st_shared(self, addr: Reg, value: Value,
+                  dtype: Optional[DType] = None, disp: int = 0) -> None:
+        dt = dtype or self._result_dtype(value)
+        self.emit(
+            Instruction(
+                Opcode.ST_SHARED,
+                dtype=dt,
+                srcs=(MemRef(self._addr_reg(addr), disp),
+                      self._coerce(value, dt)),
+            )
+        )
+
+    def atom_global(self, op: AtomOp, addr: Reg, value: Value,
+                    dtype: DType = DType.S32, disp: int = 0) -> Reg:
+        dst = self.new_reg(dtype)
+        self.emit(
+            Instruction(
+                Opcode.ATOM_GLOBAL,
+                dtype=dtype,
+                dst=dst,
+                srcs=(MemRef(self._addr_reg(addr), disp),
+                      self._coerce(value, dtype)),
+                atom=op,
+            )
+        )
+        return dst
+
+    def addr(self, base: Reg, index: Value, scale: int, disp: int = 0) -> Reg:
+        """Byte-address computation ``base + index*scale + disp`` via MAD.
+
+        This is the canonical address-generation idiom the paper targets.
+        """
+        dt = DType.S64
+        result = self.mad(index, scale, base, dtype=dt)
+        if disp:
+            result = self.add(result, disp, dtype=dt)
+        return result
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def bra(self, label: str, pred: Optional[Reg] = None,
+            negated: bool = False) -> None:
+        self.emit(
+            Instruction(Opcode.BRA, target=label, pred=pred,
+                        pred_negated=negated)
+        )
+
+    def bar(self) -> None:
+        self.emit(Instruction(Opcode.BAR))
+
+    def exit(self) -> None:
+        self.emit(Instruction(Opcode.EXIT))
+
+    @contextlib.contextmanager
+    def if_then(self, pred: Reg, negated: bool = False) -> Iterator[None]:
+        """Emit the body only where ``pred`` holds (``@!p bra END``)."""
+        end = self.fresh_label("ENDIF")
+        self.bra(end, pred=pred, negated=not negated)
+        yield
+        self.place_label(end)
+
+    @contextlib.contextmanager
+    def if_else(self, pred: Reg) -> Iterator[Tuple["_Branch", "_Branch"]]:
+        """Structured if/else; use the yielded guards as context managers."""
+        else_lbl = self.fresh_label("ELSE")
+        end_lbl = self.fresh_label("ENDIF")
+        state = {"stage": 0}
+
+        builder = self
+
+        class _Then:
+            def __enter__(self_inner):
+                builder.bra(else_lbl, pred=pred, negated=True)
+                return None
+
+            def __exit__(self_inner, *exc):
+                builder.bra(end_lbl)
+                builder.place_label(else_lbl)
+                state["stage"] = 1
+                return False
+
+        class _Else:
+            def __enter__(self_inner):
+                if state["stage"] != 1:
+                    raise RuntimeError("else entered before then closed")
+                return None
+
+            def __exit__(self_inner, *exc):
+                builder.place_label(end_lbl)
+                return False
+
+        yield _Then(), _Else()
+
+    @contextlib.contextmanager
+    def for_range(self, start: Value, stop: Value,
+                  step: int = 1) -> Iterator[Reg]:
+        """Counted loop; yields the counter register.
+
+        Emits the classic pattern with a multi-write counter::
+
+            mov  i, start
+        LOOP:
+            setp.ge p, i, stop
+            @p bra END
+            <body>
+            add  i, i, step
+            bra  LOOP
+        END:
+        """
+        counter = self.mov(start, dtype=DType.S32)
+        loop_lbl = self.fresh_label("LOOP")
+        end_lbl = self.fresh_label("ENDLOOP")
+        self.place_label(loop_lbl)
+        cond = self.setp(CmpOp.GE if step > 0 else CmpOp.LE, counter, stop)
+        self.bra(end_lbl, pred=cond)
+        yield counter
+        self.add_to(counter, counter, step)
+        self.bra(loop_lbl)
+        self.place_label(end_lbl)
+
+    @contextlib.contextmanager
+    def while_loop(self) -> Iterator["_WhileHandle"]:
+        """Unbounded loop; call ``handle.break_if(pred)`` inside the body."""
+        loop_lbl = self.fresh_label("WHILE")
+        end_lbl = self.fresh_label("ENDWHILE")
+        self.place_label(loop_lbl)
+        handle = _WhileHandle(self, end_lbl, loop_lbl)
+        yield handle
+        self.bra(loop_lbl)
+        self.place_label(end_lbl)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Kernel:
+        instrs = list(self._instrs)
+        if not instrs or instrs[-1].opcode is not Opcode.EXIT:
+            instrs.append(Instruction(Opcode.EXIT))
+        return Kernel(
+            self.name,
+            self.params,
+            instrs,
+            dict(self._labels),
+            shared_mem_bytes=self.shared_mem_bytes,
+        )
+
+
+class _WhileHandle:
+    """Handle for breaking out of a :meth:`KernelBuilder.while_loop`."""
+
+    def __init__(self, builder: KernelBuilder, end_label: str,
+                 loop_label: str) -> None:
+        self._builder = builder
+        self.end_label = end_label
+        self.loop_label = loop_label
+
+    def break_if(self, pred: Reg, negated: bool = False) -> None:
+        self._builder.bra(self.end_label, pred=pred, negated=negated)
+
+    def continue_if(self, pred: Reg, negated: bool = False) -> None:
+        self._builder.bra(self.loop_label, pred=pred, negated=negated)

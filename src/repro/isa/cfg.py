@@ -1,0 +1,215 @@
+"""Control-flow graph construction and reconvergence-point analysis.
+
+The functional simulator uses immediate post-dominators of conditional
+branches as SIMT reconvergence points (the standard stack-based model of
+GPGPU-Sim); the R2D2 analyzer uses basic-block boundaries to reason about
+multi-write registers under divergence (paper Section 3.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .kernel import Kernel
+from .opcodes import Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction range ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+    @property
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+
+class ControlFlowGraph:
+    """CFG over a kernel's flat instruction list."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.blocks: List[BasicBlock] = []
+        self._block_of_pc: Dict[int, int] = {}
+        self._build()
+        self._ipdom: Optional[Dict[int, Optional[int]]] = None
+
+    # ------------------------------------------------------------------
+    def _leaders(self) -> List[int]:
+        kernel = self.kernel
+        n = len(kernel.instructions)
+        leaders: Set[int] = {0}
+        for pc, instr in enumerate(kernel.instructions):
+            if instr.opcode is Opcode.BRA:
+                target = kernel.label_pc(instr.target)
+                if target < n:
+                    leaders.add(target)
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+        return sorted(leaders)
+
+    def _build(self) -> None:
+        kernel = self.kernel
+        n = len(kernel.instructions)
+        leaders = self._leaders()
+        bounds = leaders + [n]
+        for i, start in enumerate(leaders):
+            block = BasicBlock(index=i, start=start, end=bounds[i + 1])
+            self.blocks.append(block)
+            for pc in range(block.start, block.end):
+                self._block_of_pc[pc] = i
+
+        for block in self.blocks:
+            last = kernel.instructions[block.end - 1]
+            succs: List[int] = []
+            if last.opcode is Opcode.BRA:
+                target_pc = kernel.label_pc(last.target)
+                if target_pc < n:
+                    succs.append(self._block_of_pc[target_pc])
+                if last.pred is not None and block.end < n:
+                    succs.append(self._block_of_pc[block.end])
+            elif last.opcode is Opcode.EXIT:
+                pass
+            elif block.end < n:
+                succs.append(self._block_of_pc[block.end])
+            block.successors = succs
+        for block in self.blocks:
+            for s in block.successors:
+                self.blocks[s].predecessors.append(block.index)
+
+    # ------------------------------------------------------------------
+    def block_of(self, pc: int) -> BasicBlock:
+        return self.blocks[self._block_of_pc[pc]]
+
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    # ------------------------------------------------------------------
+    # Post-dominance / reconvergence
+    # ------------------------------------------------------------------
+    def _compute_ipdom(self) -> Dict[int, Optional[int]]:
+        """Immediate post-dominator per block, against a virtual exit node.
+
+        Implemented with the Cooper–Harvey–Kennedy iterative algorithm on
+        the reversed CFG (kernels are small; cubic corner cases don't
+        matter here).
+        """
+        nblocks = len(self.blocks)
+        exit_node = nblocks  # virtual sink
+        # Reverse-CFG successors == CFG predecessors; exits attach to sink.
+        rpreds: Dict[int, List[int]] = {i: [] for i in range(nblocks + 1)}
+        for block in self.blocks:
+            if not block.successors:
+                rpreds[block.index].append(exit_node)
+            for s in block.successors:
+                rpreds[block.index].append(s)
+
+        # Reverse post-order of the reversed CFG starting at the sink.
+        order: List[int] = []
+        visited: Set[int] = set()
+        redges: Dict[int, List[int]] = {i: [] for i in range(nblocks + 1)}
+        for node, preds in rpreds.items():
+            for p in preds:
+                redges[p].append(node)
+
+        def dfs(node: int) -> None:
+            visited.add(node)
+            for succ in redges[node]:
+                if succ not in visited:
+                    dfs(succ)
+            order.append(node)
+
+        dfs(exit_node)
+        rpo = list(reversed(order))
+        rpo_index = {node: i for i, node in enumerate(rpo)}
+
+        idom: Dict[int, Optional[int]] = {node: None for node in rpo}
+        idom[exit_node] = exit_node
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while rpo_index[a] > rpo_index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while rpo_index[b] > rpo_index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node == exit_node:
+                    continue
+                preds = [p for p in rpreds[node] if idom.get(p) is not None]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = intersect(new, p)
+                if idom[node] != new:
+                    idom[node] = new
+                    changed = True
+
+        result: Dict[int, Optional[int]] = {}
+        for i in range(nblocks):
+            d = idom.get(i)
+            result[i] = None if d in (None, exit_node) else d
+        return result
+
+    def reconvergence_pc(self, branch_pc: int) -> int:
+        """Reconvergence PC for the conditional branch at ``branch_pc``:
+        the first instruction of the branch block's immediate
+        post-dominator, or ``len(kernel)`` (exit) if control only rejoins
+        at kernel end."""
+        if self._ipdom is None:
+            self._ipdom = self._compute_ipdom()
+        block = self.block_of(branch_pc)
+        ipdom = self._ipdom.get(block.index)
+        if ipdom is None:
+            return len(self.kernel.instructions)
+        return self.blocks[ipdom].start
+
+    # ------------------------------------------------------------------
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """(from_block, to_block) pairs forming loop back edges (DFS)."""
+        edges: List[Tuple[int, int]] = []
+        color: Dict[int, int] = {}
+
+        def dfs(node: int) -> None:
+            color[node] = 1
+            for s in self.blocks[node].successors:
+                if color.get(s, 0) == 1:
+                    edges.append((node, s))
+                elif color.get(s, 0) == 0:
+                    dfs(s)
+            color[node] = 2
+
+        if self.blocks:
+            dfs(0)
+        return edges
+
+    def blocks_in_loops(self) -> Set[int]:
+        """Indices of blocks that belong to some natural loop."""
+        in_loop: Set[int] = set()
+        for tail, head in self.back_edges():
+            # Natural loop of back edge tail->head: head plus all blocks
+            # that reach tail without passing through head.
+            loop = {head, tail}
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                for p in self.blocks[node].predecessors:
+                    if p not in loop:
+                        loop.add(p)
+                        stack.append(p)
+            in_loop |= loop
+        return in_loop

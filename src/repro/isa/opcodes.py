@@ -1,0 +1,221 @@
+"""Opcode and data-type definitions for the PTX-like virtual ISA.
+
+The ISA mirrors the subset of PTX that the R2D2 paper's analysis operates
+on (Figure 6 of the paper lists the linearity-preserving opcodes) plus the
+arithmetic, memory, and control opcodes needed to express the benchmark
+kernels of Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Virtual-ISA opcodes.
+
+    Values are the PTX-style mnemonics used when printing instructions.
+    """
+
+    # Data movement / conversion
+    MOV = "mov"
+    CVT = "cvt"
+    SELP = "selp"
+
+    # Integer / float arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAD = "mad"
+    FMA = "fma"
+    DIV = "div"
+    REM = "rem"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    NEG = "neg"
+
+    # Bitwise / shifts
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+
+    # Transcendental (SFU)
+    RCP = "rcp"
+    SQRT = "sqrt"
+    RSQRT = "rsqrt"
+    EX2 = "ex2"
+    LG2 = "lg2"
+    SIN = "sin"
+    COS = "cos"
+
+    # Comparison / predicates
+    SETP = "setp"
+
+    # Memory
+    LD_PARAM = "ld.param"
+    LD_GLOBAL = "ld.global"
+    ST_GLOBAL = "st.global"
+    LD_SHARED = "ld.shared"
+    ST_SHARED = "st.shared"
+    ATOM_GLOBAL = "atom.global"
+    ATOM_SHARED = "atom.shared"
+
+    # Control flow
+    BRA = "bra"
+    BAR = "bar.sync"
+    EXIT = "exit"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Opcodes whose destination stays a linear combination of built-in indices
+#: when the sources are linear (paper Figure 6).  ``SUB`` is listed in
+#: Figure 6 as well; ``LD_PARAM`` introduces a fresh symbolic constant.
+LINEAR_TRACKABLE = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.CVT,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.SHL,
+        Opcode.MAD,
+        Opcode.LD_PARAM,
+    }
+)
+
+ARITHMETIC_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.MAD,
+        Opcode.FMA,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.ABS,
+        Opcode.NEG,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SETP,
+        Opcode.SELP,
+        Opcode.MOV,
+        Opcode.CVT,
+    }
+)
+
+SFU_OPCODES = frozenset(
+    {
+        Opcode.RCP,
+        Opcode.SQRT,
+        Opcode.RSQRT,
+        Opcode.EX2,
+        Opcode.LG2,
+        Opcode.SIN,
+        Opcode.COS,
+        Opcode.DIV,
+        Opcode.REM,
+    }
+)
+
+MEMORY_OPCODES = frozenset(
+    {
+        Opcode.LD_PARAM,
+        Opcode.LD_GLOBAL,
+        Opcode.ST_GLOBAL,
+        Opcode.LD_SHARED,
+        Opcode.ST_SHARED,
+        Opcode.ATOM_GLOBAL,
+        Opcode.ATOM_SHARED,
+    }
+)
+
+GLOBAL_MEMORY_OPCODES = frozenset(
+    {Opcode.LD_GLOBAL, Opcode.ST_GLOBAL, Opcode.ATOM_GLOBAL}
+)
+
+SHARED_MEMORY_OPCODES = frozenset(
+    {Opcode.LD_SHARED, Opcode.ST_SHARED, Opcode.ATOM_SHARED}
+)
+
+STORE_OPCODES = frozenset({Opcode.ST_GLOBAL, Opcode.ST_SHARED})
+
+CONTROL_OPCODES = frozenset({Opcode.BRA, Opcode.BAR, Opcode.EXIT})
+
+
+class DType(enum.Enum):
+    """Element data types.  Integers execute as 64-bit two's complement,
+    floats as IEEE double; the declared type controls memory width and
+    conversion semantics."""
+
+    S32 = "s32"
+    S64 = "s64"
+    U32 = "u32"
+    U64 = "u64"
+    F32 = "f32"
+    F64 = "f64"
+    PRED = "pred"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def nbytes(self) -> int:
+        return _DTYPE_SIZES[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.F32, DType.F64)
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DType.S32, DType.S64, DType.U32, DType.U64)
+
+
+_DTYPE_SIZES = {
+    DType.S32: 4,
+    DType.U32: 4,
+    DType.F32: 4,
+    DType.S64: 8,
+    DType.U64: 8,
+    DType.F64: 8,
+    DType.PRED: 1,
+}
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators for SETP."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AtomOp(enum.Enum):
+    """Atomic read-modify-write operators."""
+
+    ADD = "add"
+    MIN = "min"
+    MAX = "max"
+    EXCH = "exch"
+    CAS = "cas"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,70 @@
+"""Register-allocation estimate for occupancy accounting.
+
+The builder emits SSA-style virtual registers, so the raw register count
+grows with kernel size; real compilers allocate physical registers by
+live range.  ``allocated_registers`` estimates the per-thread physical
+register demand with a linear-scan over the flat instruction order:
+
+- a register is live from its first definition/use to its last;
+- any register touched inside a natural loop is extended to the loop's
+  full span (it may be live around the back edge);
+- 64-bit registers occupy two 4-byte slots (the unit the paper's Table 1
+  and Section 5.6 arithmetic use); predicates are free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .cfg import ControlFlowGraph
+from .kernel import Kernel
+from .opcodes import DType
+
+
+def allocated_registers(kernel: Kernel) -> int:
+    """Estimated 4-byte register slots per thread after allocation."""
+    n = len(kernel.instructions)
+    if n == 0:
+        return 1
+
+    first: Dict[str, int] = {}
+    last: Dict[str, int] = {}
+    width: Dict[str, int] = {}
+    for pc, instr in enumerate(kernel.instructions):
+        for reg in instr.dest_regs() + instr.source_regs():
+            if reg.dtype is DType.PRED:
+                continue
+            if reg.name not in first:
+                first[reg.name] = pc
+            last[reg.name] = pc
+            width[reg.name] = 2 if reg.dtype.nbytes == 8 else 1
+
+    if not first:
+        return 1
+
+    # Extend ranges across loops the register is used in.
+    cfg = ControlFlowGraph(kernel)
+    loops: List[Tuple[int, int]] = []
+    for tail, head in cfg.back_edges():
+        start = cfg.blocks[head].start
+        end = cfg.blocks[tail].end
+        if start < end:
+            loops.append((start, end))
+    for name in first:
+        for start, end in loops:
+            # touched inside the loop span -> live across the whole loop
+            if first[name] < end and last[name] > start:
+                first[name] = min(first[name], start)
+                last[name] = max(last[name], end - 1)
+
+    events: List[Tuple[int, int]] = []  # (pc, +width at start / -width after end)
+    for name in first:
+        events.append((first[name], width[name]))
+        events.append((last[name] + 1, -width[name]))
+    events.sort()
+    live = 0
+    peak = 0
+    for _pc, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return max(1, peak)

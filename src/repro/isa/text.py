@@ -1,0 +1,318 @@
+"""Textual kernel format: serialize kernels to PTX-like text and parse
+them back.
+
+The format is the disassembly listing extended with a header carrying
+what the binary container knows (name, parameters, shared-memory size)::
+
+    .kernel vadd
+    .param ptr a
+    .param ptr c
+    .param s32 n
+    .shared 0
+
+    /*0000*/ ld.param.s64 %rd1, [P0]  // a
+    $LOOP:
+    /*0001*/ @!%p1 bra $ENDIF_1
+    ...
+
+Registers carry their types in their prefixes (``%r`` s32, ``%rd`` s64,
+``%f`` f32, ``%fd`` f64, ``%p`` pred), matching the builder's naming.
+``parse_kernel(kernel_to_text(k))`` reproduces ``k`` exactly for every
+kernel the builder can emit, including R2D2-transformed streams with
+``%lr``/``%cr`` operands.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instruction import Instruction
+from .kernel import Kernel, Param
+from .opcodes import AtomOp, CmpOp, DType, Opcode
+from .operands import (
+    CoeffRegOperand,
+    Imm,
+    LinearRef,
+    LinearRegOperand,
+    MemRef,
+    ParamRef,
+    Reg,
+    SpecialReg,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed kernel text."""
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def kernel_to_text(kernel: Kernel) -> str:
+    lines = [f".kernel {kernel.name}"]
+    for p in kernel.params:
+        kind = "ptr" if p.is_pointer else p.dtype.value
+        lines.append(f".param {kind} {p.name}")
+    lines.append(f".shared {kernel.shared_mem_bytes}")
+    lines.append("")
+
+    by_pc: Dict[int, List[str]] = {}
+    for name, pc in kernel.labels.items():
+        by_pc.setdefault(pc, []).append(name)
+    for pc, instr in enumerate(kernel.instructions):
+        for lbl in sorted(by_pc.get(pc, [])):
+            lines.append(f"{lbl}:")
+        lines.append(f"/*{pc:04d}*/ {instr}")
+    for lbl in sorted(by_pc.get(len(kernel.instructions), [])):
+        lines.append(f"{lbl}:")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_OPCODES_BY_LENGTH = sorted(
+    Opcode, key=lambda op: len(op.value), reverse=True
+)
+_CMP_NAMES = {c.value: c for c in CmpOp}
+_ATOM_NAMES = {a.value: a for a in AtomOp}
+_DTYPE_NAMES = {d.value: d for d in DType}
+_SPECIAL_NAMES = {s.value: s for s in SpecialReg}
+
+_REG_PREFIX_TYPES = (
+    ("%rd", DType.S64),
+    ("%fd", DType.F64),
+    ("%r", DType.S32),
+    ("%f", DType.F32),
+    ("%p", DType.PRED),
+)
+
+_PC_RE = re.compile(r"^/\*(\d+)\*/\s*(.*)$")
+_LABEL_RE = re.compile(r"^(\$?[A-Za-z_][\w$]*):$")
+_GUARD_RE = re.compile(r"^@(!?)(%p\d+)\s+(.*)$")
+_LR_OPERAND_RE = re.compile(
+    r"^%lr(\d+)(?:\(\+%cr(\d+)\))?(?:\(\+(-?\d+)\))?$"
+)
+
+
+def _reg_from_name(name: str) -> Reg:
+    for prefix, dtype in _REG_PREFIX_TYPES:
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            return Reg(name, dtype)
+    raise ParseError(f"unknown register naming {name!r}")
+
+
+def _parse_mnemonic(
+    text: str,
+) -> Tuple[Opcode, Optional[CmpOp], Optional[AtomOp], DType]:
+    opcode = None
+    for candidate in _OPCODES_BY_LENGTH:
+        if text == candidate.value or text.startswith(candidate.value + "."):
+            opcode = candidate
+            rest = text[len(candidate.value):].strip(".")
+            break
+    if opcode is None:
+        raise ParseError(f"unknown opcode in {text!r}")
+    cmp = atom = None
+    dtype = DType.S32
+    for token in [t for t in rest.split(".") if t]:
+        if token in _CMP_NAMES and opcode is Opcode.SETP and cmp is None:
+            cmp = _CMP_NAMES[token]
+        elif (
+            token in _ATOM_NAMES
+            and opcode in (Opcode.ATOM_GLOBAL, Opcode.ATOM_SHARED)
+            and atom is None
+        ):
+            atom = _ATOM_NAMES[token]
+        elif token in _DTYPE_NAMES:
+            dtype = _DTYPE_NAMES[token]
+        else:
+            raise ParseError(f"unknown mnemonic suffix {token!r} in {text!r}")
+    return opcode, cmp, atom, dtype
+
+
+def _parse_bracketed(text: str):
+    """[P0], [%rd1+8], [%lr0+%cr1+8], [%cr-base+%cr2+4]"""
+    inner = text[1:-1]
+    if re.fullmatch(r"P\d+", inner):
+        return ParamRef(int(inner[1:]))
+    parts = inner.split("+")
+    lr_id: Optional[int] = None
+    cr_id: Optional[int] = None
+    base: Optional[Reg] = None
+    disp = 0
+    is_linear = False
+    for part in parts:
+        if part == "%cr-base":
+            is_linear = True
+        elif re.fullmatch(r"%lr\d+", part):
+            lr_id = int(part[3:])
+            is_linear = True
+        elif re.fullmatch(r"%cr\d+", part):
+            cr_id = int(part[3:])
+            is_linear = True
+        elif re.fullmatch(r"-?\d+", part):
+            disp += int(part)
+        elif part.startswith("%"):
+            base = _reg_from_name(part)
+        else:
+            raise ParseError(f"bad address component {part!r} in {text!r}")
+    if is_linear:
+        return LinearRef(lr_id, cr_id, disp)
+    if base is None:
+        raise ParseError(f"address without base register: {text!r}")
+    return MemRef(base, disp)
+
+
+def _parse_operand(text: str):
+    text = text.strip()
+    if text.startswith("["):
+        return _parse_bracketed(text)
+    if text in _SPECIAL_NAMES:
+        return _SPECIAL_NAMES[text]
+    m = _LR_OPERAND_RE.match(text)
+    if m:
+        return LinearRegOperand(
+            int(m.group(1)),
+            int(m.group(2)) if m.group(2) else None,
+            int(m.group(3)) if m.group(3) else 0,
+        )
+    if re.fullmatch(r"%cr\d+", text):
+        return CoeffRegOperand(int(text[3:]))
+    if text.startswith("%"):
+        return _reg_from_name(text)
+    # immediate: int or float repr
+    try:
+        return Imm(int(text, 0))
+    except ValueError:
+        try:
+            return Imm(float(text))
+        except ValueError:
+            raise ParseError(f"cannot parse operand {text!r}") from None
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside brackets/parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _parse_instruction(text: str) -> Instruction:
+    comment = ""
+    if "//" in text:
+        text, comment = text.split("//", 1)
+        comment = comment.strip()
+    text = text.strip()
+
+    pred = None
+    pred_negated = False
+    guard = _GUARD_RE.match(text)
+    if guard:
+        pred_negated = guard.group(1) == "!"
+        pred = _reg_from_name(guard.group(2))
+        text = guard.group(3).strip()
+
+    if " " in text:
+        mnemonic, operand_text = text.split(" ", 1)
+    else:
+        mnemonic, operand_text = text, ""
+    opcode, cmp, atom, dtype = _parse_mnemonic(mnemonic)
+
+    operands = _split_operands(operand_text)
+    target = None
+    dst = None
+    srcs: List = []
+
+    if opcode is Opcode.BRA:
+        if not operands:
+            raise ParseError(f"bra without target: {text!r}")
+        target = operands[-1]
+        return Instruction(
+            Opcode.BRA, target=target, pred=pred,
+            pred_negated=pred_negated, comment=comment,
+        )
+    if opcode in (Opcode.BAR, Opcode.EXIT):
+        return Instruction(opcode, pred=pred, pred_negated=pred_negated,
+                           comment=comment)
+
+    parsed = [_parse_operand(op) for op in operands]
+    if opcode.value.startswith("st."):
+        srcs = parsed
+    elif parsed:
+        first = parsed[0]
+        if not isinstance(first, Reg):
+            raise ParseError(f"destination must be a register: {text!r}")
+        dst = first
+        srcs = parsed[1:]
+
+    return Instruction(
+        opcode,
+        dtype=dtype,
+        dst=dst,
+        srcs=tuple(srcs),
+        pred=pred,
+        pred_negated=pred_negated,
+        cmp=cmp,
+        atom=atom,
+        comment=comment,
+    )
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse the textual kernel format back into a :class:`Kernel`."""
+    name = None
+    params: List[Param] = []
+    shared = 0
+    instrs: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            name = line.split(None, 1)[1].strip()
+            continue
+        if line.startswith(".param"):
+            _, kind, pname = line.split(None, 2)
+            if kind == "ptr":
+                params.append(Param(pname, DType.S64, is_pointer=True))
+            else:
+                if kind not in _DTYPE_NAMES:
+                    raise ParseError(f"bad param type {kind!r}")
+                params.append(Param(pname, _DTYPE_NAMES[kind]))
+            continue
+        if line.startswith(".shared"):
+            shared = int(line.split(None, 1)[1])
+            continue
+        label = _LABEL_RE.match(line)
+        if label:
+            lbl = label.group(1)
+            if lbl in labels:
+                raise ParseError(f"duplicate label {lbl!r}")
+            labels[lbl] = len(instrs)
+            continue
+        pc_match = _PC_RE.match(line)
+        body = pc_match.group(2) if pc_match else line
+        if not body:
+            continue
+        instrs.append(_parse_instruction(body))
+
+    if name is None:
+        raise ParseError("missing .kernel header")
+    return Kernel(name, params, instrs, labels, shared_mem_bytes=shared)

@@ -1,0 +1,151 @@
+"""Structural validation of kernels.
+
+Catches malformed IR early: undefined register reads, type mismatches on
+guards, branches into the middle of nowhere, missing EXIT reachability,
+and stores through non-64-bit bases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .cfg import ControlFlowGraph
+from .instruction import Instruction
+from .kernel import Kernel
+from .opcodes import DType, Opcode
+from .operands import MemRef, Reg
+
+
+class ValidationError(ValueError):
+    """Raised when a kernel fails structural validation."""
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`ValidationError` on the first structural problem."""
+    errors = collect_errors(kernel)
+    if errors:
+        raise ValidationError(
+            f"kernel {kernel.name!r}: " + "; ".join(errors[:5])
+        )
+
+
+def collect_errors(kernel: Kernel) -> List[str]:
+    """All structural problems found in the kernel (empty if valid)."""
+    errors: List[str] = []
+    errors.extend(_check_operand_shapes(kernel))
+    errors.extend(_check_register_defs(kernel))
+    errors.extend(_check_termination(kernel))
+    return errors
+
+
+_SRC_ARITY = {
+    Opcode.MOV: 1,
+    Opcode.CVT: 1,
+    Opcode.NEG: 1,
+    Opcode.ABS: 1,
+    Opcode.NOT: 1,
+    Opcode.RCP: 1,
+    Opcode.SQRT: 1,
+    Opcode.RSQRT: 1,
+    Opcode.EX2: 1,
+    Opcode.LG2: 1,
+    Opcode.SIN: 1,
+    Opcode.COS: 1,
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.DIV: 2,
+    Opcode.REM: 2,
+    Opcode.MIN: 2,
+    Opcode.MAX: 2,
+    Opcode.AND: 2,
+    Opcode.OR: 2,
+    Opcode.XOR: 2,
+    Opcode.SHL: 2,
+    Opcode.SHR: 2,
+    Opcode.SETP: 2,
+    Opcode.MAD: 3,
+    Opcode.FMA: 3,
+    Opcode.SELP: 3,
+    Opcode.LD_PARAM: 1,
+}
+
+
+def _check_operand_shapes(kernel: Kernel) -> List[str]:
+    errors: List[str] = []
+    nparams = len(kernel.params)
+    for pc, instr in enumerate(kernel.instructions):
+        arity = _SRC_ARITY.get(instr.opcode)
+        if arity is not None and len(instr.srcs) != arity:
+            errors.append(
+                f"pc {pc}: {instr.opcode} expects {arity} sources, "
+                f"got {len(instr.srcs)}"
+            )
+        if instr.opcode is Opcode.SETP and instr.cmp is None:
+            errors.append(f"pc {pc}: setp without comparison operator")
+        if instr.opcode in (Opcode.ATOM_GLOBAL, Opcode.ATOM_SHARED):
+            if instr.atom is None:
+                errors.append(f"pc {pc}: atom without atomic operator")
+        if instr.pred is not None and instr.pred.dtype is not DType.PRED:
+            errors.append(f"pc {pc}: guard {instr.pred.name} is not a predicate")
+        if instr.dst is not None and instr.opcode is Opcode.SETP:
+            if instr.dst.dtype is not DType.PRED:
+                errors.append(f"pc {pc}: setp destination must be a predicate")
+        for op in instr.srcs:
+            if isinstance(op, MemRef) and op.base.dtype is not DType.S64:
+                errors.append(
+                    f"pc {pc}: memory base {op.base.name} must be s64"
+                )
+            from .operands import ParamRef
+
+            if isinstance(op, ParamRef) and not 0 <= op.index < nparams:
+                errors.append(f"pc {pc}: parameter index {op.index} out of range")
+    return errors
+
+
+def _check_register_defs(kernel: Kernel) -> List[str]:
+    """Every register must have at least one static definition somewhere.
+
+    (A full dominance-based def-before-use check is too strict for the
+    multi-write merge patterns the builder emits, so we only require the
+    existence of a definition.)
+    """
+    defined: Set[str] = set()
+    used: Set[str] = set()
+    for instr in kernel.instructions:
+        for reg in instr.dest_regs():
+            defined.add(reg.name)
+        for reg in instr.source_regs():
+            used.add(reg.name)
+    errors = []
+    for name in sorted(used - defined):
+        errors.append(f"register {name} is read but never written")
+    return errors
+
+
+def _check_termination(kernel: Kernel) -> List[str]:
+    errors: List[str] = []
+    if not kernel.instructions:
+        errors.append("kernel has no instructions")
+        return errors
+    if not any(i.opcode is Opcode.EXIT for i in kernel.instructions):
+        errors.append("kernel has no EXIT instruction")
+    # Every block must be able to reach a terminator (EXIT or falling off
+    # the end is prevented by Kernel building appending EXIT).
+    cfg = ControlFlowGraph(kernel)
+    reachable: Set[int] = set()
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(cfg.blocks[node].successors)
+    terminating = {
+        b.index
+        for b in cfg.blocks
+        if kernel.instructions[b.end - 1].opcode is Opcode.EXIT
+    }
+    if reachable and not (reachable & terminating):
+        errors.append("no EXIT reachable from entry")
+    return errors

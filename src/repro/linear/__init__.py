@@ -1,0 +1,44 @@
+"""Linearity analysis: coefficient vectors and the R2D2 code analyzer."""
+
+from .analyzer import (
+    AnalysisResult,
+    BoundaryUse,
+    LinearKind,
+    analyze_kernel,
+    kind_of_vec,
+)
+from .coeffvec import ELEMENT_NAMES, CoeffVec
+from .symbols import LinExpr, ZERO, dim_symbol, launch_env, param_symbol
+from .tables import (
+    MAX_LINEAR_ENTRIES,
+    MAX_SCALAR_ENTRIES,
+    AssignKind,
+    Assignment,
+    DecouplePlan,
+    LinearEntry,
+    ScalarEntry,
+    build_plan,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "AssignKind",
+    "Assignment",
+    "BoundaryUse",
+    "CoeffVec",
+    "DecouplePlan",
+    "ELEMENT_NAMES",
+    "LinExpr",
+    "LinearEntry",
+    "LinearKind",
+    "MAX_LINEAR_ENTRIES",
+    "MAX_SCALAR_ENTRIES",
+    "ScalarEntry",
+    "ZERO",
+    "analyze_kernel",
+    "build_plan",
+    "dim_symbol",
+    "kind_of_vec",
+    "launch_env",
+    "param_symbol",
+]

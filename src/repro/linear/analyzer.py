@@ -1,0 +1,408 @@
+"""The R2D2 code analyzer (paper Algorithm 1, Section 3.1).
+
+The analyzer walks the kernel's static instructions in program order,
+tracking a :class:`~repro.linear.coeffvec.CoeffVec` per destination
+register through the linearity-preserving opcodes of Figure 6.  Its output
+classifies every static instruction and records, for each *boundary*
+register (a linear value consumed by a non-linear instruction), the
+coefficient vector that the instruction-decoupling stage must
+materialize.
+
+Multi-write registers (Section 3.1.2) receive the paper's two treatments:
+
+- a write in a diverged control path whose value is linear is *replaced*
+  by a move from a pre-computed linear register (the address-generation
+  chain feeding it becomes dead and is eliminated);
+- a loop self-update ``add r, r, k`` with a kernel-uniform ``k`` is
+  promoted to a *uniform-register* update executed by the scalar pipeline
+  (coefficient-register promotion; this is what lets R2D2 cover the
+  moving-window pattern of SGEMM, Section 5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from collections import OrderedDict
+
+from ..isa.cfg import ControlFlowGraph
+from ..isa.instruction import Instruction
+from ..isa.kernel import Kernel
+from ..isa.opcodes import LINEAR_TRACKABLE, DType, Opcode
+from ..isa.operands import Imm, MemRef, ParamRef, Reg, SpecialReg
+from .coeffvec import CoeffVec
+from .symbols import LinExpr
+
+
+class LinearKind(enum.Enum):
+    """Classification of a static instruction's destination value."""
+
+    SCALAR = "scalar"          # pure constant: one computation per kernel
+    THREAD = "thread"          # thread-index part only: once per kernel
+    BLOCK = "block"            # block-index part only: once per block
+    FULL = "full"              # thread + block parts: kept as a tuple
+    NONLINEAR = "nonlinear"    # not a linear combination
+    MOV_REPLACED = "mov_replaced"    # divergent def replaced by mov-from-%lr
+    UNIFORM_UPDATE = "uniform_update"  # loop update promoted to uniform reg
+
+
+def kind_of_vec(vec: CoeffVec) -> LinearKind:
+    if vec.is_pure_constant:
+        return LinearKind.SCALAR
+    if vec.is_thread_only:
+        return LinearKind.THREAD
+    if vec.is_block_only:
+        return LinearKind.BLOCK
+    return LinearKind.FULL
+
+
+#: Integer opcodes whose kernel-uniform results R2D2's scalar pipeline can
+#: pre-compute even though they are not linearity-preserving (Figure 6
+#: covers the linear subset; scalar coverage extends to any pure function
+#: of constants/parameters/dimensions — the paper's WP baseline "ideally
+#: skips all scalar computations" and R2D2 subsumes it).
+SCALARIZABLE = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.CVT,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.MAD,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.ABS,
+        Opcode.NEG,
+    }
+)
+
+
+@dataclass(frozen=True)
+class ScalarRecipe:
+    """How to evaluate one opaque scalar symbol at launch time."""
+
+    opcode: Opcode
+    sources: Tuple[object, ...]  # LinExpr values of the source operands
+
+
+@dataclass
+class BoundaryUse:
+    """One non-linear instruction reading a linear register."""
+
+    pc: int
+    reg: str
+    vec: CoeffVec
+    as_address: bool  # used as a memory base register
+    in_loop: bool
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the decoupling stage needs, plus reporting statistics."""
+
+    kernel: Kernel
+    cfg: ControlFlowGraph
+    vec_by_pc: Dict[int, CoeffVec] = field(default_factory=dict)
+    kind_by_pc: Dict[int, LinearKind] = field(default_factory=dict)
+    boundary_uses: List[BoundaryUse] = field(default_factory=list)
+    demanded: Dict[str, CoeffVec] = field(default_factory=dict)
+    use_weight: Dict[str, int] = field(default_factory=dict)
+    mov_replaced: Dict[int, str] = field(default_factory=dict)
+    uniform_updates: Set[int] = field(default_factory=set)
+    multiwrite_regs: Set[str] = field(default_factory=set)
+    #: For multi-write registers: what the first definition looked like
+    #: ("linear" = mov-replaced %lr base, "uniform" = warp-uniform value,
+    #: "nonlinear" = anything else).  Gates uniform-update promotion.
+    multiwrite_base: Dict[str, str] = field(default_factory=dict)
+    #: Opaque scalar recipes, in definition order: symbol name ->
+    #: (opcode, source expressions).  A non-linear-trackable integer
+    #: operation whose sources are all kernel-uniform still produces a
+    #: kernel-uniform value (e.g. ``shr cols, 1``); R2D2 computes it once
+    #: on the scalar pipeline and tracks it as a fresh symbol.
+    scalar_recipes: "OrderedDict[str, ScalarRecipe]" = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    def kind_counts(self) -> Dict[LinearKind, int]:
+        counts: Dict[LinearKind, int] = {k: 0 for k in LinearKind}
+        for pc in range(len(self.kernel.instructions)):
+            counts[self.kind_by_pc.get(pc, LinearKind.NONLINEAR)] += 1
+        return counts
+
+    def linear_fraction(self) -> float:
+        """Fraction of static instructions classified as linear-producing."""
+        n = len(self.kernel.instructions)
+        if n == 0:
+            return 0.0
+        linear = sum(
+            1
+            for pc in range(n)
+            if self.kind_by_pc.get(pc, LinearKind.NONLINEAR)
+            not in (LinearKind.NONLINEAR,)
+        )
+        return linear / n
+
+    def demanded_vectors(self) -> List[Tuple[str, CoeffVec]]:
+        return sorted(self.demanded.items(), key=lambda kv: kv[0])
+
+
+def analyze_kernel(kernel: Kernel) -> AnalysisResult:
+    """Run the R2D2 analyzer over ``kernel`` (Algorithm 1, lines 5–15)."""
+    cfg = ControlFlowGraph(kernel)
+    result = AnalysisResult(kernel=kernel, cfg=cfg)
+
+    write_counts = kernel.write_counts()
+    result.multiwrite_regs = {r for r, n in write_counts.items() if n > 1}
+    loop_blocks = cfg.blocks_in_loops()
+
+    def pc_in_loop(pc: int) -> bool:
+        return cfg.block_of(pc).index in loop_blocks
+
+    # reg name -> current CoeffVec (None == non-linear / unknown)
+    env: Dict[str, Optional[CoeffVec]] = {}
+
+    for pc, instr in enumerate(kernel.instructions):
+        _classify_instruction(result, env, pc, instr, pc_in_loop)
+
+    _collect_boundary_uses(result, pc_in_loop)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Per-instruction classification (Algorithm 1 lines 6-12)
+# ----------------------------------------------------------------------
+def _source_vec(
+    env: Dict[str, Optional[CoeffVec]], op: object
+) -> Optional[CoeffVec]:
+    if isinstance(op, Reg):
+        return env.get(op.name)
+    if isinstance(op, Imm):
+        if isinstance(op.value, int):
+            return CoeffVec.constant(op.value)
+        return None
+    if isinstance(op, SpecialReg):
+        return CoeffVec.special(op)
+    return None
+
+
+def _transfer(
+    instr: Instruction, srcs: List[Optional[CoeffVec]]
+) -> Optional[CoeffVec]:
+    """Figure 6 transfer functions; None when the result is not linear."""
+    op = instr.opcode
+    if any(v is None for v in srcs):
+        return None
+    if op is Opcode.LD_PARAM:
+        ref = instr.srcs[0]
+        assert isinstance(ref, ParamRef)
+        return CoeffVec.parameter(ref.index)
+    if op in (Opcode.MOV, Opcode.CVT):
+        return srcs[0]
+    if op is Opcode.ADD:
+        return srcs[0] + srcs[1]
+    if op is Opcode.SUB:
+        return srcs[0] - srcs[1]
+    if op is Opcode.MUL:
+        scaled = srcs[0].scaled(srcs[1])
+        if scaled is None:
+            scaled = srcs[1].scaled(srcs[0])
+        return scaled
+    if op is Opcode.SHL:
+        return srcs[0].shifted_left(srcs[1])
+    if op is Opcode.MAD:
+        return srcs[0].mad(srcs[1], srcs[2])
+    return None
+
+
+def _classify_instruction(
+    result: AnalysisResult,
+    env: Dict[str, Optional[CoeffVec]],
+    pc: int,
+    instr: Instruction,
+    pc_in_loop,
+) -> None:
+    dst = instr.dst
+    if dst is None or instr.is_control:
+        return
+
+    trackable = (
+        instr.opcode in LINEAR_TRACKABLE
+        and instr.dtype.is_integer
+        and instr.pred is None
+    )
+
+    multi = dst.name in result.multiwrite_regs
+
+    # --- loop self-updates first (Section 3.1.2): the counter register
+    # itself is never linear-tracked, so this must run before the
+    # vec-is-None early exit below.
+    #
+    # Promotion to a uniform-register update is only sound when the
+    # register decomposes into (per-thread linear base held in %lr) +
+    # (warp-uniform running offset): the base's first definition must
+    # have been linear (mov-replaced) or itself warp-uniform (e.g. an
+    # immediate-initialized loop counter).  A pointer loaded from memory
+    # (BFS's edge cursor) differs per lane and cannot be promoted.
+    self_update = any(
+        isinstance(op, Reg) and op.name == dst.name for op in instr.srcs
+    )
+    if multi and self_update:
+        delta_vecs = [
+            _source_vec(env, op)
+            for op in instr.srcs
+            if not (isinstance(op, Reg) and op.name == dst.name)
+        ]
+        base_kind = result.multiwrite_base.get(dst.name)
+        if (
+            instr.opcode in (Opcode.ADD, Opcode.SUB)
+            and delta_vecs
+            and all(v is not None and v.is_pure_constant for v in delta_vecs)
+            and base_kind in ("linear", "uniform")
+        ):
+            result.kind_by_pc[pc] = LinearKind.UNIFORM_UPDATE
+            result.uniform_updates.add(pc)
+        else:
+            result.kind_by_pc[pc] = LinearKind.NONLINEAR
+        env[dst.name] = None
+        return
+
+    scalarizable = (
+        instr.opcode in SCALARIZABLE
+        and instr.dtype.is_integer
+        and instr.pred is None
+    )
+
+    if instr.opcode is Opcode.LD_PARAM:
+        src_vecs: List[Optional[CoeffVec]] = [None]
+        vec = CoeffVec.parameter(instr.srcs[0].index)  # type: ignore[union-attr]
+    elif trackable or scalarizable:
+        src_vecs = [_source_vec(env, op) for op in instr.srcs]
+        vec = _transfer(instr, src_vecs) if trackable else None
+        if (
+            vec is None
+            and scalarizable
+            and src_vecs
+            and all(v is not None and v.is_pure_constant for v in src_vecs)
+        ):
+            # Opaque scalar: a pure function of kernel-uniform values.
+            name = f"_S{pc}"
+            result.scalar_recipes[name] = ScalarRecipe(
+                instr.opcode, tuple(v.c for v in src_vecs)
+            )
+            vec = CoeffVec.constant(LinExpr.symbol(name))
+    else:
+        src_vecs = []
+        vec = None
+
+    if vec is None:
+        env[dst.name] = None
+        result.kind_by_pc[pc] = LinearKind.NONLINEAR
+        if multi:
+            result.multiwrite_base.setdefault(dst.name, "nonlinear")
+        return
+
+    if not multi:
+        env[dst.name] = vec
+        result.vec_by_pc[pc] = vec
+        result.kind_by_pc[pc] = kind_of_vec(vec)
+        return
+
+    # --- multi-write register handling (Section 3.1.2) ----------------
+    # Divergent (or otherwise repeated) definition whose value is linear:
+    # compute the combination into a linear register ahead of time and
+    # replace this instruction with a move from it.  Scalar-only values
+    # are cheap enough that the replacement is still a win (single cr
+    # read), but we only bother when the vector carries index parts or a
+    # symbolic constant; a plain immediate mov is left untouched.
+    is_trivial_imm = (
+        vec.is_pure_constant
+        and vec.c.is_constant
+    )
+    if is_trivial_imm:
+        env[dst.name] = None
+        result.kind_by_pc[pc] = LinearKind.NONLINEAR
+        result.multiwrite_base.setdefault(dst.name, "uniform")
+        return
+
+    result.kind_by_pc[pc] = LinearKind.MOV_REPLACED
+    result.mov_replaced[pc] = dst.name
+    result.vec_by_pc[pc] = vec
+    result.multiwrite_base.setdefault(dst.name, "linear")
+    env[dst.name] = None  # downstream uses read the materialized GPR
+
+
+# ----------------------------------------------------------------------
+# Boundary-use collection (Algorithm 1 lines 13-15)
+# ----------------------------------------------------------------------
+def _collect_boundary_uses(result: AnalysisResult, pc_in_loop) -> None:
+    """Find linear registers consumed by non-linear instructions.
+
+    Re-walks the stream with the same environment evolution, recording a
+    :class:`BoundaryUse` whenever an instruction that is *not* itself a
+    removable linear producer reads a register holding a linear vector.
+    """
+    kernel = result.kernel
+    env: Dict[str, Optional[CoeffVec]] = {}
+    removable_kinds = {
+        LinearKind.SCALAR,
+        LinearKind.THREAD,
+        LinearKind.BLOCK,
+        LinearKind.FULL,
+    }
+
+    for pc, instr in enumerate(kernel.instructions):
+        kind = result.kind_by_pc.get(pc, LinearKind.NONLINEAR)
+
+        is_linear_producer = kind in removable_kinds
+        if not is_linear_producer:
+            # This instruction stays in the non-linear stream; any linear
+            # register it reads is a boundary value.
+            for op in instr.srcs:
+                reg: Optional[Reg] = None
+                as_address = False
+                if isinstance(op, Reg):
+                    reg = op
+                elif isinstance(op, MemRef):
+                    reg = op.base
+                    as_address = True
+                if reg is None:
+                    continue
+                vec = env.get(reg.name)
+                if vec is None:
+                    continue
+                in_loop = pc_in_loop(pc)
+                result.boundary_uses.append(
+                    BoundaryUse(pc, reg.name, vec, as_address, in_loop)
+                )
+                result.demanded[reg.name] = vec
+                weight = 8 if in_loop else 1
+                result.use_weight[reg.name] = (
+                    result.use_weight.get(reg.name, 0) + weight
+                )
+            # Mov-replaced defs demand their own vector too.
+            if kind is LinearKind.MOV_REPLACED:
+                vec = result.vec_by_pc[pc]
+                name = f"{instr.dst.name}@{pc}"  # type: ignore[union-attr]
+                result.demanded[name] = vec
+                weight = 8 if pc_in_loop(pc) else 1
+                result.use_weight[name] = (
+                    result.use_weight.get(name, 0) + weight
+                )
+
+        # Evolve the environment exactly as the first pass did.
+        if instr.dst is not None:
+            if kind in removable_kinds:
+                env[instr.dst.name] = result.vec_by_pc.get(pc)
+            else:
+                env[instr.dst.name] = None

@@ -1,0 +1,226 @@
+"""Coefficient vectors — the paper's central data structure.
+
+Every linear combination of built-in indices is represented by a vector
+of seven elements (Section 3.1): one constant and one coefficient for
+each of ``tid.x/y/z`` and ``ctaid.x/y/z``.  Elements are symbolic
+:class:`~repro.linear.symbols.LinExpr` values because parameters and
+launch dimensions are only known at launch time.
+
+The transfer functions implement Figure 6 exactly: ``mov``/``cvt`` copy;
+``add``/``sub`` combine element-wise; ``mul``/``shl`` scale by a constant
+vector; ``mad`` is multiply-then-add; ``ld.param`` introduces a fresh
+``{P, 0, 0, 0, 0, 0, 0}`` vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from ..isa.operands import SpecialReg
+from .symbols import LinExpr, Number, ZERO
+
+#: Element order within a coefficient vector.
+ELEMENT_NAMES = ("c", "x", "y", "z", "X", "Y", "Z")
+
+_SPECIAL_TO_SLOT = {
+    SpecialReg.TID_X: 1,
+    SpecialReg.TID_Y: 2,
+    SpecialReg.TID_Z: 3,
+    SpecialReg.CTAID_X: 4,
+    SpecialReg.CTAID_Y: 5,
+    SpecialReg.CTAID_Z: 6,
+}
+
+_DIM_SYMBOLS = {
+    SpecialReg.NTID_X: "NTID_X",
+    SpecialReg.NTID_Y: "NTID_Y",
+    SpecialReg.NTID_Z: "NTID_Z",
+    SpecialReg.NCTAID_X: "NCTAID_X",
+    SpecialReg.NCTAID_Y: "NCTAID_Y",
+    SpecialReg.NCTAID_Z: "NCTAID_Z",
+}
+
+
+@dataclass(frozen=True)
+class CoeffVec:
+    """An immutable 7-element coefficient vector ``{c, x, y, z, X, Y, Z}``."""
+
+    elems: Tuple[LinExpr, LinExpr, LinExpr, LinExpr, LinExpr, LinExpr, LinExpr]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> "CoeffVec":
+        return CoeffVec((ZERO,) * 7)
+
+    @staticmethod
+    def constant(value: Number) -> "CoeffVec":
+        return CoeffVec((LinExpr.coerce(value),) + (ZERO,) * 6)
+
+    @staticmethod
+    def parameter(index: int) -> "CoeffVec":
+        """``ld.param dst, [P]`` → ``dst = {P, 0, 0, 0, 0, 0, 0}``."""
+        return CoeffVec.constant(LinExpr.symbol(f"P{index}"))
+
+    @staticmethod
+    def special(sreg: SpecialReg) -> "CoeffVec":
+        """Built-in register read: index specials get a unit coefficient,
+        dimension specials are launch-time constants (symbols)."""
+        slot = _SPECIAL_TO_SLOT.get(sreg)
+        if slot is not None:
+            elems = [ZERO] * 7
+            elems[slot] = LinExpr.const(1)
+            return CoeffVec(tuple(elems))
+        return CoeffVec.constant(LinExpr.symbol(_DIM_SYMBOLS[sreg]))
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    @property
+    def c(self) -> LinExpr:
+        return self.elems[0]
+
+    @property
+    def thread_part(self) -> Tuple[LinExpr, LinExpr, LinExpr]:
+        """Coefficients of ``tid.x``, ``tid.y``, ``tid.z``."""
+        return self.elems[1:4]
+
+    @property
+    def block_part(self) -> Tuple[LinExpr, LinExpr, LinExpr]:
+        """Coefficients of ``ctaid.x``, ``ctaid.y``, ``ctaid.z``."""
+        return self.elems[4:7]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_pure_constant(self) -> bool:
+        """True when only the constant element may be non-zero — the value
+        is uniform across the whole kernel (a *scalar computation*)."""
+        return all(e.is_zero for e in self.elems[1:])
+
+    @property
+    def is_thread_only(self) -> bool:
+        """Value depends on thread indices but not block indices: repeated
+        identically in every thread block."""
+        return all(e.is_zero for e in self.block_part) and not all(
+            e.is_zero for e in self.thread_part
+        )
+
+    @property
+    def is_block_only(self) -> bool:
+        """Value is uniform within each thread block."""
+        return all(e.is_zero for e in self.thread_part) and not all(
+            e.is_zero for e in self.block_part
+        )
+
+    @property
+    def has_thread_part(self) -> bool:
+        return not all(e.is_zero for e in self.thread_part)
+
+    @property
+    def has_block_part(self) -> bool:
+        return not all(e.is_zero for e in self.block_part)
+
+    # ------------------------------------------------------------------
+    # Transfer functions (Figure 6)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "CoeffVec") -> "CoeffVec":
+        return CoeffVec(
+            tuple(a + b for a, b in zip(self.elems, other.elems))
+        )
+
+    def __sub__(self, other: "CoeffVec") -> "CoeffVec":
+        return CoeffVec(
+            tuple(a - b for a, b in zip(self.elems, other.elems))
+        )
+
+    def scaled(self, factor: "CoeffVec") -> Optional["CoeffVec"]:
+        """``mul dst, src1, src2`` with ``src2`` a pure constant: every
+        element scales by the constant.  Returns ``None`` when the factor
+        carries index terms (a product of two index-dependent values is
+        not linear)."""
+        if not factor.is_pure_constant:
+            return None
+        k = factor.c
+        return CoeffVec(tuple(e * k for e in self.elems))
+
+    def shifted_left(self, factor: "CoeffVec") -> Optional["CoeffVec"]:
+        """``shl``: scale by ``2**amount``; the amount must be a concrete
+        integer (symbolic shift amounts are not linear-trackable)."""
+        if not (factor.is_pure_constant and factor.c.is_constant):
+            return None
+        bits = factor.c.constant_value
+        if bits < 0 or bits > 63:
+            return None
+        return CoeffVec(tuple(e.shifted_left(bits) for e in self.elems))
+
+    def mad(self, factor: "CoeffVec", addend: "CoeffVec") -> Optional["CoeffVec"]:
+        scaled = self.scaled(factor)
+        if scaled is None:
+            # mad is commutative in its first two operands
+            scaled = factor.scaled(self)
+        if scaled is None:
+            return None
+        return scaled + addend
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        env: Mapping[str, int],
+        tid: Tuple[int, int, int],
+        ctaid: Tuple[int, int, int],
+    ) -> int:
+        """Concrete value for one thread: ``c + x·tid.x + ... + Z·ctaid.z``."""
+        total = self.elems[0].evaluate(env)
+        for coeff, idx in zip(self.elems[1:4], tid):
+            if not coeff.is_zero:
+                total += coeff.evaluate(env) * idx
+        for coeff, idx in zip(self.elems[4:7], ctaid):
+            if not coeff.is_zero:
+                total += coeff.evaluate(env) * idx
+        return total
+
+    def thread_value(
+        self, env: Mapping[str, int], tid: Tuple[int, int, int]
+    ) -> int:
+        """The thread-index part ``x·tid.x + y·tid.y + z·tid.z``."""
+        total = 0
+        for coeff, idx in zip(self.elems[1:4], tid):
+            if not coeff.is_zero:
+                total += coeff.evaluate(env) * idx
+        return total
+
+    def block_value(
+        self, env: Mapping[str, int], ctaid: Tuple[int, int, int]
+    ) -> int:
+        """The block-index part plus constant:
+        ``c + X·ctaid.x + Y·ctaid.y + Z·ctaid.z``."""
+        total = self.elems[0].evaluate(env)
+        for coeff, idx in zip(self.elems[4:7], ctaid):
+            if not coeff.is_zero:
+                total += coeff.evaluate(env) * idx
+        return total
+
+    # ------------------------------------------------------------------
+    def thread_key(self) -> Tuple[LinExpr, ...]:
+        """Grouping key for shared thread-index parts (Section 3.1.4)."""
+        return self.thread_part
+
+    def block_key(self) -> Tuple[LinExpr, ...]:
+        """Grouping key for shared block-index parts, *excluding* the
+        constant — vectors differing only in the constant share their
+        block-index registers and carry the delta in a coefficient
+        register (paper Figure 8)."""
+        return self.block_part
+
+    def full_key(self) -> Tuple[LinExpr, ...]:
+        return self.elems[1:]
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(e) for e in self.elems)
+        return "{" + inner + "}"

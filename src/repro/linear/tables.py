@@ -1,0 +1,263 @@
+"""Linear-register table organization (paper Section 3.1.4).
+
+Demanded coefficient vectors are grouped so SMs share computations:
+
+- vectors with identical thread-index *and* block-index parts differ only
+  in their constant term and share one linear register; the delta rides
+  in a coefficient register or in the instruction displacement (paper
+  Figure 8, the CFD example);
+- vectors with identical thread-index parts share one thread-index
+  register ``%tr`` even when their block-index parts differ (the
+  ``w[index]``/``oldw[index]`` example from the backprop kernel);
+- pure-constant (scalar) vectors never need ``%tr``/``%br`` — they live
+  entirely in coefficient registers.
+
+The register table has 16 entries (Section 3.3), so at most 16 linear
+combinations are decoupled; lower-weight groups are rejected and their
+producing instructions stay in the non-linear stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .analyzer import AnalysisResult
+from .coeffvec import CoeffVec
+from .symbols import LinExpr
+
+#: Register-table capacity (Section 3.3: 16 entries of 8 bits).
+MAX_LINEAR_ENTRIES = 16
+
+#: Generous cap on coefficient registers (the paper's STC kernel uses 67;
+#: a warp register pair holds 16 coefficients, Section 3.2.3).
+MAX_SCALAR_ENTRIES = 128
+
+
+class AssignKind(enum.Enum):
+    LINEAR = "linear"   # read via %lr (+ optional delta)
+    SCALAR = "scalar"   # read via %cr
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """How a rewritten instruction reads one demanded register."""
+
+    kind: AssignKind
+    lr_id: Optional[int] = None
+    cr_id: Optional[int] = None
+    disp_delta: int = 0  # concrete constant delta folded into displacement
+
+
+@dataclass
+class LinearEntry:
+    """One register-table entry: ``%lr = %tr + %br``.
+
+    ``block_const`` is the representative constant folded into the
+    block-index register (``%br`` holds ``c + X·bx + Y·by + Z·bz``).
+    """
+
+    lr_id: int
+    thread_part: Tuple[LinExpr, LinExpr, LinExpr]
+    block_part: Tuple[LinExpr, LinExpr, LinExpr]
+    block_const: LinExpr
+    tr_id: Optional[int]
+    members: Dict[str, LinExpr] = field(default_factory=dict)  # reg -> delta
+    weight: int = 0
+
+    @property
+    def has_thread_part(self) -> bool:
+        return self.tr_id is not None
+
+    @property
+    def has_block_part(self) -> bool:
+        return any(not e.is_zero for e in self.block_part)
+
+    def representative_vec(self) -> CoeffVec:
+        return CoeffVec(
+            (self.block_const,) + self.thread_part + self.block_part
+        )
+
+
+@dataclass
+class ScalarEntry:
+    """One coefficient register holding a kernel-uniform value."""
+
+    cr_id: int
+    expr: LinExpr
+    members: List[str] = field(default_factory=list)
+
+
+@dataclass
+class DecouplePlan:
+    """The grouping result handed to the instruction generator."""
+
+    entries: List[LinearEntry] = field(default_factory=list)
+    scalars: List[ScalarEntry] = field(default_factory=list)
+    #: distinct thread-index parts, indexed by tr_id
+    thread_parts: List[Tuple[LinExpr, LinExpr, LinExpr]] = field(
+        default_factory=list
+    )
+    assignment: Dict[str, Assignment] = field(default_factory=dict)
+    rejected: List[str] = field(default_factory=list)
+    #: delta coefficient registers: cr_id -> delta expression
+    delta_exprs: Dict[int, LinExpr] = field(default_factory=dict)
+    #: opaque-scalar recipes (symbol -> ScalarRecipe), definition order
+    scalar_recipes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_linear_registers(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_thread_registers(self) -> int:
+        return len(self.thread_parts)
+
+    @property
+    def num_coefficient_registers(self) -> int:
+        return len(self.scalars) + len(self.delta_exprs)
+
+    def entry_for_lr(self, lr_id: int) -> LinearEntry:
+        return self.entries[lr_id]
+
+    def is_empty(self) -> bool:
+        return not self.entries and not self.scalars
+
+
+def build_plan(
+    analysis: AnalysisResult,
+    max_entries: int = MAX_LINEAR_ENTRIES,
+    max_scalars: int = MAX_SCALAR_ENTRIES,
+    group_shared_parts: bool = True,
+) -> DecouplePlan:
+    """Group demanded vectors into a :class:`DecouplePlan`.
+
+    ``group_shared_parts=False`` disables the Section 3.1.4 sharing pass
+    (used by the ablation benchmarks): every demanded vector gets its own
+    entry, so the 16-entry budget exhausts sooner.
+    """
+    plan = DecouplePlan()
+    plan.scalar_recipes = dict(analysis.scalar_recipes)
+
+    scalar_demands: List[Tuple[str, CoeffVec]] = []
+    linear_demands: List[Tuple[str, CoeffVec]] = []
+    for reg, vec in analysis.demanded_vectors():
+        if vec.is_pure_constant:
+            scalar_demands.append((reg, vec))
+        else:
+            linear_demands.append((reg, vec))
+
+    _assign_scalars(plan, analysis, scalar_demands, max_scalars)
+    _assign_linears(
+        plan, analysis, linear_demands, max_entries, group_shared_parts
+    )
+    return plan
+
+
+# ----------------------------------------------------------------------
+def _assign_scalars(
+    plan: DecouplePlan,
+    analysis: AnalysisResult,
+    demands: List[Tuple[str, CoeffVec]],
+    max_scalars: int,
+) -> None:
+    by_expr: Dict[LinExpr, ScalarEntry] = {}
+    for reg, vec in demands:
+        expr = vec.c
+        entry = by_expr.get(expr)
+        if entry is None:
+            if len(plan.scalars) >= max_scalars:
+                plan.rejected.append(reg)
+                continue
+            entry = ScalarEntry(cr_id=len(plan.scalars), expr=expr)
+            plan.scalars.append(entry)
+            by_expr[expr] = entry
+        entry.members.append(reg)
+        plan.assignment[reg] = Assignment(
+            AssignKind.SCALAR, cr_id=entry.cr_id
+        )
+
+
+def _assign_linears(
+    plan: DecouplePlan,
+    analysis: AnalysisResult,
+    demands: List[Tuple[str, CoeffVec]],
+    max_entries: int,
+    group_shared_parts: bool,
+) -> None:
+    # Group by (thread part, block part); constants become deltas.
+    groups: Dict[object, List[Tuple[str, CoeffVec]]] = {}
+    for i, (reg, vec) in enumerate(demands):
+        if group_shared_parts:
+            key: object = (vec.thread_key(), vec.block_key())
+        else:
+            key = i
+        groups.setdefault(key, []).append((reg, vec))
+
+    def group_weight(members: List[Tuple[str, CoeffVec]]) -> int:
+        return sum(analysis.use_weight.get(reg, 1) for reg, _ in members)
+
+    ordered = sorted(
+        groups.values(), key=group_weight, reverse=True
+    )
+
+    # Shared thread-index registers across groups (Section 3.1.4).
+    tr_ids: Dict[Tuple[LinExpr, LinExpr, LinExpr], int] = {}
+
+    for members in ordered:
+        if len(plan.entries) >= max_entries:
+            plan.rejected.extend(reg for reg, _ in members)
+            continue
+        rep_reg, rep_vec = members[0]
+        thread_part = rep_vec.thread_part
+        has_thread = any(not e.is_zero for e in thread_part)
+        tr_id: Optional[int] = None
+        if has_thread:
+            if group_shared_parts:
+                tr_id = tr_ids.get(thread_part)
+                if tr_id is None:
+                    tr_id = len(plan.thread_parts)
+                    tr_ids[thread_part] = tr_id
+                    plan.thread_parts.append(thread_part)
+            else:
+                tr_id = len(plan.thread_parts)
+                plan.thread_parts.append(thread_part)
+
+        entry = LinearEntry(
+            lr_id=len(plan.entries),
+            thread_part=thread_part,
+            block_part=rep_vec.block_key(),
+            block_const=rep_vec.c,
+            tr_id=tr_id,
+            weight=group_weight(members),
+        )
+        plan.entries.append(entry)
+
+        for reg, vec in members:
+            delta = vec.c - rep_vec.c
+            entry.members[reg] = delta
+            if delta.is_zero:
+                plan.assignment[reg] = Assignment(
+                    AssignKind.LINEAR, lr_id=entry.lr_id
+                )
+            elif delta.is_constant:
+                plan.assignment[reg] = Assignment(
+                    AssignKind.LINEAR,
+                    lr_id=entry.lr_id,
+                    disp_delta=delta.constant_value,
+                )
+            else:
+                cr_id = _delta_cr(plan, delta)
+                plan.assignment[reg] = Assignment(
+                    AssignKind.LINEAR, lr_id=entry.lr_id, cr_id=cr_id
+                )
+
+
+def _delta_cr(plan: DecouplePlan, delta: LinExpr) -> int:
+    for cr_id, expr in plan.delta_exprs.items():
+        if expr == delta:
+            return cr_id
+    cr_id = len(plan.scalars) + len(plan.delta_exprs)
+    plan.delta_exprs[cr_id] = delta
+    return cr_id

@@ -1,0 +1,73 @@
+"""GPU simulator substrate: functional SIMT execution + timing replay."""
+
+from .caches import Cache, CacheStats, MemoryHierarchy
+from .config import (
+    CacheConfig,
+    EnergyConfig,
+    GPUConfig,
+    LatencyConfig,
+    small,
+    tiny,
+    titan_v,
+)
+from .executor import (
+    ExecutionError,
+    FunctionalExecutor,
+    LinearValueProvider,
+    WarpContext,
+    WARP_SIZE,
+)
+from .gpu import Device, as_dim3
+from .memory import ByteSpace, GlobalMemory, MemoryError_, SharedMemory
+from .timing import (
+    EnergyBreakdown,
+    IssueMode,
+    IssuePolicy,
+    TimingResult,
+    TimingSimulator,
+    WarpIssuePlan,
+)
+from .trace import (
+    BlockTrace,
+    KernelTrace,
+    TraceRecord,
+    WarpTrace,
+    bank_conflict_degree,
+    coalesce,
+)
+
+__all__ = [
+    "BlockTrace",
+    "ByteSpace",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "Device",
+    "EnergyBreakdown",
+    "EnergyConfig",
+    "ExecutionError",
+    "FunctionalExecutor",
+    "GlobalMemory",
+    "GPUConfig",
+    "IssueMode",
+    "IssuePolicy",
+    "KernelTrace",
+    "LatencyConfig",
+    "LinearValueProvider",
+    "MemoryError_",
+    "MemoryHierarchy",
+    "SharedMemory",
+    "TimingResult",
+    "TimingSimulator",
+    "TraceRecord",
+    "WarpContext",
+    "WarpIssuePlan",
+    "WarpTrace",
+    "WARP_SIZE",
+    "as_dim3",
+    "bank_conflict_degree",
+    "coalesce",
+    "small",
+    "tiny",
+    "titan_v",
+]

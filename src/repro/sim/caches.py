@@ -1,0 +1,104 @@
+"""Set-associative LRU cache models for L1 (per SM) and L2 (shared)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.hits += other.hits
+
+
+class Cache:
+    """A set-associative LRU cache over line addresses.
+
+    ``access`` returns True on hit.  Write allocation matches the GPU
+    model we target: global stores write through and allocate (L2) /
+    no-allocate (L1) — controlled by the caller.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _set_of(self, line_addr: int) -> OrderedDict:
+        index = (line_addr // self.config.line_bytes) % self.num_sets
+        return self._sets[index]
+
+    def access(self, line_addr: int, allocate: bool = True) -> bool:
+        """Probe one line; on miss optionally fill it. Returns hit."""
+        self.stats.accesses += 1
+        cache_set = self._set_of(line_addr)
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            self.stats.hits += 1
+            return True
+        if allocate:
+            if len(cache_set) >= self.ways:
+                cache_set.popitem(last=False)
+            cache_set[line_addr] = True
+        return False
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+
+@dataclass
+class MemoryAccessResult:
+    """Latency and event counts for one coalesced global access."""
+
+    latency: int
+    l1_hits: int = 0
+    l2_hits: int = 0
+    dram_accesses: int = 0
+
+
+class MemoryHierarchy:
+    """L1 (per SM) in front of a shared L2 in front of DRAM."""
+
+    def __init__(self, l1: Cache, l2: Cache, latencies) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.lat = latencies
+
+    def access(self, lines, is_store: bool = False) -> MemoryAccessResult:
+        """Probe all transactions of one warp memory instruction; the
+        instruction's latency is that of its slowest transaction."""
+        worst = self.lat.l1_hit
+        result = MemoryAccessResult(latency=self.lat.l1_hit)
+        for line in lines:
+            if self.l1.access(line, allocate=not is_store):
+                result.l1_hits += 1
+                continue
+            if self.l2.access(line, allocate=True):
+                result.l2_hits += 1
+                worst = max(worst, self.lat.l2_hit)
+                continue
+            result.dram_accesses += 1
+            worst = max(worst, self.lat.dram)
+        result.latency = worst
+        return result

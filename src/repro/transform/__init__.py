@@ -1,0 +1,18 @@
+"""R2D2 instruction decoupling: kernel rewriting, linear-instruction
+generation, register accounting, and launch-time value resolution."""
+
+from .decouple import R2D2Kernel, r2d2_transform
+from .generator import BLOCK_BATCH, LinearBlocks, generate_linear_blocks
+from .registers import RegisterUsage, compute_register_usage
+from .values import R2D2Values
+
+__all__ = [
+    "BLOCK_BATCH",
+    "LinearBlocks",
+    "R2D2Kernel",
+    "R2D2Values",
+    "RegisterUsage",
+    "compute_register_usage",
+    "generate_linear_blocks",
+    "r2d2_transform",
+]

@@ -1,0 +1,98 @@
+"""Register-usage accounting for the R2D2 transformation (paper §4.4/§5.6).
+
+R2D2 must fit the thread-index, block-index, and coefficient registers in
+the register-file space freed by removing address-generation chains.  The
+arithmetic follows the paper's STC walk-through: thread-index registers
+cost one slot per thread of a block (shared by all blocks), each batch of
+16 block-index values costs two warp registers per resident block, and
+coefficient registers are per-SM.  When the linear registers do not fit,
+the SM launches the original kernel binary instead (the *fallback*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import GPUConfig
+from .generator import BLOCK_BATCH, LinearBlocks
+
+
+@dataclass(frozen=True)
+class RegisterUsage:
+    """Per-thread and linear-register footprints of a transformed kernel."""
+
+    original_regs_per_thread: int
+    transformed_regs_per_thread: int
+    n_thread_registers: int
+    n_linear_entries: int
+    n_coefficient_registers: int
+
+    @property
+    def n_block_batches(self) -> int:
+        return (self.n_linear_entries + BLOCK_BATCH - 1) // BLOCK_BATCH
+
+    # ------------------------------------------------------------------
+    def thread_reg_slots(self, threads_per_block: int) -> int:
+        """4-byte register slots holding %tr values (shared SM-wide)."""
+        return self.n_thread_registers * threads_per_block
+
+    def block_reg_slots_per_block(self) -> int:
+        """4-byte slots holding %br values for one resident block: two
+        warp registers (8-byte values across 16 lanes) per batch."""
+        return 2 * BLOCK_BATCH * self.n_block_batches
+
+    def linear_storage_slots(
+        self, threads_per_block: int, blocks_per_sm: int
+    ) -> int:
+        return (
+            self.thread_reg_slots(threads_per_block)
+            + self.block_reg_slots_per_block() * blocks_per_sm
+            + self.n_coefficient_registers
+        )
+
+    # ------------------------------------------------------------------
+    def occupancy_blocks(
+        self, config: GPUConfig, threads_per_block: int,
+        regs_per_thread: int,
+    ) -> int:
+        warps = (threads_per_block + config.warp_size - 1) // config.warp_size
+        by_warps = max(1, config.max_warps_per_sm // max(1, warps))
+        by_regs = max(
+            1,
+            config.registers_per_sm
+            // max(1, regs_per_thread * threads_per_block),
+        )
+        return max(1, min(config.max_blocks_per_sm, by_warps, by_regs))
+
+    def fits(self, config: GPUConfig, threads_per_block: int) -> bool:
+        """True when linear registers fit without reducing occupancy.
+
+        Occupancy is computed with the *original* register count (R2D2
+        must not lower the number of resident blocks); the transformed
+        per-thread usage plus all linear storage must then fit in the
+        register file.
+        """
+        blocks = self.occupancy_blocks(
+            config, threads_per_block, self.original_regs_per_thread
+        )
+        needed = (
+            blocks * threads_per_block * self.transformed_regs_per_thread
+            + self.linear_storage_slots(threads_per_block, blocks)
+        )
+        return needed <= config.registers_per_sm
+
+
+def compute_register_usage(
+    original_regs: int,
+    transformed_regs: int,
+    n_thread_registers: int,
+    n_linear_entries: int,
+    blocks: LinearBlocks,
+) -> RegisterUsage:
+    return RegisterUsage(
+        original_regs_per_thread=original_regs,
+        transformed_regs_per_thread=transformed_regs,
+        n_thread_registers=n_thread_registers,
+        n_linear_entries=n_linear_entries,
+        n_coefficient_registers=blocks.total_coefficient_registers,
+    )

@@ -1,0 +1,18 @@
+"""Benchmark workloads mirroring the paper's Table 2."""
+
+from .base import LaunchSpec, OutputBuffer, Workload, assert_close, assert_equal
+from .registry import REGISTRY, all_abbrs, by_suite, factory, get, register
+
+__all__ = [
+    "LaunchSpec",
+    "OutputBuffer",
+    "REGISTRY",
+    "Workload",
+    "all_abbrs",
+    "assert_close",
+    "assert_equal",
+    "by_suite",
+    "factory",
+    "get",
+    "register",
+]

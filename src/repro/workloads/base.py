@@ -1,0 +1,116 @@
+"""Workload framework.
+
+Each workload mirrors one benchmark from the paper's Table 2: it builds
+the kernel(s) with the same address-generation structure as the CUDA
+original (indexing expressions, loop shape, block dimensionality),
+allocates synthetic inputs from a fixed seed, launches, and verifies the
+device results against a numpy reference.
+
+Workload instances are single-use: the harness creates one instance per
+device run (baseline and R2D2 execute on separate devices and their
+output buffers are compared bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..isa.kernel import Kernel
+from ..sim.gpu import Device, DimLike
+
+
+@dataclass
+class LaunchSpec:
+    """One kernel launch: geometry plus bound arguments."""
+
+    kernel: Kernel
+    grid: DimLike
+    block: DimLike
+    args: Tuple[object, ...]
+
+
+@dataclass
+class OutputBuffer:
+    """A device buffer whose final contents define workload correctness."""
+
+    addr: int
+    count: int
+    dtype: object
+
+
+class Workload(abc.ABC):
+    """Base class for all benchmark workloads."""
+
+    #: Table 2 metadata.
+    name: str = ""
+    abbr: str = ""
+    suite: str = ""
+
+    def __init__(self, scale: str = "small") -> None:
+        if scale not in self.scales():
+            raise ValueError(
+                f"{self.abbr}: unknown scale {scale!r}; "
+                f"choose from {sorted(self.scales())}"
+            )
+        self.scale = scale
+        self.params: Dict[str, object] = dict(self.scales()[scale])
+        self._outputs: List[OutputBuffer] = []
+        self.rng = np.random.default_rng(
+            abs(hash(self.abbr)) % (2**32)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        """Scale presets; subclasses override.  'tiny' is for unit tests,
+        'small' for the benchmark harness."""
+        return {"tiny": {}, "small": {}}
+
+    @abc.abstractmethod
+    def prepare(self, device: Device) -> List[LaunchSpec]:
+        """Allocate inputs/outputs on ``device``, return the launches."""
+
+    @abc.abstractmethod
+    def check(self, device: Device) -> None:
+        """Assert device results match the host reference."""
+
+    # ------------------------------------------------------------------
+    def track_output(self, addr: int, count: int, dtype) -> int:
+        self._outputs.append(OutputBuffer(addr, count, dtype))
+        return addr
+
+    def output_buffers(self) -> List[OutputBuffer]:
+        return list(self._outputs)
+
+    # Convenience -------------------------------------------------------
+    def rand_f32(self, *shape: int) -> np.ndarray:
+        return self.rng.random(shape, dtype=np.float32)
+
+    def rand_s32(self, lo: int, hi: int, *shape: int) -> np.ndarray:
+        return self.rng.integers(lo, hi, size=shape, dtype=np.int32)
+
+
+def assert_close(actual: np.ndarray, expected: np.ndarray,
+                 rtol: float = 1e-4, atol: float = 1e-5,
+                 context: str = "") -> None:
+    if not np.allclose(actual, expected, rtol=rtol, atol=atol):
+        bad = np.argmax(np.abs(np.asarray(actual, dtype=np.float64)
+                               - np.asarray(expected, dtype=np.float64)))
+        raise AssertionError(
+            f"{context}: mismatch at flat index {bad}: "
+            f"got {np.ravel(actual)[bad]!r}, want {np.ravel(expected)[bad]!r}"
+        )
+
+
+def assert_equal(actual: np.ndarray, expected: np.ndarray,
+                 context: str = "") -> None:
+    if not np.array_equal(actual, expected):
+        diff = np.nonzero(np.ravel(actual) != np.ravel(expected))[0]
+        first = int(diff[0]) if diff.size else -1
+        raise AssertionError(
+            f"{context}: {diff.size} mismatches, first at {first}"
+        )

@@ -1,0 +1,193 @@
+"""cuFFT-style radix-2 FFT, in two styles (paper Section 5.7):
+
+- **FFT** — one kernel launch per butterfly stage (the conventional
+  implementation);
+- **FFT_PT** — a persistent-thread implementation: a single launch whose
+  threads loop over stages and over their share of the butterfly work
+  queue, synchronizing with ``bar.sync``.  The communication pattern is
+  regular, so R2D2 covers its index arithmetic (the paper reports a
+  considerable gain for FFT_PT).
+
+Both compute the same decimation-in-frequency butterfly network (output
+left in bit-scrambled order); the reference replays the identical
+network in numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..isa import CmpOp, DType, KernelBuilder, Param
+from .base import LaunchSpec, Workload, assert_close
+
+PI = float(np.float32(np.pi))
+
+
+def fft_stage_kernel():
+    """One DIF stage: ``k`` is the log2 of the half-size (a parameter)."""
+    b = KernelBuilder(
+        "fft_stage",
+        params=[
+            Param("re", is_pointer=True),
+            Param("im", is_pointer=True),
+            Param("n_half", DType.S32),   # n/2 butterflies
+            Param("k", DType.S32),        # log2(half)
+        ],
+    )
+    re_p, im_p = b.param(0), b.param(1)
+    n_half, k = b.param(2), b.param(3)
+    t = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, t, n_half)
+    with b.if_then(ok):
+        _butterfly(b, re_p, im_p, t, k)
+    return b.build()
+
+
+def _butterfly(b, re_p, im_p, t, k):
+    """Shared butterfly body: indices from (t, k), twiddle from pos."""
+    half = b.shl(b.mov(1), k)
+    pos = b.and_(t, b.sub(half, 1))
+    group = b.shr(t, k)
+    i = b.add(b.shl(group, b.add(k, 1)), pos)
+    j = b.add(i, half)
+    a_re = b.addr(re_p, i, 4)
+    a_im = b.addr(im_p, i, 4)
+    b_re = b.addr(re_p, j, 4)
+    b_im = b.addr(im_p, j, 4)
+    ar = b.ld_global(a_re, DType.F32)
+    ai = b.ld_global(a_im, DType.F32)
+    br = b.ld_global(b_re, DType.F32)
+    bi = b.ld_global(b_im, DType.F32)
+    # angle = -pi * pos / half
+    posf = b.cvt(pos, DType.F32)
+    inv_half = b.rcp(b.cvt(half, DType.F32), DType.F32)
+    angle = b.mul(b.mul(posf, inv_half, DType.F32), -PI, DType.F32)
+    wr = b.cos(angle, DType.F32)
+    wi = b.sin(angle, DType.F32)
+    sum_r = b.add(ar, br, DType.F32)
+    sum_i = b.add(ai, bi, DType.F32)
+    dif_r = b.sub(ar, br, DType.F32)
+    dif_i = b.sub(ai, bi, DType.F32)
+    out_br = b.sub(b.mul(dif_r, wr, DType.F32),
+                   b.mul(dif_i, wi, DType.F32), DType.F32)
+    out_bi = b.add(b.mul(dif_r, wi, DType.F32),
+                   b.mul(dif_i, wr, DType.F32), DType.F32)
+    b.st_global(a_re, sum_r, DType.F32)
+    b.st_global(a_im, sum_i, DType.F32)
+    b.st_global(b_re, out_br, DType.F32)
+    b.st_global(b_im, out_bi, DType.F32)
+
+
+def fft_persistent_kernel(n: int, threads: int):
+    """Single launch, one block: threads loop over stages and over the
+    butterfly work queue, with a barrier between stages."""
+    stages = int(np.log2(n))
+    n_half = n // 2
+    per_thread = (n_half + threads - 1) // threads
+    b = KernelBuilder(
+        "fft_persistent",
+        params=[Param("re", is_pointer=True), Param("im", is_pointer=True)],
+    )
+    re_p, im_p = b.param(0), b.param(1)
+    tid = b.tid_x()
+    for s in range(stages):
+        k_log = stages - 1 - s
+        for w in range(per_thread):
+            t = b.mad(b.mov(w), threads, tid)
+            ok = b.setp(CmpOp.LT, t, n_half)
+            with b.if_then(ok):
+                _butterfly(b, re_p, im_p, t, b.mov(k_log))
+        b.bar()
+    return b.build()
+
+
+def fft_network_reference(re: np.ndarray, im: np.ndarray):
+    """Replay the identical DIF butterfly network in float32."""
+    x = re.astype(np.float32) + 1j * im.astype(np.float32)
+    x = x.astype(np.complex64)
+    n = len(x)
+    stages = int(np.log2(n))
+    for s in range(stages):
+        half = n >> (s + 1)
+        t = np.arange(n // 2)
+        pos = t & (half - 1)
+        group = t >> int(np.log2(half))
+        i = (group << int(np.log2(half) + 1)) + pos
+        j = i + half
+        ang = (-np.pi * pos / half).astype(np.float32)
+        w = (np.cos(ang, dtype=np.float32)
+             + 1j * np.sin(ang, dtype=np.float32)).astype(np.complex64)
+        a = x[i].copy()
+        bb = x[j].copy()
+        x[i] = (a + bb).astype(np.complex64)
+        x[j] = ((a - bb) * w).astype(np.complex64)
+    return x.real.copy(), x.imag.copy()
+
+
+class FFTWorkload(Workload):
+    name = "FFT"
+    abbr = "FFT"
+    suite = "cuFFT"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 1024}, "small": {"n": 8192}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        stages = int(np.log2(n))
+        self.h_re = self.rand_f32(n)
+        self.h_im = self.rand_f32(n)
+        self.d_re = device.upload(self.h_re)
+        self.d_im = device.upload(self.h_im)
+        self.track_output(self.d_re, n, np.float32)
+        self.track_output(self.d_im, n, np.float32)
+        kernel = fft_stage_kernel()
+        n_half = n // 2
+        return [
+            LaunchSpec(kernel, grid=(n_half + 255) // 256, block=256,
+                       args=(self.d_re, self.d_im, n_half,
+                             stages - 1 - s))
+            for s in range(stages)
+        ]
+
+    def check(self, device) -> None:
+        re = device.download(self.d_re, self.n, np.float32)
+        im = device.download(self.d_im, self.n, np.float32)
+        want_re, want_im = fft_network_reference(self.h_re, self.h_im)
+        assert_close(re, want_re, rtol=1e-2, atol=1e-2, context="fft re")
+        assert_close(im, want_im, rtol=1e-2, atol=1e-2, context="fft im")
+
+
+class FFTPersistentWorkload(Workload):
+    name = "FFT persistent-thread"
+    abbr = "FFT_PT"
+    suite = "cuFFT"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 512}, "small": {"n": 2048}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_re = self.rand_f32(n)
+        self.h_im = self.rand_f32(n)
+        self.d_re = device.upload(self.h_re)
+        self.d_im = device.upload(self.h_im)
+        self.track_output(self.d_re, n, np.float32)
+        self.track_output(self.d_im, n, np.float32)
+        threads = 256
+        kernel = fft_persistent_kernel(n, threads)
+        return [
+            LaunchSpec(kernel, grid=1, block=threads,
+                       args=(self.d_re, self.d_im))
+        ]
+
+    def check(self, device) -> None:
+        re = device.download(self.d_re, self.n, np.float32)
+        im = device.download(self.d_im, self.n, np.float32)
+        want_re, want_im = fft_network_reference(self.h_re, self.h_im)
+        assert_close(re, want_re, rtol=1e-2, atol=1e-2, context="fftpt re")
+        assert_close(im, want_im, rtol=1e-2, atol=1e-2, context="fftpt im")

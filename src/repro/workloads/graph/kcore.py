@@ -1,0 +1,108 @@
+"""GraphBIG k-core decomposition: iterative peeling of low-degree
+vertices."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import AtomOp, CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+from ..rodinia.bfs import make_graph
+
+
+def kcore_kernel():
+    """One peel round: vertices alive with degree < k are removed and
+    decrement their neighbors' degrees."""
+    b = KernelBuilder(
+        "kcore_peel",
+        params=[
+            Param("row_ptr", is_pointer=True),
+            Param("col_idx", is_pointer=True),
+            Param("degree", is_pointer=True),   # s32, atomic
+            Param("alive", is_pointer=True),    # s32 flags
+            Param("n", DType.S32),
+            Param("k", DType.S32),
+        ],
+    )
+    rp, ci, deg, alive = (b.param(i) for i in range(4))
+    n, k = b.param(4), b.param(5)
+    u = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, u, n)
+    with b.if_then(ok):
+        a_alive = b.addr(alive, u, 4)
+        is_alive = b.ld_global(a_alive, DType.S32)
+        d = b.ld_global(b.addr(deg, u, 4), DType.S32)
+        low = b.and_(
+            b.setp(CmpOp.NE, is_alive, 0),
+            b.setp(CmpOp.LT, d, k),
+            DType.PRED,
+        )
+        with b.if_then(low):
+            b.st_global(a_alive, 0, DType.S32)
+            a = b.addr(rp, u, 4)
+            start = b.ld_global(a, DType.S32)
+            end = b.ld_global(a, DType.S32, disp=4)
+            ci_ptr = b.addr(ci, start, 4)
+            with b.for_range(start, end):
+                v = b.ld_global(ci_ptr, DType.S32)
+                b.add_to(ci_ptr, ci_ptr, 4)
+                b.atom_global(AtomOp.ADD, b.addr(deg, v, 4), -1,
+                              DType.S32)
+    return b.build()
+
+
+class KCoreWorkload(Workload):
+    name = "k-core-decomposition"
+    abbr = "KCR"
+    suite = "graphBig"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 512, "avg_deg": 3, "k": 3, "rounds": 2},
+            "small": {"n": 4096, "avg_deg": 4, "k": 4, "rounds": 3},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        k = self.k = int(self.params["k"])
+        rounds = self.rounds = int(self.params["rounds"])
+        self.row_ptr, self.col_idx = make_graph(
+            self.rng, n, int(self.params["avg_deg"])
+        )
+        degree = (self.row_ptr[1:] - self.row_ptr[:-1]).astype(np.int32)
+        self.h_degree = degree
+        self.d_rp = device.upload(self.row_ptr)
+        self.d_ci = device.upload(self.col_idx)
+        self.d_deg = device.upload(degree)
+        self.d_alive = device.upload(np.ones(n, dtype=np.int32))
+        self.track_output(self.d_alive, n, np.int32)
+        self.track_output(self.d_deg, n, np.int32)
+        kernel = kcore_kernel()
+        return [
+            LaunchSpec(kernel, grid=(n + 255) // 256, block=256,
+                       args=(self.d_rp, self.d_ci, self.d_deg,
+                             self.d_alive, n, k))
+            for _ in range(rounds)
+        ]
+
+    def check(self, device) -> None:
+        got_alive = device.download(self.d_alive, self.n, np.int32)
+        # Reference with warp-granular semantics: each warp of 32 threads
+        # reads alive/degree before any of its lanes peel, and warps run
+        # in order (matching the simulator's execution model).
+        alive = np.ones(self.n, dtype=bool)
+        degree = self.h_degree.astype(np.int64).copy()
+        for _ in range(self.rounds):
+            for w0 in range(0, self.n, 32):
+                lanes = range(w0, min(w0 + 32, self.n))
+                decisions = [
+                    u for u in lanes if alive[u] and degree[u] < self.k
+                ]
+                for u in decisions:
+                    alive[u] = False
+                    for e in range(self.row_ptr[u], self.row_ptr[u + 1]):
+                        degree[self.col_idx[e]] -= 1
+        assert_equal(got_alive, alive.astype(np.int32), context="kcore")

@@ -1,0 +1,94 @@
+"""ispass LIB: LIBOR market-model Monte Carlo (reduced).
+
+Each thread evolves one path of forward rates through a fixed number of
+timesteps using pre-generated normals — a compute-heavy 1D kernel with
+strided per-path loads."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+LAMBDA = 0.2
+DELTA = 0.25
+
+
+def lib_kernel(steps: int):
+    b = KernelBuilder(
+        "libor_path",
+        params=[
+            Param("z", is_pointer=True),       # normals: n_paths x steps
+            Param("L0", is_pointer=True),      # initial rate per path
+            Param("payoff", is_pointer=True),
+            Param("n_paths", DType.S32),
+        ],
+    )
+    z_p, l0_p, out = b.param(0), b.param(1), b.param(2)
+    n = b.param(3)
+    tid = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, tid, n)
+    with b.if_then(ok):
+        rate = b.ld_global(b.addr(l0_p, tid, 4), DType.F32)
+        rate = b.mov(rate, DType.F32)
+        zbase = b.mul(tid, steps)
+        z_addr = b.addr(z_p, zbase, 4)
+        drift = float(np.float32(-0.5 * LAMBDA * LAMBDA * DELTA))
+        vol = float(np.float32(LAMBDA * np.sqrt(DELTA)))
+        for s in range(steps):
+            zv = b.ld_global(z_addr, DType.F32, disp=4 * s)
+            expo = b.fma(zv, vol, drift)
+            growth = b.ex2(
+                b.mul(expo, 1.4426950408889634, DType.F32), DType.F32
+            )
+            b.mov_to(rate, b.mul(rate, growth, DType.F32))
+        strike = 0.05
+        diff = b.sub(rate, strike, DType.F32)
+        zero = b.mov(0.0, DType.F32)
+        pos = b.setp(CmpOp.GT, diff, zero)
+        pay = b.selp(diff, zero, pos, DType.F32)
+        b.st_global(b.addr(out, tid, 4), pay, DType.F32)
+    return b.build()
+
+
+class LibWorkload(Workload):
+    name = "LIB"
+    abbr = "LIB"
+    suite = "ispass"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n_paths": 1024, "steps": 8},
+            "small": {"n_paths": 8192, "steps": 12},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n_paths"])
+        steps = self.steps = int(self.params["steps"])
+        self.h_z = self.rng.standard_normal((n, steps)).astype(np.float32)
+        self.h_l0 = (self.rand_f32(n) * 0.05 + 0.03).astype(np.float32)
+        self.d_z = device.upload(self.h_z)
+        self.d_l0 = device.upload(self.h_l0)
+        self.d_out = device.alloc(n * 4)
+        self.track_output(self.d_out, n, np.float32)
+        return [
+            LaunchSpec(lib_kernel(steps), grid=(n + 255) // 256,
+                       block=256,
+                       args=(self.d_z, self.d_l0, self.d_out, n))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_out, self.n, np.float32)
+        drift = np.float32(-0.5 * LAMBDA * LAMBDA * DELTA)
+        vol = np.float32(LAMBDA * np.sqrt(DELTA))
+        rate = self.h_l0.astype(np.float64).copy()
+        for s in range(self.steps):
+            rate = rate * np.exp(
+                (self.h_z[:, s].astype(np.float64) * vol + drift)
+            )
+        want = np.maximum(rate - 0.05, 0.0).astype(np.float32)
+        assert_close(got, want, rtol=1e-2, atol=1e-3, context="lib payoff")

@@ -1,0 +1,118 @@
+"""ispass LPS: 3D Laplace solver (one Jacobi sweep per launch), 2D
+blocks marching over z like the original's laplace3d."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+SIXTH = float(np.float32(1.0 / 6.0))
+
+
+def lps_kernel():
+    b = KernelBuilder(
+        "laplace3d",
+        params=[
+            Param("u1", is_pointer=True),
+            Param("u2", is_pointer=True),
+            Param("nx", DType.S32),
+            Param("ny", DType.S32),
+            Param("nz", DType.S32),
+        ],
+    )
+    u1, u2 = b.param(0), b.param(1)
+    nx, ny, nz = b.param(2), b.param(3), b.param(4)
+    i = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    j = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    nx1, ny1, nz1 = b.sub(nx, 1), b.sub(ny, 1), b.sub(nz, 1)
+    inside = b.and_(
+        b.and_(b.setp(CmpOp.GE, i, 1), b.setp(CmpOp.LT, i, nx1),
+               DType.PRED),
+        b.and_(b.setp(CmpOp.GE, j, 1), b.setp(CmpOp.LT, j, ny1),
+               DType.PRED),
+        DType.PRED,
+    )
+    with b.if_then(inside):
+        plane = b.mul(nx, ny)
+        ij = b.mad(j, nx, i)
+        start = b.add(plane, ij)
+        a_c = b.addr(u1, start, 4)
+        a_n = b.addr(u1, b.sub(start, nx), 4)
+        a_s = b.addr(u1, b.add(start, nx), 4)
+        a_b = b.addr(u1, ij, 4)
+        a_a = b.addr(u1, b.add(start, plane), 4)
+        a_o = b.addr(u2, start, 4)
+        plane_bytes = b.cvt(b.shl(plane, 2), DType.S64)
+        with b.for_range(1, nz1):
+            east = b.ld_global(a_c, DType.F32, disp=4)
+            west = b.ld_global(a_c, DType.F32, disp=-4)
+            north = b.ld_global(a_n, DType.F32)
+            south = b.ld_global(a_s, DType.F32)
+            below = b.ld_global(a_b, DType.F32)
+            above = b.ld_global(a_a, DType.F32)
+            total = b.add(
+                b.add(b.add(east, west, DType.F32),
+                      b.add(north, south, DType.F32), DType.F32),
+                b.add(below, above, DType.F32),
+                DType.F32,
+            )
+            b.st_global(a_o, b.mul(total, SIXTH, DType.F32), DType.F32)
+            for ptr in (a_c, a_n, a_s, a_b, a_a, a_o):
+                b.add_to(ptr, ptr, plane_bytes)
+    return b.build()
+
+
+class LpsWorkload(Workload):
+    name = "LPS"
+    abbr = "LPS"
+    suite = "ispass"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 16, "sweeps": 1},
+            "small": {"n": 40, "sweeps": 2},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        sweeps = self.sweeps = int(self.params["sweeps"])
+        self.h_u = self.rand_f32(n, n, n)
+        self.d_u1 = device.upload(self.h_u)
+        self.d_u2 = device.upload(self.h_u)
+        grid = ((n + 31) // 32, (n + 3) // 4)
+        kernel = lps_kernel()
+        launches = []
+        src, dst = self.d_u1, self.d_u2
+        for _ in range(sweeps):
+            launches.append(
+                LaunchSpec(kernel, grid=grid, block=(32, 4),
+                           args=(src, dst, n, n, n))
+            )
+            src, dst = dst, src
+        self.final = src
+        self.track_output(self.final, n ** 3, np.float32)
+        return launches
+
+    def check(self, device) -> None:
+        n = self.n
+        got = device.download(self.final, n ** 3, np.float32).reshape(
+            n, n, n
+        )
+        u = self.h_u.astype(np.float32).copy()
+        for _ in range(self.sweeps):
+            out = u.copy()
+            total = (
+                u[1:-1, 1:-1, 2:] + u[1:-1, 1:-1, :-2]
+                + u[1:-1, 2:, 1:-1] + u[1:-1, :-2, 1:-1]
+                + u[2:, 1:-1, 1:-1] + u[:-2, 1:-1, 1:-1]
+            ).astype(np.float32)
+            out[1:-1, 1:-1, 1:-1] = (np.float32(SIXTH) * total).astype(
+                np.float32
+            )
+            u = out
+        assert_close(got, u, rtol=1e-3, atol=1e-4, context="lps u")

@@ -1,0 +1,102 @@
+"""ispass RAY: per-pixel ray/sphere intersection with shading — heavy
+branch divergence (hit vs miss) over a 2D pixel grid."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+N_SPHERES = 4
+
+
+def ray_kernel(width: int, height: int):
+    b = KernelBuilder(
+        "render",
+        params=[
+            Param("spheres", is_pointer=True),  # N x 4 f32 (cx, cy, cz, r)
+            Param("image", is_pointer=True),    # H x W f32 brightness
+        ],
+    )
+    spheres, image = b.param(0), b.param(1)
+    px = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    py = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    ok = b.and_(b.setp(CmpOp.LT, px, width),
+                b.setp(CmpOp.LT, py, height), DType.PRED)
+    with b.if_then(ok):
+        # orthographic ray through (ox, oy, -1000) along +z
+        ox = b.sub(b.cvt(px, DType.F32), width / 2.0, DType.F32)
+        oy = b.sub(b.cvt(py, DType.F32), height / 2.0, DType.F32)
+        best = b.mov(0.0, DType.F32)
+        for s in range(N_SPHERES):
+            sa = b.addr(spheres, b.mov(s * 4), 4)
+            cx = b.ld_global(sa, DType.F32)
+            cy = b.ld_global(sa, DType.F32, disp=4)
+            r = b.ld_global(sa, DType.F32, disp=12)
+            dx = b.sub(ox, cx, DType.F32)
+            dy = b.sub(oy, cy, DType.F32)
+            d2 = b.fma(dx, dx, b.mul(dy, dy, DType.F32))
+            r2 = b.mul(r, r, DType.F32)
+            hit = b.setp(CmpOp.LT, d2, r2)
+            with b.if_then(hit):
+                # brightness ~ sqrt(1 - d2/r2)
+                frac = b.sub(1.0, b.div(d2, r2, DType.F32), DType.F32)
+                bright = b.sqrt(frac, DType.F32)
+                brighter = b.setp(CmpOp.GT, bright, best)
+                b.mov_to(best, b.selp(bright, best, brighter, DType.F32))
+        out_idx = b.mad(py, width, px)
+        b.st_global(b.addr(image, out_idx, 4), best, DType.F32)
+    return b.build()
+
+
+class RayWorkload(Workload):
+    name = "RAY"
+    abbr = "RAY"
+    suite = "ispass"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"width": 64, "height": 32},
+            "small": {"width": 160, "height": 96},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        w = self.w = int(self.params["width"])
+        h = self.h = int(self.params["height"])
+        centers = (self.rng.random((N_SPHERES, 2)) - 0.5) * np.array(
+            [w, h]
+        ) * 0.6
+        radii = self.rng.random(N_SPHERES) * (w / 4) + w / 8
+        self.h_spheres = np.zeros((N_SPHERES, 4), dtype=np.float32)
+        self.h_spheres[:, 0] = centers[:, 0]
+        self.h_spheres[:, 1] = centers[:, 1]
+        self.h_spheres[:, 3] = radii
+        self.d_spheres = device.upload(self.h_spheres)
+        self.d_img = device.upload(np.zeros((h, w), dtype=np.float32))
+        self.track_output(self.d_img, h * w, np.float32)
+        grid = ((w + 31) // 32, (h + 7) // 8)
+        return [
+            LaunchSpec(ray_kernel(w, h), grid=grid, block=(32, 8),
+                       args=(self.d_spheres, self.d_img))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_img, self.h * self.w,
+                              np.float32).reshape(self.h, self.w)
+        ys, xs = np.mgrid[0:self.h, 0:self.w]
+        ox = xs.astype(np.float64) - self.w / 2.0
+        oy = ys.astype(np.float64) - self.h / 2.0
+        best = np.zeros((self.h, self.w), dtype=np.float64)
+        for s in range(N_SPHERES):
+            cx, cy, _, r = self.h_spheres[s].astype(np.float64)
+            d2 = (ox - cx) ** 2 + (oy - cy) ** 2
+            hit = d2 < r * r
+            bright = np.where(hit, np.sqrt(np.maximum(1 - d2 / (r * r),
+                                                      0.0)), 0.0)
+            best = np.where(bright > best, bright, best)
+        assert_close(got, best.astype(np.float32), rtol=1e-3, atol=1e-3,
+                     context="ray image")

@@ -1,0 +1,140 @@
+"""Shared direct-convolution kernels for the Nebula neural-net workloads
+(ResNet / VGGNet blocks): 3x3 same-padding convolution over CHW tensors,
+ReLU, residual add, and 2x2 max pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...isa import CmpOp, DType, Kernel, KernelBuilder, Param
+
+
+def conv3x3_kernel(in_ch: int, name: str = "conv3x3",
+                   residual: bool = False) -> Kernel:
+    """One output channel per blockIdx.z-free trick: the output channel
+    is a kernel parameter (one launch per output channel), matching how
+    layer loops drive many small launches in inference engines.
+
+    y[i,j] = relu( sum_ic sum_{3x3} w[ic,di,dj] * x[ic, i+di-1, j+dj-1]
+                   (+ res[i,j]) )
+    """
+    b = KernelBuilder(
+        name,
+        params=[
+            Param("x", is_pointer=True),
+            Param("w", is_pointer=True),      # in_ch x 3 x 3 for this oc
+            Param("y", is_pointer=True),
+            Param("res", is_pointer=True),
+            Param("h", DType.S32),
+            Param("wdt", DType.S32),
+        ],
+    )
+    x_p, w_p, y_p, r_p = (b.param(i) for i in range(4))
+    h, wdt = b.param(4), b.param(5)
+    j = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    i = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    ok = b.and_(b.setp(CmpOp.LT, i, h), b.setp(CmpOp.LT, j, wdt),
+                DType.PRED)
+    with b.if_then(ok):
+        plane = b.mul(h, wdt)
+        acc = b.mov(0.0, DType.F32)
+        h1 = b.sub(h, 1)
+        w1 = b.sub(wdt, 1)
+        for ic in range(in_ch):
+            ic_base = b.mul(b.mov(ic), plane)
+            for di in (-1, 0, 1):
+                ri = b.add(i, di)
+                row_ok = b.and_(
+                    b.setp(CmpOp.GE, ri, 0), b.setp(CmpOp.LE, ri, h1),
+                    DType.PRED,
+                )
+                with b.if_then(row_ok):
+                    row_base = b.add(ic_base, b.mul(ri, wdt))
+                    row_addr = b.addr(x_p, b.add(row_base, j), 4)
+                    for dj in (-1, 0, 1):
+                        cj = b.add(j, dj)
+                        col_ok = b.and_(
+                            b.setp(CmpOp.GE, cj, 0),
+                            b.setp(CmpOp.LE, cj, w1),
+                            DType.PRED,
+                        )
+                        with b.if_then(col_ok):
+                            xv = b.ld_global(row_addr, DType.F32,
+                                             disp=4 * dj)
+                            widx = ic * 9 + (di + 1) * 3 + (dj + 1)
+                            wv = b.ld_global(
+                                b.addr(w_p, b.mov(widx), 4), DType.F32
+                            )
+                            b.mov_to(acc, b.fma(xv, wv, acc))
+        out_idx = b.mad(i, wdt, j)
+        if residual:
+            rv = b.ld_global(b.addr(r_p, out_idx, 4), DType.F32)
+            b.mov_to(acc, b.add(acc, rv, DType.F32))
+        zero = b.mov(0.0, DType.F32)
+        relu = b.max_(acc, zero, DType.F32)
+        b.st_global(b.addr(y_p, out_idx, 4), relu, DType.F32)
+    return b.build()
+
+
+def maxpool2_kernel() -> Kernel:
+    """2x2 max pooling with stride 2 on one channel plane."""
+    b = KernelBuilder(
+        "maxpool2",
+        params=[
+            Param("x", is_pointer=True),
+            Param("y", is_pointer=True),
+            Param("oh", DType.S32),
+            Param("ow", DType.S32),
+        ],
+    )
+    x_p, y_p = b.param(0), b.param(1)
+    oh, ow = b.param(2), b.param(3)
+    j = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    i = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    ok = b.and_(b.setp(CmpOp.LT, i, oh), b.setp(CmpOp.LT, j, ow),
+                DType.PRED)
+    with b.if_then(ok):
+        iw = b.shl(ow, 1)  # input width
+        src = b.mad(b.shl(i, 1), iw, b.shl(j, 1))
+        a = b.addr(x_p, src, 4)
+        v00 = b.ld_global(a, DType.F32)
+        v01 = b.ld_global(a, DType.F32, disp=4)
+        a2 = b.addr(x_p, b.add(src, iw), 4)
+        v10 = b.ld_global(a2, DType.F32)
+        v11 = b.ld_global(a2, DType.F32, disp=4)
+        m = b.max_(b.max_(v00, v01, DType.F32),
+                   b.max_(v10, v11, DType.F32), DType.F32)
+        b.st_global(b.addr(y_p, b.mad(i, ow, j), 4), m, DType.F32)
+    return b.build()
+
+
+def conv3x3_reference(x: np.ndarray, w: np.ndarray,
+                      residual: np.ndarray = None) -> np.ndarray:
+    """x: (C, H, W); w: (OC, C, 3, 3) → (OC, H, W) with ReLU."""
+    oc, c, _, _ = w.shape
+    _, hgt, wdt = x.shape
+    out = np.zeros((oc, hgt, wdt), dtype=np.float64)
+    xp = np.pad(x.astype(np.float64), ((0, 0), (1, 1), (1, 1)))
+    for o in range(oc):
+        for ic in range(c):
+            for di in range(3):
+                for dj in range(3):
+                    out[o] += (
+                        w[o, ic, di, dj]
+                        * xp[ic, di:di + hgt, dj:dj + wdt]
+                    )
+    if residual is not None:
+        out += residual.astype(np.float64)
+    return np.maximum(out, 0.0).astype(np.float32)
+
+
+def maxpool2_reference(x: np.ndarray) -> np.ndarray:
+    c, hgt, wdt = x.shape
+    return np.maximum.reduce(
+        [
+            x[:, 0::2, 0::2],
+            x[:, 0::2, 1::2],
+            x[:, 1::2, 0::2],
+            x[:, 1::2, 1::2],
+        ]
+    ).astype(np.float32)

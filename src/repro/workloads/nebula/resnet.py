@@ -1,0 +1,66 @@
+"""Nebula ResNet: one residual block — conv3x3+ReLU, conv3x3+residual
++ReLU — launched per output channel."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..base import LaunchSpec, Workload, assert_close
+from .convnet import conv3x3_kernel, conv3x3_reference
+
+
+class ResNetWorkload(Workload):
+    name = "ResNet"
+    abbr = "RES"
+    suite = "nebula"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"channels": 2, "h": 16, "w": 16},
+            "small": {"channels": 4, "h": 32, "w": 32},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        c = self.c = int(self.params["channels"])
+        h = self.h = int(self.params["h"])
+        w = self.w = int(self.params["w"])
+        self.h_x = (self.rand_f32(c, h, w) - 0.5).astype(np.float32)
+        self.h_w1 = (self.rand_f32(c, c, 3, 3) - 0.5).astype(np.float32)
+        self.h_w2 = (self.rand_f32(c, c, 3, 3) - 0.5).astype(np.float32)
+        self.d_x = device.upload(self.h_x)
+        self.d_mid = device.alloc(c * h * w * 4)
+        self.d_out = device.alloc(c * h * w * 4)
+        self.d_w1 = [device.upload(self.h_w1[o]) for o in range(c)]
+        self.d_w2 = [device.upload(self.h_w2[o]) for o in range(c)]
+        self.track_output(self.d_out, c * h * w, np.float32)
+
+        k_plain = conv3x3_kernel(c, "resnet_conv")
+        k_res = conv3x3_kernel(c, "resnet_conv_res", residual=True)
+        grid = ((w + 15) // 16, (h + 7) // 8)
+        plane = h * w * 4
+        launches = []
+        for o in range(c):
+            launches.append(
+                LaunchSpec(k_plain, grid=grid, block=(16, 8),
+                           args=(self.d_x, self.d_w1[o],
+                                 self.d_mid + o * plane, self.d_x, h, w))
+            )
+        for o in range(c):
+            launches.append(
+                LaunchSpec(k_res, grid=grid, block=(16, 8),
+                           args=(self.d_mid, self.d_w2[o],
+                                 self.d_out + o * plane,
+                                 self.d_x + o * plane, h, w))
+            )
+        return launches
+
+    def check(self, device) -> None:
+        got = device.download(
+            self.d_out, self.c * self.h * self.w, np.float32
+        ).reshape(self.c, self.h, self.w)
+        mid = conv3x3_reference(self.h_x, self.h_w1)
+        want = conv3x3_reference(mid, self.h_w2, residual=self.h_x)
+        assert_close(got, want, rtol=1e-2, atol=1e-2, context="resnet")

@@ -1,0 +1,74 @@
+"""Nebula VGGNet: conv3x3+ReLU layer followed by 2x2 max pooling."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..base import LaunchSpec, Workload, assert_close
+from .convnet import (
+    conv3x3_kernel,
+    conv3x3_reference,
+    maxpool2_kernel,
+    maxpool2_reference,
+)
+
+
+class VGGWorkload(Workload):
+    name = "VGGNet"
+    abbr = "VGG"
+    suite = "nebula"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"channels": 2, "h": 16, "w": 16},
+            "small": {"channels": 4, "h": 32, "w": 32},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        c = self.c = int(self.params["channels"])
+        h = self.h = int(self.params["h"])
+        w = self.w = int(self.params["w"])
+        self.h_x = (self.rand_f32(c, h, w) - 0.5).astype(np.float32)
+        self.h_w = (self.rand_f32(c, c, 3, 3) - 0.5).astype(np.float32)
+        self.d_x = device.upload(self.h_x)
+        self.d_conv = device.alloc(c * h * w * 4)
+        self.d_pool = device.alloc(c * (h // 2) * (w // 2) * 4)
+        self.d_w = [device.upload(self.h_w[o]) for o in range(c)]
+        self.track_output(
+            self.d_pool, c * (h // 2) * (w // 2), np.float32
+        )
+
+        k_conv = conv3x3_kernel(c, "vgg_conv")
+        k_pool = maxpool2_kernel()
+        grid = ((w + 15) // 16, (h + 7) // 8)
+        plane = h * w * 4
+        oh, ow = h // 2, w // 2
+        pool_plane = oh * ow * 4
+        pool_grid = ((ow + 15) // 16, (oh + 7) // 8)
+        launches = []
+        for o in range(c):
+            launches.append(
+                LaunchSpec(k_conv, grid=grid, block=(16, 8),
+                           args=(self.d_x, self.d_w[o],
+                                 self.d_conv + o * plane, self.d_x,
+                                 h, w))
+            )
+        for o in range(c):
+            launches.append(
+                LaunchSpec(k_pool, grid=pool_grid, block=(16, 8),
+                           args=(self.d_conv + o * plane,
+                                 self.d_pool + o * pool_plane, oh, ow))
+            )
+        return launches
+
+    def check(self, device) -> None:
+        oh, ow = self.h // 2, self.w // 2
+        got = device.download(
+            self.d_pool, self.c * oh * ow, np.float32
+        ).reshape(self.c, oh, ow)
+        conv = conv3x3_reference(self.h_x, self.h_w)
+        want = maxpool2_reference(conv)
+        assert_close(got, want, rtol=1e-2, atol=1e-2, context="vgg")

@@ -1,0 +1,59 @@
+"""Parboil histo: histogram with global atomics."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import AtomOp, CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+
+
+def histo_kernel():
+    b = KernelBuilder(
+        "histo",
+        params=[
+            Param("data", is_pointer=True),   # s32 bin ids
+            Param("bins", is_pointer=True),   # s32 counters
+            Param("n", DType.S32),
+        ],
+    )
+    data, bins = b.param(0), b.param(1)
+    n = b.param(2)
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n)
+    with b.if_then(ok):
+        v = b.ld_global(b.addr(data, i, 4), DType.S32)
+        b.atom_global(AtomOp.ADD, b.addr(bins, v, 4), 1, DType.S32)
+    return b.build()
+
+
+class HistoWorkload(Workload):
+    name = "histo"
+    abbr = "HIS"
+    suite = "parboil"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 4096, "n_bins": 64},
+            "small": {"n": 32768, "n_bins": 256},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        nb = self.nb = int(self.params["n_bins"])
+        self.h_data = self.rand_s32(0, nb, n)
+        self.d_data = device.upload(self.h_data)
+        self.d_bins = device.upload(np.zeros(nb, dtype=np.int32))
+        self.track_output(self.d_bins, nb, np.int32)
+        return [
+            LaunchSpec(histo_kernel(), grid=(n + 255) // 256, block=256,
+                       args=(self.d_data, self.d_bins, n))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_bins, self.nb, np.int32)
+        want = np.bincount(self.h_data, minlength=self.nb).astype(np.int32)
+        assert_equal(got, want, context="histo bins")

@@ -1,0 +1,156 @@
+"""Parboil mri-q and mri-gridding.
+
+mri-q: each thread computes one voxel's Q value by summing cos/sin
+contributions over all k-space samples (trig-heavy inner loop).
+
+mri-gridding: each thread takes one sample and splats it onto the
+nearest cells of a regular grid with atomic adds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import AtomOp, CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+TWO_PI = float(np.float32(2.0 * np.pi))
+
+
+def mriq_kernel():
+    b = KernelBuilder(
+        "computeQ",
+        params=[
+            Param("x", is_pointer=True),
+            Param("kvals", is_pointer=True),   # (k, phi) interleaved
+            Param("q_re", is_pointer=True),
+            Param("q_im", is_pointer=True),
+            Param("n_x", DType.S32),
+            Param("n_k", DType.S32),
+        ],
+    )
+    x_p, k_p, qr, qi = (b.param(i) for i in range(4))
+    n_x, n_k = b.param(4), b.param(5)
+    tid = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, tid, n_x)
+    with b.if_then(ok):
+        xv = b.ld_global(b.addr(x_p, tid, 4), DType.F32)
+        re = b.mov(0.0, DType.F32)
+        im = b.mov(0.0, DType.F32)
+        ka = b.addr(k_p, b.mov(0), 4)
+        with b.for_range(0, n_k):
+            kv = b.ld_global(ka, DType.F32)
+            phi = b.ld_global(ka, DType.F32, disp=4)
+            angle = b.mul(b.mul(kv, xv, DType.F32), TWO_PI, DType.F32)
+            b.mov_to(re, b.fma(phi, b.cos(angle, DType.F32), re))
+            b.mov_to(im, b.fma(phi, b.sin(angle, DType.F32), im))
+            b.add_to(ka, ka, 8)
+        b.st_global(b.addr(qr, tid, 4), re, DType.F32)
+        b.st_global(b.addr(qi, tid, 4), im, DType.F32)
+    return b.build()
+
+
+class MriQWorkload(Workload):
+    name = "mri-q"
+    abbr = "MRQ"
+    suite = "parboil"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n_x": 512, "n_k": 16},
+            "small": {"n_x": 4096, "n_k": 24},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n_x = self.n_x = int(self.params["n_x"])
+        n_k = self.n_k = int(self.params["n_k"])
+        self.h_x = self.rand_f32(n_x)
+        self.h_k = self.rand_f32(n_k, 2)
+        self.d_x = device.upload(self.h_x)
+        self.d_k = device.upload(self.h_k)
+        self.d_qr = device.alloc(n_x * 4)
+        self.d_qi = device.alloc(n_x * 4)
+        self.track_output(self.d_qr, n_x, np.float32)
+        self.track_output(self.d_qi, n_x, np.float32)
+        return [
+            LaunchSpec(mriq_kernel(), grid=(n_x + 255) // 256, block=256,
+                       args=(self.d_x, self.d_k, self.d_qr, self.d_qi,
+                             n_x, n_k))
+        ]
+
+    def check(self, device) -> None:
+        re = device.download(self.d_qr, self.n_x, np.float32)
+        im = device.download(self.d_qi, self.n_x, np.float32)
+        kv = self.h_k[:, 0].astype(np.float64)
+        phi = self.h_k[:, 1].astype(np.float64)
+        angles = 2 * np.pi * np.outer(self.h_x.astype(np.float64), kv)
+        want_re = (np.cos(angles) @ phi).astype(np.float32)
+        want_im = (np.sin(angles) @ phi).astype(np.float32)
+        assert_close(re, want_re, rtol=1e-2, atol=1e-2, context="mriq re")
+        assert_close(im, want_im, rtol=1e-2, atol=1e-2, context="mriq im")
+
+
+def gridding_kernel():
+    b = KernelBuilder(
+        "gridding",
+        params=[
+            Param("coords", is_pointer=True),   # s32 cell ids
+            Param("values", is_pointer=True),   # f32 sample values
+            Param("grid", is_pointer=True),     # f32 accumulation grid
+            Param("n", DType.S32),
+        ],
+    )
+    coords, values, grid = b.param(0), b.param(1), b.param(2)
+    n = b.param(3)
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n)
+    with b.if_then(ok):
+        cell = b.ld_global(b.addr(coords, i, 4), DType.S32)
+        v = b.ld_global(b.addr(values, i, 4), DType.F32)
+        # splat onto cell and cell+1 with fixed weights
+        b.atom_global(AtomOp.ADD, b.addr(grid, cell, 4),
+                      b.mul(v, 0.75, DType.F32), DType.F32)
+        b.atom_global(AtomOp.ADD, b.addr(grid, b.add(cell, 1), 4),
+                      b.mul(v, 0.25, DType.F32), DType.F32)
+    return b.build()
+
+
+class MriGriddingWorkload(Workload):
+    name = "mri-gridding"
+    abbr = "MRG"
+    suite = "parboil"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 2048, "grid_size": 256},
+            "small": {"n": 16384, "grid_size": 1024},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        gs = self.gs = int(self.params["grid_size"])
+        self.h_coords = self.rand_s32(0, gs - 1, n)
+        self.h_vals = self.rand_f32(n)
+        self.d_coords = device.upload(self.h_coords)
+        self.d_vals = device.upload(self.h_vals)
+        self.d_grid = device.upload(np.zeros(gs, dtype=np.float32))
+        self.track_output(self.d_grid, gs, np.float32)
+        return [
+            LaunchSpec(gridding_kernel(), grid=(n + 255) // 256,
+                       block=256,
+                       args=(self.d_coords, self.d_vals, self.d_grid, n))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_grid, self.gs, np.float32)
+        want = np.zeros(self.gs, dtype=np.float64)
+        np.add.at(want, self.h_coords,
+                  0.75 * self.h_vals.astype(np.float64))
+        np.add.at(want, self.h_coords + 1,
+                  0.25 * self.h_vals.astype(np.float64))
+        assert_close(got, want.astype(np.float32), rtol=1e-3, atol=1e-3,
+                     context="gridding")

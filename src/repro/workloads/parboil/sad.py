@@ -1,0 +1,116 @@
+"""Parboil sad: sum-of-absolute-differences between a frame block and a
+set of candidate positions in a reference frame (motion estimation)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+
+BLK = 4  # macroblock side
+
+
+def sad_kernel(width: int):
+    """Grid: (n_blocks_x, n_blocks_y); each thread evaluates one of the
+    blockDim.x candidate offsets for its macroblock."""
+    b = KernelBuilder(
+        "sad_calc",
+        params=[
+            Param("cur", is_pointer=True),     # s32 pixels
+            Param("ref", is_pointer=True),     # s32 pixels
+            Param("offsets", is_pointer=True),  # s32 candidate offsets
+            Param("sads", is_pointer=True),    # s32 results
+            Param("n_cand", DType.S32),
+        ],
+    )
+    cur, ref, offs, sads = (b.param(i) for i in range(4))
+    n_cand = b.param(4)
+    cand = b.tid_x()
+    bx = b.ctaid_x()
+    by = b.ctaid_y()
+    ok = b.setp(CmpOp.LT, cand, n_cand)
+    with b.if_then(ok):
+        base_row = b.shl(by, 2)       # by * BLK
+        base_col = b.shl(bx, 2)
+        origin = b.mad(base_row, width, base_col)
+        off = b.ld_global(b.addr(offs, cand, 4), DType.S32)
+        ref_origin = b.add(origin, off)
+        acc = b.mov(0)
+        for r in range(BLK):
+            c_addr = b.addr(cur, b.add(origin, r * width), 4)
+            r_addr = b.addr(ref, b.add(ref_origin, r * width), 4)
+            for c in range(BLK):
+                cv = b.ld_global(c_addr, DType.S32, disp=4 * c)
+                rv = b.ld_global(r_addr, DType.S32, disp=4 * c)
+                acc = b.add(acc, b.abs_(b.sub(cv, rv)))
+        # sads[(by * nblocks_x + bx) * n_cand + cand]
+        nbx = b.nctaid_x()
+        blk_id = b.mad(by, nbx, bx)
+        out_idx = b.mad(blk_id, n_cand, cand)
+        b.st_global(b.addr(sads, out_idx, 4), acc, DType.S32)
+    return b.build()
+
+
+class SadWorkload(Workload):
+    name = "sad"
+    abbr = "SAD"
+    suite = "parboil"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"width": 32, "height": 32, "n_cand": 32},
+            "small": {"width": 64, "height": 64, "n_cand": 64},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        w = self.w = int(self.params["width"])
+        h = self.h = int(self.params["height"])
+        nc = self.nc = int(self.params["n_cand"])
+        self.h_cur = self.rand_s32(0, 256, h, w)
+        self.h_ref = self.rand_s32(0, 256, h, w)
+        # offsets keep the candidate window inside the frame
+        max_shift = BLK
+        dr = self.rng.integers(0, max_shift, size=nc)
+        dc = self.rng.integers(0, max_shift, size=nc)
+        self.h_offs = (dr * w + dc).astype(np.int32)
+        self.nbx = (w - 2 * BLK) // BLK
+        self.nby = (h - 2 * BLK) // BLK
+        self.d_cur = device.upload(self.h_cur)
+        self.d_ref = device.upload(self.h_ref)
+        self.d_offs = device.upload(self.h_offs)
+        n_out = self.nbx * self.nby * nc
+        self.n_out = n_out
+        self.d_sads = device.alloc(n_out * 4)
+        self.track_output(self.d_sads, n_out, np.int32)
+        return [
+            LaunchSpec(sad_kernel(w), grid=(self.nbx, self.nby),
+                       block=nc,
+                       args=(self.d_cur, self.d_ref, self.d_offs,
+                             self.d_sads, nc))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_sads, self.n_out, np.int32)
+        want = np.empty(self.n_out, dtype=np.int32)
+        cur = self.h_cur.astype(np.int64).ravel()
+        ref = self.h_ref.astype(np.int64).ravel()
+        w = self.w
+        for by in range(self.nby):
+            for bx in range(self.nbx):
+                origin = (by * BLK) * w + bx * BLK
+                blk_id = by * self.nbx + bx
+                for cand in range(self.nc):
+                    off = int(self.h_offs[cand])
+                    total = 0
+                    for r in range(BLK):
+                        for c in range(BLK):
+                            total += abs(
+                                cur[origin + r * w + c]
+                                - ref[origin + off + r * w + c]
+                            )
+                    want[blk_id * self.nc + cand] = total
+        assert_equal(got, want, context="sad")

@@ -1,0 +1,85 @@
+"""Parboil sgemm: the moving-window matrix multiply.
+
+The inner loop advances both operand pointers by constant strides
+(``A_ptr += 4``, ``B_ptr += 4*nj``) — the coefficient-register loop
+promotion case the paper credits for R2D2's SGM advantage (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+
+def sgemm_kernel():
+    b = KernelBuilder(
+        "sgemm",
+        params=[
+            Param("A", is_pointer=True),
+            Param("B", is_pointer=True),
+            Param("C", is_pointer=True),
+            Param("ni", DType.S32),
+            Param("nj", DType.S32),
+            Param("nk", DType.S32),
+        ],
+    )
+    a_p, b_p, c_p = b.param(0), b.param(1), b.param(2)
+    ni, nj, nk = b.param(3), b.param(4), b.param(5)
+    col = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    row = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    ok = b.and_(b.setp(CmpOp.LT, row, ni), b.setp(CmpOp.LT, col, nj),
+                DType.PRED)
+    with b.if_then(ok):
+        # moving pointers, updated by constant strides inside the loop
+        a_ptr = b.addr(a_p, b.mul(row, nk), 4)
+        b_ptr = b.addr(b_p, col, 4)
+        b_stride = b.cvt(b.shl(nj, 2), DType.S64)
+        acc = b.mov(0.0, DType.F32)
+        with b.for_range(0, nk):
+            av = b.ld_global(a_ptr, DType.F32)
+            bv = b.ld_global(b_ptr, DType.F32)
+            b.mov_to(acc, b.fma(av, bv, acc))
+            b.add_to(a_ptr, a_ptr, 4)           # constant offset
+            b.add_to(b_ptr, b_ptr, b_stride)    # uniform offset
+        c_idx = b.mad(row, nj, col)
+        b.st_global(b.addr(c_p, c_idx, 4), acc, DType.F32)
+    return b.build()
+
+
+class SgemmWorkload(Workload):
+    name = "sgemm"
+    abbr = "SGM"
+    suite = "parboil"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"ni": 32, "nj": 32, "nk": 16},
+            "small": {"ni": 64, "nj": 64, "nk": 48},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        ni, nj, nk = (int(self.params[k]) for k in ("ni", "nj", "nk"))
+        self.ni, self.nj, self.nk = ni, nj, nk
+        self.h_a = self.rand_f32(ni, nk)
+        self.h_b = self.rand_f32(nk, nj)
+        self.d_a = device.upload(self.h_a)
+        self.d_b = device.upload(self.h_b)
+        self.d_c = device.alloc(ni * nj * 4)
+        self.track_output(self.d_c, ni * nj, np.float32)
+        grid = ((nj + 31) // 32, (ni + 3) // 4)
+        return [
+            LaunchSpec(sgemm_kernel(), grid=grid, block=(32, 4),
+                       args=(self.d_a, self.d_b, self.d_c, ni, nj, nk))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_c, self.ni * self.nj,
+                              np.float32).reshape(self.ni, self.nj)
+        want = (self.h_a.astype(np.float64)
+                @ self.h_b.astype(np.float64)).astype(np.float32)
+        assert_close(got, want, rtol=1e-3, atol=1e-3, context="sgemm C")

@@ -1,0 +1,94 @@
+"""Parboil spmv: CSR sparse matrix-vector product (memory-intensive;
+the paper notes SPM's speedup is limited by memory behaviour despite a
+47% instruction reduction, Section 5.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+
+def spmv_kernel():
+    b = KernelBuilder(
+        "spmv_csr",
+        params=[
+            Param("row_ptr", is_pointer=True),
+            Param("col_idx", is_pointer=True),
+            Param("vals", is_pointer=True),
+            Param("x", is_pointer=True),
+            Param("y", is_pointer=True),
+            Param("n_rows", DType.S32),
+        ],
+    )
+    rp, ci, vals, x_p, y_p = (b.param(i) for i in range(5))
+    n = b.param(5)
+    row = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, row, n)
+    with b.if_then(ok):
+        a = b.addr(rp, row, 4)
+        start = b.ld_global(a, DType.S32)
+        end = b.ld_global(a, DType.S32, disp=4)
+        acc = b.mov(0.0, DType.F32)
+        ci_ptr = b.addr(ci, start, 4)
+        v_ptr = b.addr(vals, start, 4)
+        with b.for_range(start, end):
+            col = b.ld_global(ci_ptr, DType.S32)
+            v = b.ld_global(v_ptr, DType.F32)
+            xv = b.ld_global(b.addr(x_p, col, 4), DType.F32)
+            b.mov_to(acc, b.fma(v, xv, acc))
+            b.add_to(ci_ptr, ci_ptr, 4)
+            b.add_to(v_ptr, v_ptr, 4)
+        b.st_global(b.addr(y_p, row, 4), acc, DType.F32)
+    return b.build()
+
+
+class SpmvWorkload(Workload):
+    name = "spmv"
+    abbr = "SPM"
+    suite = "parboil"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 1024, "nnz_per_row": 8},
+            "small": {"n": 8192, "nnz_per_row": 12},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        k = int(self.params["nnz_per_row"])
+        counts = self.rng.integers(1, 2 * k, size=n)
+        row_ptr = np.zeros(n + 1, dtype=np.int32)
+        row_ptr[1:] = np.cumsum(counts)
+        nnz = int(row_ptr[-1])
+        self.row_ptr = row_ptr
+        self.col_idx = self.rand_s32(0, n, nnz)
+        self.vals = self.rand_f32(nnz)
+        self.h_x = self.rand_f32(n)
+        self.d_rp = device.upload(row_ptr)
+        self.d_ci = device.upload(self.col_idx)
+        self.d_vals = device.upload(self.vals)
+        self.d_x = device.upload(self.h_x)
+        self.d_y = device.alloc(n * 4)
+        self.track_output(self.d_y, n, np.float32)
+        return [
+            LaunchSpec(spmv_kernel(), grid=(n + 255) // 256, block=256,
+                       args=(self.d_rp, self.d_ci, self.d_vals,
+                             self.d_x, self.d_y, n))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_y, self.n, np.float32)
+        want = np.zeros(self.n, dtype=np.float64)
+        for row in range(self.n):
+            s, e = self.row_ptr[row], self.row_ptr[row + 1]
+            want[row] = np.sum(
+                self.vals[s:e].astype(np.float64)
+                * self.h_x[self.col_idx[s:e]].astype(np.float64)
+            )
+        assert_close(got, want.astype(np.float32), rtol=1e-3, atol=1e-3,
+                     context="spmv y")

@@ -1,0 +1,118 @@
+"""Parboil stencil: 7-point 3D Jacobi, x-coarsened 2D blocks looping
+over z — the register-bounded ``block2D_hybrid_coarsen_x`` kernel of the
+paper's Section 5.6 register-usage study."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+C0 = 0.5
+C1 = 1.0 / 12.0
+
+
+def stencil_kernel():
+    b = KernelBuilder(
+        "block2D_hybrid_coarsen_x",
+        params=[
+            Param("a_in", is_pointer=True),
+            Param("a_out", is_pointer=True),
+            Param("nx", DType.S32),
+            Param("ny", DType.S32),
+            Param("nz", DType.S32),
+        ],
+    )
+    src, dst = b.param(0), b.param(1)
+    nx, ny, nz = b.param(2), b.param(3), b.param(4)
+    i = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    j = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    nx1 = b.sub(nx, 1)
+    ny1 = b.sub(ny, 1)
+    nz1 = b.sub(nz, 1)
+    ok = b.and_(
+        b.and_(b.setp(CmpOp.GE, i, 1), b.setp(CmpOp.LT, i, nx1),
+               DType.PRED),
+        b.and_(b.setp(CmpOp.GE, j, 1), b.setp(CmpOp.LT, j, ny1),
+               DType.PRED),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        plane = b.mul(nx, ny)
+        ij = b.mad(j, nx, i)
+        start = b.add(ij, plane)
+        # register coarsening: keep bottom/current/top in registers
+        below = b.ld_global(b.addr(src, ij, 4), DType.F32)
+        curr = b.ld_global(b.addr(src, start, 4), DType.F32)
+        a_c = b.addr(src, start, 4)
+        a_t = b.addr(src, b.add(start, plane), 4)
+        a_n = b.addr(src, b.sub(start, nx), 4)
+        a_s = b.addr(src, b.add(start, nx), 4)
+        a_o = b.addr(dst, start, 4)
+        plane_bytes = b.cvt(b.shl(plane, 2), DType.S64)
+        with b.for_range(1, nz1):
+            top = b.ld_global(a_t, DType.F32)
+            east = b.ld_global(a_c, DType.F32, disp=4)
+            west = b.ld_global(a_c, DType.F32, disp=-4)
+            north = b.ld_global(a_n, DType.F32)
+            south = b.ld_global(a_s, DType.F32)
+            ring = b.add(
+                b.add(east, west, DType.F32),
+                b.add(north, south, DType.F32),
+                DType.F32,
+            )
+            ring = b.add(ring, b.add(below, top, DType.F32), DType.F32)
+            out = b.fma(curr, -C0, b.mul(ring, C1, DType.F32))
+            b.st_global(a_o, out, DType.F32)
+            b.mov_to(below, curr)
+            b.mov_to(curr, top)
+            for ptr in (a_c, a_t, a_n, a_s, a_o):
+                b.add_to(ptr, ptr, plane_bytes)
+    return b.build()
+
+
+def stencil_reference(a: np.ndarray) -> np.ndarray:
+    out = a.astype(np.float32).copy()
+    c = a[1:-1, 1:-1, 1:-1]
+    ring = (
+        a[1:-1, 1:-1, 2:] + a[1:-1, 1:-1, :-2]
+        + a[1:-1, 2:, 1:-1] + a[1:-1, :-2, 1:-1]
+        + a[2:, 1:-1, 1:-1] + a[:-2, 1:-1, 1:-1]
+    ).astype(np.float32)
+    out[1:-1, 1:-1, 1:-1] = (
+        np.float32(C1) * ring - np.float32(C0) * c
+    ).astype(np.float32)
+    return out
+
+
+class StencilWorkload(Workload):
+    name = "stencil"
+    abbr = "STC"
+    suite = "parboil"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 16}, "small": {"n": 40}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_a = self.rand_f32(n, n, n)
+        self.d_in = device.upload(self.h_a)
+        self.d_out = device.upload(self.h_a)
+        self.track_output(self.d_out, n ** 3, np.float32)
+        grid = ((n + 31) // 32, (n + 3) // 4)
+        return [
+            LaunchSpec(stencil_kernel(), grid=grid, block=(32, 4),
+                       args=(self.d_in, self.d_out, n, n, n))
+        ]
+
+    def check(self, device) -> None:
+        n = self.n
+        got = device.download(self.d_out, n ** 3, np.float32).reshape(
+            n, n, n
+        )
+        want = stencil_reference(self.h_a)
+        assert_close(got, want, rtol=1e-3, atol=1e-4, context="stencil")

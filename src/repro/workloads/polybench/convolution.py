@@ -1,0 +1,207 @@
+"""PolyBench 2DConvolution and 3DConvolution.
+
+These are the paper's showcase for cross-block redundancy: 2DC uses
+thousands of small blocks whose thread-index parts repeat identically
+(Section 5.1 singles out 2DC/STC/SRAD2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+_C = [0.2, 0.5, -0.8, -0.3, 0.6, -0.9, 0.4, 0.7, 0.1]
+
+
+def conv2d_kernel():
+    b = KernelBuilder(
+        "conv2d",
+        params=[
+            Param("src", is_pointer=True),
+            Param("dst", is_pointer=True),
+            Param("ni", DType.S32),
+            Param("nj", DType.S32),
+        ],
+    )
+    src, dst = b.param(0), b.param(1)
+    ni, nj = b.param(2), b.param(3)
+    j = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    i = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    jn = b.sub(nj, 1)
+    in_ = b.sub(ni, 1)
+    ok = b.and_(
+        b.and_(b.setp(CmpOp.GE, i, 1), b.setp(CmpOp.LT, i, in_),
+               DType.PRED),
+        b.and_(b.setp(CmpOp.GE, j, 1), b.setp(CmpOp.LT, j, jn),
+               DType.PRED),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        center = b.mad(i, nj, j)
+        addr = b.addr(src, b.mad(b.sub(i, 1), nj, j), 4)  # row i-1
+        acc = b.mov(0.0, DType.F32)
+        idx = 0
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                v = b.ld_global(addr, DType.F32, disp=4 * dj)
+                acc = b.fma(v, _C[idx], acc)
+                idx += 1
+            if di < 1:
+                # move to next row: disp folding needs a new base
+                addr = b.addr(src, b.mad(b.add(i, di + 1), nj, j), 4)
+        out = b.addr(dst, center, 4)
+        b.st_global(out, acc, DType.F32)
+    return b.build()
+
+
+def conv2d_reference(src: np.ndarray) -> np.ndarray:
+    ni, nj = src.shape
+    out = np.zeros_like(src)
+    k = np.array(_C, dtype=np.float32).reshape(3, 3)
+    for i in range(1, ni - 1):
+        for j in range(1, nj - 1):
+            acc = np.float32(0.0)
+            for di in range(3):
+                for dj in range(3):
+                    acc = np.float32(
+                        acc + np.float32(k[di, dj]
+                                         * src[i - 1 + di, j - 1 + dj])
+                    )
+            out[i, j] = acc
+    return out
+
+
+class Conv2DWorkload(Workload):
+    name = "2DConvolution"
+    abbr = "2DC"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        # small blocks, many of them (the cross-block-redundancy shape)
+        return {"tiny": {"ni": 64, "nj": 64}, "small": {"ni": 192, "nj": 192}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        ni = self.ni = int(self.params["ni"])
+        nj = self.nj = int(self.params["nj"])
+        self.h_src = self.rand_f32(ni, nj)
+        self.d_src = device.upload(self.h_src)
+        self.d_dst = device.upload(np.zeros((ni, nj), dtype=np.float32))
+        self.track_output(self.d_dst, ni * nj, np.float32)
+        grid = ((nj + 31) // 32, (ni + 7) // 8)
+        return [
+            LaunchSpec(conv2d_kernel(), grid=grid, block=(32, 8),
+                       args=(self.d_src, self.d_dst, ni, nj))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(
+            self.d_dst, self.ni * self.nj, np.float32
+        ).reshape(self.ni, self.nj)
+        want = conv2d_reference(self.h_src)
+        assert_close(got, want, rtol=1e-4, atol=1e-4, context="2DC dst")
+
+
+def conv3d_kernel():
+    """7-point 3D stencil-style convolution over the z column per thread."""
+    b = KernelBuilder(
+        "conv3d",
+        params=[
+            Param("src", is_pointer=True),
+            Param("dst", is_pointer=True),
+            Param("n", DType.S32),
+        ],
+    )
+    src, dst = b.param(0), b.param(1)
+    n = b.param(2)
+    j = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    i = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    n1 = b.sub(n, 1)
+    ok = b.and_(
+        b.and_(b.setp(CmpOp.GE, i, 1), b.setp(CmpOp.LT, i, n1),
+               DType.PRED),
+        b.and_(b.setp(CmpOp.GE, j, 1), b.setp(CmpOp.LT, j, n1),
+               DType.PRED),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        plane = b.mul(n, n)
+        ij = b.mad(i, n, j)
+        start = b.add(plane, ij)  # first interior z slice (k == 1)
+        a_c = b.addr(src, start, 4)
+        a_n = b.addr(src, b.sub(start, n), 4)
+        a_s = b.addr(src, b.add(start, n), 4)
+        a_u = b.addr(src, ij, 4)
+        a_d = b.addr(src, b.add(start, plane), 4)
+        a_o = b.addr(dst, start, 4)
+        plane_bytes = b.cvt(b.shl(plane, 2), DType.S64)
+        with b.for_range(1, n1):
+            c = b.ld_global(a_c, DType.F32)
+            east = b.ld_global(a_c, DType.F32, disp=4)
+            west = b.ld_global(a_c, DType.F32, disp=-4)
+            north = b.ld_global(a_n, DType.F32)
+            south = b.ld_global(a_s, DType.F32)
+            up = b.ld_global(a_u, DType.F32)
+            down = b.ld_global(a_d, DType.F32)
+            acc = b.mul(c, 0.4, DType.F32)
+            acc = b.fma(b.add(east, west, DType.F32), 0.1, acc)
+            acc = b.fma(b.add(north, south, DType.F32), 0.15, acc)
+            acc = b.fma(b.add(up, down, DType.F32), 0.05, acc)
+            b.st_global(a_o, acc, DType.F32)
+            for ptr in (a_c, a_n, a_s, a_u, a_d, a_o):
+                b.add_to(ptr, ptr, plane_bytes)
+    return b.build()
+
+
+def conv3d_reference(src: np.ndarray) -> np.ndarray:
+    n = src.shape[0]
+    out = np.zeros_like(src)
+    s = src.astype(np.float32)
+    c = s[1:-1, 1:-1, 1:-1]
+    east = s[1:-1, 1:-1, 2:]
+    west = s[1:-1, 1:-1, :-2]
+    north = s[1:-1, :-2, 1:-1]
+    south = s[1:-1, 2:, 1:-1]
+    up = s[:-2, 1:-1, 1:-1]
+    down = s[2:, 1:-1, 1:-1]
+    out[1:-1, 1:-1, 1:-1] = (
+        np.float32(0.4) * c
+        + np.float32(0.1) * (east + west)
+        + np.float32(0.15) * (north + south)
+        + np.float32(0.05) * (up + down)
+    )
+    return out
+
+
+class Conv3DWorkload(Workload):
+    name = "3DConvolution"
+    abbr = "3DC"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 16}, "small": {"n": 40}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_src = self.rand_f32(n, n, n)
+        self.d_src = device.upload(self.h_src)
+        self.d_dst = device.upload(np.zeros((n, n, n), dtype=np.float32))
+        self.track_output(self.d_dst, n * n * n, np.float32)
+        grid = ((n + 31) // 32, (n + 7) // 8)
+        return [
+            LaunchSpec(conv3d_kernel(), grid=grid, block=(32, 8),
+                       args=(self.d_src, self.d_dst, n))
+        ]
+
+    def check(self, device) -> None:
+        n = self.n
+        got = device.download(self.d_dst, n ** 3, np.float32).reshape(
+            n, n, n
+        )
+        want = conv3d_reference(self.h_src)
+        assert_close(got, want, rtol=1e-3, atol=1e-4, context="3DC dst")

@@ -1,0 +1,161 @@
+"""PolyBench FDTD-2D: three field-update kernels per timestep."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+
+def _field_params():
+    return [
+        Param("ex", is_pointer=True),
+        Param("ey", is_pointer=True),
+        Param("hz", is_pointer=True),
+        Param("ni", DType.S32),
+        Param("nj", DType.S32),
+    ]
+
+
+def _ij(b, ni, nj):
+    j = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    i = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    return i, j
+
+
+def ey_kernel():
+    b = KernelBuilder("fdtd_ey", params=_field_params())
+    ex, ey, hz = b.param(0), b.param(1), b.param(2)
+    ni, nj = b.param(3), b.param(4)
+    i, j = _ij(b, ni, nj)
+    ok = b.and_(
+        b.and_(b.setp(CmpOp.GE, i, 1), b.setp(CmpOp.LT, i, ni),
+               DType.PRED),
+        b.setp(CmpOp.LT, j, nj),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        idx = b.mad(i, nj, j)
+        up = b.sub(idx, nj)
+        eyv = b.ld_global(b.addr(ey, idx, 4), DType.F32)
+        hzv = b.ld_global(b.addr(hz, idx, 4), DType.F32)
+        hzu = b.ld_global(b.addr(hz, up, 4), DType.F32)
+        delta = b.mul(b.sub(hzv, hzu, DType.F32), 0.5, DType.F32)
+        b.st_global(b.addr(ey, idx, 4), b.sub(eyv, delta, DType.F32),
+                    DType.F32)
+    return b.build()
+
+
+def ex_kernel():
+    b = KernelBuilder("fdtd_ex", params=_field_params())
+    ex, ey, hz = b.param(0), b.param(1), b.param(2)
+    ni, nj = b.param(3), b.param(4)
+    i, j = _ij(b, ni, nj)
+    ok = b.and_(
+        b.and_(b.setp(CmpOp.GE, j, 1), b.setp(CmpOp.LT, j, nj),
+               DType.PRED),
+        b.setp(CmpOp.LT, i, ni),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        idx = b.mad(i, nj, j)
+        exv = b.ld_global(b.addr(ex, idx, 4), DType.F32)
+        a = b.addr(hz, idx, 4)
+        hzv = b.ld_global(a, DType.F32)
+        hzl = b.ld_global(a, DType.F32, disp=-4)
+        delta = b.mul(b.sub(hzv, hzl, DType.F32), 0.5, DType.F32)
+        b.st_global(b.addr(ex, idx, 4), b.sub(exv, delta, DType.F32),
+                    DType.F32)
+    return b.build()
+
+
+def hz_kernel():
+    b = KernelBuilder("fdtd_hz", params=_field_params())
+    ex, ey, hz = b.param(0), b.param(1), b.param(2)
+    ni, nj = b.param(3), b.param(4)
+    i, j = _ij(b, ni, nj)
+    ni1 = b.sub(ni, 1)
+    nj1 = b.sub(nj, 1)
+    ok = b.and_(
+        b.setp(CmpOp.LT, i, ni1), b.setp(CmpOp.LT, j, nj1), DType.PRED
+    )
+    with b.if_then(ok):
+        idx = b.mad(i, nj, j)
+        a_ex = b.addr(ex, idx, 4)
+        exv = b.ld_global(a_ex, DType.F32)
+        exd = b.ld_global(b.addr(ex, b.add(idx, nj), 4), DType.F32)
+        a_ey = b.addr(ey, idx, 4)
+        eyv = b.ld_global(a_ey, DType.F32)
+        eyr = b.ld_global(a_ey, DType.F32, disp=4)
+        hzv = b.ld_global(b.addr(hz, idx, 4), DType.F32)
+        curl = b.sub(
+            b.add(exd, eyr, DType.F32), b.add(exv, eyv, DType.F32),
+            DType.F32,
+        )
+        b.st_global(b.addr(hz, idx, 4), b.fma(curl, -0.7, hzv), DType.F32)
+    return b.build()
+
+
+class Fdtd2DWorkload(Workload):
+    name = "fdtd2d"
+    abbr = "FDT"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"ni": 32, "nj": 32, "steps": 2},
+            "small": {"ni": 96, "nj": 96, "steps": 3},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        ni = self.ni = int(self.params["ni"])
+        nj = self.nj = int(self.params["nj"])
+        steps = self.steps = int(self.params["steps"])
+        self.h_ex = self.rand_f32(ni, nj)
+        self.h_ey = self.rand_f32(ni, nj)
+        self.h_hz = self.rand_f32(ni, nj)
+        self.d_ex = device.upload(self.h_ex)
+        self.d_ey = device.upload(self.h_ey)
+        self.d_hz = device.upload(self.h_hz)
+        self.track_output(self.d_hz, ni * nj, np.float32)
+
+        grid = ((nj + 31) // 32, (ni + 7) // 8)
+        args = (self.d_ex, self.d_ey, self.d_hz, ni, nj)
+        k_ey, k_ex, k_hz = ey_kernel(), ex_kernel(), hz_kernel()
+        launches = []
+        for _ in range(steps):
+            launches.append(LaunchSpec(k_ey, grid, (32, 8), args))
+            launches.append(LaunchSpec(k_ex, grid, (32, 8), args))
+            launches.append(LaunchSpec(k_hz, grid, (32, 8), args))
+        return launches
+
+    def reference(self):
+        ex = self.h_ex.copy()
+        ey = self.h_ey.copy()
+        hz = self.h_hz.copy()
+        half = np.float32(0.5)
+        for _ in range(self.steps):
+            ey[1:, :] = (
+                ey[1:, :] - half * (hz[1:, :] - hz[:-1, :])
+            ).astype(np.float32)
+            ex[:, 1:] = (
+                ex[:, 1:] - half * (hz[:, 1:] - hz[:, :-1])
+            ).astype(np.float32)
+            curl = (
+                ex[1:, :-1] + ey[:-1, 1:] - ex[:-1, :-1] - ey[:-1, :-1]
+            ).astype(np.float32)
+            hz[:-1, :-1] = (hz[:-1, :-1] + np.float32(-0.7) * curl).astype(
+                np.float32
+            )
+        return hz
+
+    def check(self, device) -> None:
+        got = device.download(
+            self.d_hz, self.ni * self.nj, np.float32
+        ).reshape(self.ni, self.nj)
+        assert_close(got, self.reference(), rtol=1e-3, atol=1e-3,
+                     context="fdtd hz")

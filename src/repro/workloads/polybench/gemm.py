@@ -1,0 +1,56 @@
+"""PolyBench GEMM."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..base import LaunchSpec, Workload, assert_close
+from ..common import gemm_kernel, gemm_reference
+
+
+class GemmWorkload(Workload):
+    name = "gemm"
+    abbr = "GEM"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"ni": 32, "nj": 32, "nk": 16},
+            "small": {"ni": 64, "nj": 64, "nk": 48},
+            "large": {"ni": 128, "nj": 128, "nk": 96},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        ni, nj, nk = (int(self.params[k]) for k in ("ni", "nj", "nk"))
+        self.ni, self.nj, self.nk = ni, nj, nk
+        self.h_a = self.rand_f32(ni, nk)
+        self.h_b = self.rand_f32(nk, nj)
+        self.h_c = self.rand_f32(ni, nj)
+        self.d_a = device.upload(self.h_a)
+        self.d_b = device.upload(self.h_b)
+        self.d_c = device.upload(self.h_c)
+        self.track_output(self.d_c, ni * nj, np.float32)
+
+        kernel = gemm_kernel("gemm", alpha_beta=True)
+        grid = ((nj + 31) // 32, (ni + 3) // 4)
+        return [
+            LaunchSpec(
+                kernel,
+                grid=grid,
+                block=(32, 4),
+                args=(self.d_a, self.d_b, self.d_c, ni, nj, nk),
+            )
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_c, self.ni * self.nj, np.float32)
+        want = gemm_reference(
+            self.h_a, self.h_b, alpha_beta=True, C0=self.h_c
+        )
+        assert_close(
+            got.reshape(self.ni, self.nj), want, rtol=1e-3, atol=1e-4,
+            context="gemm C",
+        )

@@ -1,0 +1,175 @@
+"""PolyBench matvec family: atax, bicg, mvt, gesummv."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..base import LaunchSpec, Workload, assert_close
+from ..common import matvec_kernel, matvec_reference
+
+
+def _blocks(n: int, tpb: int = 256) -> int:
+    return (n + tpb - 1) // tpb
+
+
+class AtaxWorkload(Workload):
+    """y = A^T (A x): two launches."""
+
+    name = "atax"
+    abbr = "ATA"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 128}, "small": {"n": 320}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_a = self.rand_f32(n, n)
+        self.h_x = self.rand_f32(n)
+        self.d_a = device.upload(self.h_a)
+        self.d_x = device.upload(self.h_x)
+        self.d_tmp = device.alloc(n * 4)
+        self.d_y = device.alloc(n * 4)
+        self.track_output(self.d_y, n, np.float32)
+        fwd = matvec_kernel("atax_fwd")
+        bwd = matvec_kernel("atax_bwd", transpose=True)
+        return [
+            LaunchSpec(fwd, grid=_blocks(n), block=256,
+                       args=(self.d_a, self.d_x, self.d_tmp, n, n)),
+            LaunchSpec(bwd, grid=_blocks(n), block=256,
+                       args=(self.d_a, self.d_tmp, self.d_y, n, n)),
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_y, self.n, np.float32)
+        tmp = matvec_reference(self.h_a, self.h_x)
+        want = matvec_reference(self.h_a, tmp, transpose=True)
+        assert_close(got, want, rtol=1e-3, atol=1e-2, context="atax y")
+
+
+class BicgWorkload(Workload):
+    """s = A^T r ; q = A p."""
+
+    name = "bicg"
+    abbr = "BIC"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 128}, "small": {"n": 320}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_a = self.rand_f32(n, n)
+        self.h_r = self.rand_f32(n)
+        self.h_p = self.rand_f32(n)
+        self.d_a = device.upload(self.h_a)
+        self.d_r = device.upload(self.h_r)
+        self.d_p = device.upload(self.h_p)
+        self.d_s = device.alloc(n * 4)
+        self.d_q = device.alloc(n * 4)
+        self.track_output(self.d_s, n, np.float32)
+        self.track_output(self.d_q, n, np.float32)
+        kt = matvec_kernel("bicg_s", transpose=True)
+        kn = matvec_kernel("bicg_q")
+        return [
+            LaunchSpec(kt, grid=_blocks(n), block=256,
+                       args=(self.d_a, self.d_r, self.d_s, n, n)),
+            LaunchSpec(kn, grid=_blocks(n), block=256,
+                       args=(self.d_a, self.d_p, self.d_q, n, n)),
+        ]
+
+    def check(self, device) -> None:
+        s = device.download(self.d_s, self.n, np.float32)
+        q = device.download(self.d_q, self.n, np.float32)
+        assert_close(s, matvec_reference(self.h_a, self.h_r, True),
+                     rtol=1e-3, atol=1e-2, context="bicg s")
+        assert_close(q, matvec_reference(self.h_a, self.h_p),
+                     rtol=1e-3, atol=1e-2, context="bicg q")
+
+
+class MvtWorkload(Workload):
+    """x1 += A y1 ; x2 += A^T y2."""
+
+    name = "mvt"
+    abbr = "MVT"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 128}, "small": {"n": 320}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_a = self.rand_f32(n, n)
+        self.h_y1 = self.rand_f32(n)
+        self.h_y2 = self.rand_f32(n)
+        self.h_x1 = self.rand_f32(n)
+        self.h_x2 = self.rand_f32(n)
+        self.d_a = device.upload(self.h_a)
+        self.d_y1 = device.upload(self.h_y1)
+        self.d_y2 = device.upload(self.h_y2)
+        self.d_x1 = device.upload(self.h_x1)
+        self.d_x2 = device.upload(self.h_x2)
+        self.track_output(self.d_x1, n, np.float32)
+        self.track_output(self.d_x2, n, np.float32)
+        k1 = matvec_kernel("mvt_x1", accumulate=True)
+        k2 = matvec_kernel("mvt_x2", transpose=True, accumulate=True)
+        return [
+            LaunchSpec(k1, grid=_blocks(n), block=256,
+                       args=(self.d_a, self.d_y1, self.d_x1, n, n)),
+            LaunchSpec(k2, grid=_blocks(n), block=256,
+                       args=(self.d_a, self.d_y2, self.d_x2, n, n)),
+        ]
+
+    def check(self, device) -> None:
+        x1 = device.download(self.d_x1, self.n, np.float32)
+        x2 = device.download(self.d_x2, self.n, np.float32)
+        assert_close(
+            x1, self.h_x1 + matvec_reference(self.h_a, self.h_y1),
+            rtol=1e-3, atol=1e-2, context="mvt x1",
+        )
+        assert_close(
+            x2, self.h_x2 + matvec_reference(self.h_a, self.h_y2, True),
+            rtol=1e-3, atol=1e-2, context="mvt x2",
+        )
+
+
+class GesummvWorkload(Workload):
+    """y = alpha*A*x + beta*B*x, fused as two accumulating launches."""
+
+    name = "gesummv"
+    abbr = "GSM"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 128}, "small": {"n": 320}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_a = self.rand_f32(n, n)
+        self.h_b = self.rand_f32(n, n)
+        self.h_x = self.rand_f32(n)
+        self.d_a = device.upload(self.h_a)
+        self.d_b = device.upload(self.h_b)
+        self.d_x = device.upload(self.h_x)
+        self.d_y = device.upload(np.zeros(n, dtype=np.float32))
+        self.track_output(self.d_y, n, np.float32)
+        k = matvec_kernel("gesummv_acc", accumulate=True)
+        return [
+            LaunchSpec(k, grid=_blocks(n), block=256,
+                       args=(self.d_a, self.d_x, self.d_y, n, n)),
+            LaunchSpec(k, grid=_blocks(n), block=256,
+                       args=(self.d_b, self.d_x, self.d_y, n, n)),
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_y, self.n, np.float32)
+        want = matvec_reference(self.h_a, self.h_x) + matvec_reference(
+            self.h_b, self.h_x
+        )
+        assert_close(got, want, rtol=1e-3, atol=1e-2, context="gesummv y")

@@ -1,0 +1,118 @@
+"""PolyBench 2mm and 3mm: chained matrix products (2 and 3 launches)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..base import LaunchSpec, Workload, assert_close
+from ..common import gemm_kernel
+
+
+def _grid_for(ni: int, nj: int):
+    return ((nj + 31) // 32, (ni + 3) // 4)
+
+
+class TwoMMWorkload(Workload):
+    """E = A·B, then F = E·C."""
+
+    name = "2mm"
+    abbr = "2MM"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 32, "nk": 16},
+            "small": {"n": 64, "nk": 40},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = int(self.params["n"])
+        nk = int(self.params["nk"])
+        self.n, self.nk = n, nk
+        self.h_a = self.rand_f32(n, nk)
+        self.h_b = self.rand_f32(nk, n)
+        self.h_c = self.rand_f32(n, n)
+        self.d_a = device.upload(self.h_a)
+        self.d_b = device.upload(self.h_b)
+        self.d_c = device.upload(self.h_c)
+        self.d_e = device.alloc(n * n * 4)
+        self.d_f = device.alloc(n * n * 4)
+        self.track_output(self.d_f, n * n, np.float32)
+
+        kernel = gemm_kernel("mm2_gemm")
+        return [
+            LaunchSpec(
+                kernel, grid=_grid_for(n, n), block=(32, 4),
+                args=(self.d_a, self.d_b, self.d_e, n, n, nk),
+            ),
+            LaunchSpec(
+                kernel, grid=_grid_for(n, n), block=(32, 4),
+                args=(self.d_e, self.d_c, self.d_f, n, n, n),
+            ),
+        ]
+
+    def check(self, device) -> None:
+        n = self.n
+        got = device.download(self.d_f, n * n, np.float32).reshape(n, n)
+        e = self.h_a.astype(np.float64) @ self.h_b.astype(np.float64)
+        want = (e.astype(np.float32).astype(np.float64)
+                @ self.h_c.astype(np.float64)).astype(np.float32)
+        assert_close(got, want, rtol=2e-3, atol=1e-3, context="2mm F")
+
+
+class ThreeMMWorkload(Workload):
+    """E = A·B, F = C·D, G = E·F."""
+
+    name = "3mm"
+    abbr = "3MM"
+    suite = "polybench"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 32, "nk": 12},
+            "small": {"n": 64, "nk": 32},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = int(self.params["n"])
+        nk = int(self.params["nk"])
+        self.n, self.nk = n, nk
+        self.h_a = self.rand_f32(n, nk)
+        self.h_b = self.rand_f32(nk, n)
+        self.h_c = self.rand_f32(n, nk)
+        self.h_d = self.rand_f32(nk, n)
+        self.d_a = device.upload(self.h_a)
+        self.d_b = device.upload(self.h_b)
+        self.d_c = device.upload(self.h_c)
+        self.d_d = device.upload(self.h_d)
+        self.d_e = device.alloc(n * n * 4)
+        self.d_f = device.alloc(n * n * 4)
+        self.d_g = device.alloc(n * n * 4)
+        self.track_output(self.d_g, n * n, np.float32)
+
+        kernel = gemm_kernel("mm3_gemm")
+        grid = _grid_for(n, n)
+        return [
+            LaunchSpec(kernel, grid=grid, block=(32, 4),
+                       args=(self.d_a, self.d_b, self.d_e, n, n, nk)),
+            LaunchSpec(kernel, grid=grid, block=(32, 4),
+                       args=(self.d_c, self.d_d, self.d_f, n, n, nk)),
+            LaunchSpec(kernel, grid=grid, block=(32, 4),
+                       args=(self.d_e, self.d_f, self.d_g, n, n, n)),
+        ]
+
+    def check(self, device) -> None:
+        n = self.n
+        got = device.download(self.d_g, n * n, np.float32).reshape(n, n)
+        e = (self.h_a.astype(np.float64)
+             @ self.h_b.astype(np.float64)).astype(np.float32)
+        f = (self.h_c.astype(np.float64)
+             @ self.h_d.astype(np.float64)).astype(np.float32)
+        want = (e.astype(np.float64) @ f.astype(np.float64)).astype(
+            np.float32
+        )
+        assert_close(got, want, rtol=2e-3, atol=1e-2, context="3mm G")

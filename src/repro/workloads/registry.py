@@ -1,0 +1,132 @@
+"""Workload registry: Table 2 abbreviations → workload classes.
+
+New workloads self-register by being imported here; the harness and
+benchmarks enumerate :data:`REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from .base import Workload
+
+REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    if not cls.abbr:
+        raise ValueError(f"{cls.__name__} has no abbreviation")
+    if cls.abbr in REGISTRY:
+        raise ValueError(f"duplicate workload abbreviation {cls.abbr}")
+    REGISTRY[cls.abbr] = cls
+    return cls
+
+
+def get(abbr: str) -> Type[Workload]:
+    return REGISTRY[abbr]
+
+
+def factory(abbr: str, scale: str = "small") -> Callable[[], Workload]:
+    cls = REGISTRY[abbr]
+    return lambda: cls(scale)
+
+
+def all_abbrs() -> List[str]:
+    return sorted(REGISTRY)
+
+
+def by_suite(suite: str) -> List[str]:
+    return sorted(a for a, c in REGISTRY.items() if c.suite == suite)
+
+
+def _populate() -> None:
+    from .graph.components import ConnectedComponentsWorkload
+    from .graph.kcore import KCoreWorkload
+    from .graph.sssp import SSSPWorkload
+    from .ispass.lib_mc import LibWorkload
+    from .ispass.lps import LpsWorkload
+    from .ispass.ray import RayWorkload
+    from .nebula.resnet import ResNetWorkload
+    from .nebula.vgg import VGGWorkload
+    from .fft import FFTWorkload, FFTPersistentWorkload
+    from .parboil.histo import HistoWorkload
+    from .parboil.mri import MriGriddingWorkload, MriQWorkload
+    from .parboil.sad import SadWorkload
+    from .parboil.sgemm import SgemmWorkload
+    from .parboil.spmv import SpmvWorkload
+    from .parboil.stencil import StencilWorkload
+    from .polybench.convolution import Conv2DWorkload, Conv3DWorkload
+    from .polybench.fdtd2d import Fdtd2DWorkload
+    from .polybench.gemm import GemmWorkload
+    from .polybench.matvec_family import (
+        AtaxWorkload,
+        BicgWorkload,
+        GesummvWorkload,
+        MvtWorkload,
+    )
+    from .polybench.mm23 import ThreeMMWorkload, TwoMMWorkload
+    from .rodinia.backprop import BackpropWorkload
+    from .rodinia.bfs import BfsWorkload
+    from .rodinia.btree import BTreeWorkload
+    from .rodinia.cfd import CfdWorkload
+    from .rodinia.dwt2d import Dwt2DWorkload
+    from .rodinia.gaussian import GaussianWorkload
+    from .rodinia.heartwall import HeartwallWorkload
+    from .rodinia.hotspot import HotspotWorkload
+    from .rodinia.kmeans import KmeansWorkload
+    from .rodinia.lavamd import LavaMDWorkload
+    from .rodinia.lud import LudWorkload
+    from .rodinia.mummer import MummerWorkload
+    from .rodinia.nn import NNWorkload
+    from .rodinia.pathfinder import PathfinderWorkload
+    from .rodinia.srad import SradV1Workload, SradV2Workload
+
+    for cls in (
+        BackpropWorkload,
+        BfsWorkload,
+        BTreeWorkload,
+        CfdWorkload,
+        Dwt2DWorkload,
+        GaussianWorkload,
+        HeartwallWorkload,
+        HotspotWorkload,
+        KmeansWorkload,
+        LavaMDWorkload,
+        LudWorkload,
+        MummerWorkload,
+        NNWorkload,
+        PathfinderWorkload,
+        SradV1Workload,
+        SradV2Workload,
+        GemmWorkload,
+        TwoMMWorkload,
+        ThreeMMWorkload,
+        AtaxWorkload,
+        BicgWorkload,
+        GesummvWorkload,
+        MvtWorkload,
+        Conv2DWorkload,
+        Conv3DWorkload,
+        Fdtd2DWorkload,
+        HistoWorkload,
+        MriGriddingWorkload,
+        MriQWorkload,
+        SadWorkload,
+        SgemmWorkload,
+        SpmvWorkload,
+        StencilWorkload,
+        LibWorkload,
+        LpsWorkload,
+        RayWorkload,
+        ConnectedComponentsWorkload,
+        KCoreWorkload,
+        SSSPWorkload,
+        ResNetWorkload,
+        VGGWorkload,
+        FFTWorkload,
+        FFTPersistentWorkload,
+    ):
+        register(cls)
+
+
+_populate()

@@ -1,0 +1,159 @@
+"""Rodinia backprop — the paper's running example (Figures 2/3/7).
+
+``bpnn_adjust_weights`` computes, with 16x16 thread blocks on a
+(1, nblocks) grid::
+
+    index   = (hid+1) * (HEIGHT*by + ty + 1) + (tx + 1)
+    index_y = HEIGHT*by + ty + 1
+    index_x = tx + 1
+    delta_w = ETA * delta[index_x] * ly[index_y] + MOMENTUM * oldw[index]
+    w[index]    += delta_w
+    oldw[index]  = delta_w
+
+The address expressions are exactly the linear combinations the paper
+expands, including the shared thread-index part between ``w[index]`` and
+``oldw[index]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+ETA = 0.3
+MOMENTUM = 0.3
+HEIGHT = 16
+
+
+def build_adjust_weights_kernel() -> "Kernel":
+    b = KernelBuilder(
+        "bpnn_adjust_weights",
+        params=[
+            Param("delta", is_pointer=True),
+            Param("hid", DType.S32),
+            Param("ly", is_pointer=True),
+            Param("w", is_pointer=True),
+            Param("oldw", is_pointer=True),
+        ],
+    )
+    delta_p = b.param(0)
+    hid = b.param(1)
+    ly_p = b.param(2)
+    w_p = b.param(3)
+    oldw_p = b.param(4)
+
+    by = b.ctaid_y()
+    ty = b.tid_y()
+    tx = b.tid_x()
+
+    height_by = b.shl(by, 4)              # HEIGHT * by   (HEIGHT == 16)
+    row = b.add(height_by, ty)
+    index_y = b.add(row, 1)               # HEIGHT*by + ty + 1
+    index_x = b.add(tx, 1)                # tx + 1
+    hid1 = b.add(hid, 1)
+    index = b.add(b.mad(index_y, hid1, tx), 1)  # (hid+1)*index_y + tx + 1
+
+    a_delta = b.addr(delta_p, index_x, 4)
+    a_ly = b.addr(ly_p, index_y, 4)
+    a_w = b.addr(w_p, index, 4)
+    a_oldw = b.addr(oldw_p, index, 4)
+
+    d = b.ld_global(a_delta, DType.F32)
+    l = b.ld_global(a_ly, DType.F32)
+    ow = b.ld_global(a_oldw, DType.F32)
+    wv = b.ld_global(a_w, DType.F32)
+
+    eta_dl = b.mul(b.mul(d, l, DType.F32), ETA, DType.F32)
+    delta_w = b.fma(ow, MOMENTUM, eta_dl)
+    b.st_global(a_w, b.add(wv, delta_w, DType.F32), DType.F32)
+    b.st_global(a_oldw, delta_w, DType.F32)
+    return b.build()
+
+
+class BackpropWorkload(Workload):
+    name = "backprop"
+    abbr = "BP"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"num_blocks": 4},
+            "small": {"num_blocks": 24},
+            # Table 3 sensitivity points (BP_04 .. BP_64 input nodes scale
+            # the grid; we parameterize the block count directly).
+            "bp04": {"num_blocks": 4},
+            "bp08": {"num_blocks": 8},
+            "bp16": {"num_blocks": 16},
+            "bp32": {"num_blocks": 32},
+            "bp64": {"num_blocks": 64},
+            "large": {"num_blocks": 128},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        nb = int(self.params["num_blocks"])
+        hid = HEIGHT
+        n_rows = HEIGHT * nb + 1
+        n_w = (hid + 1) * (n_rows + 1)
+
+        self.h_delta = self.rand_f32(hid + 1)
+        self.h_ly = self.rand_f32(n_rows + 1)
+        self.h_w = self.rand_f32(n_w)
+        self.h_oldw = self.rand_f32(n_w)
+
+        self.d_delta = device.upload(self.h_delta)
+        self.d_ly = device.upload(self.h_ly)
+        self.d_w = device.upload(self.h_w)
+        self.d_oldw = device.upload(self.h_oldw)
+        self.n_w = n_w
+        self.hid = hid
+        self.nb = nb
+        self.track_output(self.d_w, n_w, np.float32)
+        self.track_output(self.d_oldw, n_w, np.float32)
+
+        kernel = build_adjust_weights_kernel()
+        return [
+            LaunchSpec(
+                kernel,
+                grid=(1, nb),
+                block=(16, 16),
+                args=(
+                    self.d_delta,
+                    self.hid,
+                    self.d_ly,
+                    self.d_w,
+                    self.d_oldw,
+                ),
+            )
+        ]
+
+    def reference(self):
+        w = self.h_w.astype(np.float32).copy()
+        oldw = self.h_oldw.astype(np.float32).copy()
+        hid = self.hid
+        for by in range(self.nb):
+            for ty in range(HEIGHT):
+                for tx in range(HEIGHT):
+                    index_y = HEIGHT * by + ty + 1
+                    index_x = tx + 1
+                    index = (hid + 1) * index_y + tx + 1
+                    dw = np.float32(
+                        np.float32(ETA)
+                        * self.h_delta[index_x]
+                        * self.h_ly[index_y]
+                        + np.float32(MOMENTUM) * oldw[index]
+                    )
+                    w[index] = np.float32(w[index] + dw)
+                    oldw[index] = dw
+        return w, oldw
+
+    def check(self, device) -> None:
+        w = device.download(self.d_w, self.n_w, np.float32)
+        oldw = device.download(self.d_oldw, self.n_w, np.float32)
+        ref_w, ref_oldw = self.reference()
+        assert_close(w, ref_w, context="backprop w")
+        assert_close(oldw, ref_oldw, context="backprop oldw")

@@ -1,0 +1,138 @@
+"""Rodinia BFS: level-synchronous frontier expansion over a CSR graph.
+
+The paper highlights BFS (Section 5.2): half its memory operations are
+regular (frontier mask, cost array — linear in tid), half irregular
+(neighbor lists through loaded offsets), and R2D2 still gains 1.4x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+
+
+def bfs_kernel():
+    """One BFS level: for every frontier node, visit unvisited neighbors."""
+    b = KernelBuilder(
+        "bfs_level",
+        params=[
+            Param("row_ptr", is_pointer=True),
+            Param("col_idx", is_pointer=True),
+            Param("frontier", is_pointer=True),      # s32 mask
+            Param("next_frontier", is_pointer=True),  # s32 mask
+            Param("cost", is_pointer=True),           # s32 distance
+            Param("n", DType.S32),
+            Param("level", DType.S32),
+        ],
+    )
+    rp, ci, fr, nf, cost = (b.param(i) for i in range(5))
+    n, level = b.param(5), b.param(6)
+    tid = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, tid, n)
+    with b.if_then(ok):
+        f = b.ld_global(b.addr(fr, tid, 4), DType.S32)
+        active = b.setp(CmpOp.NE, f, 0)
+        with b.if_then(active):
+            b.st_global(b.addr(fr, tid, 4), 0, DType.S32)
+            row_a = b.addr(rp, tid, 4)
+            start = b.ld_global(row_a, DType.S32)
+            end = b.ld_global(row_a, DType.S32, disp=4)
+            lvl1 = b.add(level, 1)
+            ci_ptr = b.addr(ci, start, 4)
+            with b.for_range(start, end):
+                nbr = b.ld_global(ci_ptr, DType.S32)
+                b.add_to(ci_ptr, ci_ptr, 4)
+                c = b.ld_global(b.addr(cost, nbr, 4), DType.S32)
+                unvisited = b.setp(CmpOp.LT, c, 0)
+                with b.if_then(unvisited):
+                    b.st_global(b.addr(cost, nbr, 4), lvl1, DType.S32)
+                    b.st_global(b.addr(nf, nbr, 4), 1, DType.S32)
+    return b.build()
+
+
+def make_graph(rng, n: int, avg_deg: int):
+    """Random graph in CSR form (directed, with locality)."""
+    degrees = rng.integers(1, 2 * avg_deg, size=n)
+    row_ptr = np.zeros(n + 1, dtype=np.int32)
+    row_ptr[1:] = np.cumsum(degrees)
+    m = int(row_ptr[-1])
+    # neighbors biased toward nearby ids for some regularity
+    base = np.repeat(np.arange(n), degrees)
+    offsets = rng.integers(-n // 4, n // 4, size=m)
+    col_idx = ((base + offsets) % n).astype(np.int32)
+    return row_ptr.astype(np.int32), col_idx
+
+
+def bfs_reference(row_ptr, col_idx, n, source, levels):
+    cost = np.full(n, -1, dtype=np.int32)
+    cost[source] = 0
+    frontier = [source]
+    for level in range(levels):
+        nxt = []
+        for u in frontier:
+            for e in range(row_ptr[u], row_ptr[u + 1]):
+                v = col_idx[e]
+                if cost[v] < 0:
+                    cost[v] = level + 1
+                    nxt.append(v)
+        frontier = nxt
+    return cost
+
+
+class BfsWorkload(Workload):
+    name = "bfs"
+    abbr = "BFS"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 512, "avg_deg": 4, "levels": 3},
+            "small": {"n": 4096, "avg_deg": 6, "levels": 4},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        levels = self.levels = int(self.params["levels"])
+        row_ptr, col_idx = make_graph(
+            self.rng, n, int(self.params["avg_deg"])
+        )
+        self.row_ptr, self.col_idx = row_ptr, col_idx
+        self.source = 0
+
+        frontier = np.zeros(n, dtype=np.int32)
+        frontier[self.source] = 1
+        cost = np.full(n, -1, dtype=np.int32)
+        cost[self.source] = 0
+
+        self.d_rp = device.upload(row_ptr)
+        self.d_ci = device.upload(col_idx)
+        self.d_f1 = device.upload(frontier)
+        self.d_f2 = device.upload(np.zeros(n, dtype=np.int32))
+        self.d_cost = device.upload(cost)
+        self.track_output(self.d_cost, n, np.int32)
+
+        kernel = bfs_kernel()
+        launches = []
+        f_cur, f_nxt = self.d_f1, self.d_f2
+        for level in range(levels):
+            launches.append(
+                LaunchSpec(
+                    kernel, grid=(n + 255) // 256, block=256,
+                    args=(self.d_rp, self.d_ci, f_cur, f_nxt,
+                          self.d_cost, n, level),
+                )
+            )
+            f_cur, f_nxt = f_nxt, f_cur
+        return launches
+
+    def check(self, device) -> None:
+        got = device.download(self.d_cost, self.n, np.int32)
+        want = bfs_reference(
+            self.row_ptr, self.col_idx, self.n, self.source, self.levels
+        )
+        assert_equal(got, want, context="bfs cost")

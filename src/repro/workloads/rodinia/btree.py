@@ -1,0 +1,109 @@
+"""Rodinia b+tree: batched key lookups walking an implicit B-tree laid
+out level by level in a flat array (pointer-chasing loads whose addresses
+come from loaded data — largely non-linear, low R2D2 opportunity)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+
+FANOUT = 4
+
+
+def btree_kernel(levels: int):
+    """Each thread walks ``levels`` levels: at each node, compare the key
+    against FANOUT-1 separators and descend."""
+    b = KernelBuilder(
+        "findK",
+        params=[
+            Param("nodes", is_pointer=True),   # s32 separators, level order
+            Param("keys", is_pointer=True),
+            Param("out", is_pointer=True),     # leaf index found
+            Param("n_keys", DType.S32),
+        ],
+    )
+    nodes, keys, out = b.param(0), b.param(1), b.param(2)
+    n_keys = b.param(3)
+    tid = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, tid, n_keys)
+    with b.if_then(ok):
+        key = b.ld_global(b.addr(keys, tid, 4), DType.S32)
+        node = b.mov(0)       # node index within its level
+        level_base = b.mov(0)  # flat offset of current level
+        level_size = 1
+        for _ in range(levels):
+            # separators of this node start at
+            # (level_base + node) * (FANOUT-1)
+            sep_base = b.mul(b.add(level_base, node), FANOUT - 1)
+            addr = b.addr(nodes, sep_base, 4)
+            child = b.mov(0)
+            for s in range(FANOUT - 1):
+                sep = b.ld_global(addr, DType.S32, disp=4 * s)
+                ge = b.setp(CmpOp.GE, key, sep)
+                b.mov_to(child, b.selp(s + 1, child, ge))
+            b.add_to(level_base, level_base, level_size)
+            b.mov_to(node, b.mad(node, FANOUT, child))
+            level_size *= FANOUT
+        b.st_global(b.addr(out, tid, 4), node, DType.S32)
+    return b.build()
+
+
+class BTreeWorkload(Workload):
+    name = "b+tree"
+    abbr = "BTR"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"levels": 3, "n_keys": 1024},
+            "small": {"levels": 4, "n_keys": 8192},
+        }
+
+    def _build_tree(self, levels: int):
+        """Separators per node: sorted random values; child s covers keys
+        in [sep[s-1], sep[s])."""
+        n_nodes = sum(FANOUT ** l for l in range(levels))
+        seps = np.sort(
+            self.rng.integers(0, 1 << 16, size=(n_nodes, FANOUT - 1)),
+            axis=1,
+        ).astype(np.int32)
+        return seps
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        levels = self.levels = int(self.params["levels"])
+        n = self.n = int(self.params["n_keys"])
+        self.seps = self._build_tree(levels)
+        self.h_keys = self.rand_s32(0, 1 << 16, n)
+        self.d_nodes = device.upload(self.seps)
+        self.d_keys = device.upload(self.h_keys)
+        self.d_out = device.alloc(n * 4)
+        self.track_output(self.d_out, n, np.int32)
+        return [
+            LaunchSpec(btree_kernel(levels), grid=(n + 255) // 256,
+                       block=256,
+                       args=(self.d_nodes, self.d_keys, self.d_out, n))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_out, self.n, np.int32)
+        want = np.empty(self.n, dtype=np.int32)
+        for i, key in enumerate(self.h_keys):
+            node = 0
+            level_base = 0
+            level_size = 1
+            for _ in range(self.levels):
+                seps = self.seps[level_base + node]
+                child = 0
+                for s in range(FANOUT - 1):
+                    if key >= seps[s]:
+                        child = s + 1
+                node = node * FANOUT + child
+                level_base += level_size
+                level_size *= FANOUT
+            want[i] = node
+        assert_equal(got, want, context="b+tree leaves")

@@ -1,0 +1,111 @@
+"""Rodinia cfd (Euler3D compute_flux, structurally simplified).
+
+Each thread processes one element: loads its 4 conserved variables from
+SoA arrays (same base index + n*k offsets — the Figure 8 constant-delta
+pattern), then gathers 4 neighbors through an index array and
+accumulates fluxes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+NNB = 4  # neighbors per element
+
+
+def cfd_kernel():
+    b = KernelBuilder(
+        "compute_flux",
+        params=[
+            Param("variables", is_pointer=True),   # 4 x n SoA
+            Param("neighbors", is_pointer=True),   # n x NNB s32
+            Param("fluxes", is_pointer=True),      # 4 x n SoA
+            Param("n", DType.S32),
+        ],
+    )
+    var, nbr, flux = b.param(0), b.param(1), b.param(2)
+    n = b.param(3)
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n)
+    with b.if_then(ok):
+        base = b.addr(var, i, 4)
+        stride = b.cvt(b.shl(n, 2), DType.S64)  # n * 4 bytes
+        a1 = b.add(base, stride)
+        a2 = b.add(a1, stride)
+        a3 = b.add(a2, stride)
+        density = b.ld_global(base, DType.F32)
+        mx = b.ld_global(a1, DType.F32)
+        my = b.ld_global(a2, DType.F32)
+        energy = b.ld_global(a3, DType.F32)
+
+        f0 = b.mov(0.0, DType.F32)
+        f1 = b.mov(0.0, DType.F32)
+        f2 = b.mov(0.0, DType.F32)
+        f3 = b.mov(0.0, DType.F32)
+        nbr_row = b.addr(nbr, b.mul(i, NNB), 4)
+        for k in range(NNB):
+            j = b.ld_global(nbr_row, DType.S32, disp=4 * k)
+            jb = b.addr(var, j, 4)
+            j1 = b.add(jb, stride)
+            j2 = b.add(j1, stride)
+            j3 = b.add(j2, stride)
+            nd = b.ld_global(jb, DType.F32)
+            nmx = b.ld_global(j1, DType.F32)
+            nmy = b.ld_global(j2, DType.F32)
+            ne = b.ld_global(j3, DType.F32)
+            f0 = b.fma(b.sub(nd, density, DType.F32), 0.25, f0)
+            f1 = b.fma(b.sub(nmx, mx, DType.F32), 0.25, f1)
+            f2 = b.fma(b.sub(nmy, my, DType.F32), 0.25, f2)
+            f3 = b.fma(b.sub(ne, energy, DType.F32), 0.25, f3)
+
+        fb = b.addr(flux, i, 4)
+        g1 = b.add(fb, stride)
+        g2 = b.add(g1, stride)
+        g3 = b.add(g2, stride)
+        b.st_global(fb, f0, DType.F32)
+        b.st_global(g1, f1, DType.F32)
+        b.st_global(g2, f2, DType.F32)
+        b.st_global(g3, f3, DType.F32)
+    return b.build()
+
+
+class CfdWorkload(Workload):
+    name = "cfd"
+    abbr = "CFD"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 1024}, "small": {"n": 8192}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_var = self.rand_f32(4, n)
+        self.h_nbr = self.rand_s32(0, n, n, NNB)
+        self.d_var = device.upload(self.h_var)
+        self.d_nbr = device.upload(self.h_nbr)
+        self.d_flux = device.alloc(4 * n * 4)
+        self.track_output(self.d_flux, 4 * n, np.float32)
+        return [
+            LaunchSpec(cfd_kernel(), grid=(n + 191) // 192, block=192,
+                       args=(self.d_var, self.d_nbr, self.d_flux, n))
+        ]
+
+    def check(self, device) -> None:
+        n = self.n
+        got = device.download(self.d_flux, 4 * n, np.float32).reshape(4, n)
+        want = np.zeros((4, n), dtype=np.float32)
+        for k in range(NNB):
+            j = self.h_nbr[:, k]
+            for v in range(4):
+                want[v] = (
+                    want[v]
+                    + np.float32(0.25)
+                    * (self.h_var[v, j] - self.h_var[v])
+                ).astype(np.float32)
+        assert_close(got, want, rtol=1e-3, atol=1e-4, context="cfd fluxes")

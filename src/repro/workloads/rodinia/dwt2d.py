@@ -1,0 +1,129 @@
+"""Rodinia dwt2d: one level of a 2D Haar-style wavelet transform
+(separable; horizontal pass then vertical pass)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+INV_SQRT2 = float(np.float32(1.0 / np.sqrt(2.0)))
+
+
+def dwt_horizontal_kernel():
+    """Per output column pair: low = (a+b)/sqrt2, high = (a-b)/sqrt2."""
+    b = KernelBuilder(
+        "dwt_h",
+        params=[
+            Param("src", is_pointer=True),
+            Param("dst", is_pointer=True),
+            Param("rows", DType.S32),
+            Param("cols", DType.S32),
+        ],
+    )
+    src, dst = b.param(0), b.param(1)
+    rows, cols = b.param(2), b.param(3)
+    half = b.shr(cols, 1)
+    x = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    y = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    ok = b.and_(b.setp(CmpOp.LT, x, half), b.setp(CmpOp.LT, y, rows),
+                DType.PRED)
+    with b.if_then(ok):
+        row = b.mul(y, cols)
+        pair = b.mad(b.shl(x, 1), 1, row)
+        a_addr = b.addr(src, pair, 4)
+        a = b.ld_global(a_addr, DType.F32)
+        c = b.ld_global(a_addr, DType.F32, disp=4)
+        low = b.mul(b.add(a, c, DType.F32), INV_SQRT2, DType.F32)
+        high = b.mul(b.sub(a, c, DType.F32), INV_SQRT2, DType.F32)
+        out_lo = b.mad(y, cols, x)
+        b.st_global(b.addr(dst, out_lo, 4), low, DType.F32)
+        out_hi = b.add(out_lo, half)
+        b.st_global(b.addr(dst, out_hi, 4), high, DType.F32)
+    return b.build()
+
+
+def dwt_vertical_kernel():
+    b = KernelBuilder(
+        "dwt_v",
+        params=[
+            Param("src", is_pointer=True),
+            Param("dst", is_pointer=True),
+            Param("rows", DType.S32),
+            Param("cols", DType.S32),
+        ],
+    )
+    src, dst = b.param(0), b.param(1)
+    rows, cols = b.param(2), b.param(3)
+    half = b.shr(rows, 1)
+    x = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    y = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    ok = b.and_(b.setp(CmpOp.LT, x, cols), b.setp(CmpOp.LT, y, half),
+                DType.PRED)
+    with b.if_then(ok):
+        r0 = b.shl(y, 1)
+        a = b.ld_global(b.addr(src, b.mad(r0, cols, x), 4), DType.F32)
+        c = b.ld_global(
+            b.addr(src, b.mad(b.add(r0, 1), cols, x), 4), DType.F32
+        )
+        low = b.mul(b.add(a, c, DType.F32), INV_SQRT2, DType.F32)
+        high = b.mul(b.sub(a, c, DType.F32), INV_SQRT2, DType.F32)
+        b.st_global(b.addr(dst, b.mad(y, cols, x), 4), low, DType.F32)
+        hi_row = b.add(y, half)
+        b.st_global(b.addr(dst, b.mad(hi_row, cols, x), 4), high,
+                    DType.F32)
+    return b.build()
+
+
+class Dwt2DWorkload(Workload):
+    name = "dwt2d"
+    abbr = "DWT"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"rows": 32, "cols": 32},
+                "small": {"rows": 128, "cols": 128},
+                "large": {"rows": 256, "cols": 256}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        rows = self.rows = int(self.params["rows"])
+        cols = self.cols = int(self.params["cols"])
+        self.h_img = self.rand_f32(rows, cols)
+        self.d_src = device.upload(self.h_img)
+        self.d_tmp = device.alloc(rows * cols * 4)
+        self.d_dst = device.alloc(rows * cols * 4)
+        self.track_output(self.d_dst, rows * cols, np.float32)
+        gh = ((cols // 2 + 31) // 32, (rows + 7) // 8)
+        gv = ((cols + 31) // 32, (rows // 2 + 7) // 8)
+        return [
+            LaunchSpec(dwt_horizontal_kernel(), grid=gh, block=(32, 8),
+                       args=(self.d_src, self.d_tmp, rows, cols)),
+            LaunchSpec(dwt_vertical_kernel(), grid=gv, block=(32, 8),
+                       args=(self.d_tmp, self.d_dst, rows, cols)),
+        ]
+
+    def check(self, device) -> None:
+        rows, cols = self.rows, self.cols
+        got = device.download(self.d_dst, rows * cols,
+                              np.float32).reshape(rows, cols)
+        k = np.float32(INV_SQRT2)
+        x = self.h_img
+        h = np.empty_like(x)
+        h[:, : cols // 2] = ((x[:, 0::2] + x[:, 1::2]) * k).astype(
+            np.float32
+        )
+        h[:, cols // 2:] = ((x[:, 0::2] - x[:, 1::2]) * k).astype(
+            np.float32
+        )
+        v = np.empty_like(h)
+        v[: rows // 2, :] = ((h[0::2, :] + h[1::2, :]) * k).astype(
+            np.float32
+        )
+        v[rows // 2:, :] = ((h[0::2, :] - h[1::2, :]) * k).astype(
+            np.float32
+        )
+        assert_close(got, v, rtol=1e-4, atol=1e-5, context="dwt2d")

@@ -1,0 +1,131 @@
+"""Rodinia gaussian: Gaussian elimination with two kernels per column
+(Fan1 computes multipliers, Fan2 updates the trailing submatrix).
+Many small launches, like LUD — the small-kernel overhead case."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+
+def fan1_kernel():
+    """m[i][t] = a[i][t] / a[t][t] for i in (t, n)."""
+    b = KernelBuilder(
+        "fan1",
+        params=[
+            Param("m", is_pointer=True),
+            Param("a", is_pointer=True),
+            Param("n", DType.S32),
+            Param("t", DType.S32),
+        ],
+    )
+    m_p, a_p = b.param(0), b.param(1)
+    n, t = b.param(2), b.param(3)
+    tid = b.global_tid_x()
+    limit = b.sub(b.sub(n, t), 1)
+    ok = b.setp(CmpOp.LT, tid, limit)
+    with b.if_then(ok):
+        row = b.add(b.add(tid, t), 1)
+        idx = b.mad(row, n, t)
+        pivot_idx = b.mad(t, n, t)
+        av = b.ld_global(b.addr(a_p, idx, 4), DType.F32)
+        pv = b.ld_global(b.addr(a_p, pivot_idx, 4), DType.F32)
+        b.st_global(b.addr(m_p, idx, 4), b.div(av, pv, DType.F32),
+                    DType.F32)
+    return b.build()
+
+
+def fan2_kernel():
+    """a[i][j] -= m[i][t] * a[t][j] over the trailing submatrix."""
+    b = KernelBuilder(
+        "fan2",
+        params=[
+            Param("m", is_pointer=True),
+            Param("a", is_pointer=True),
+            Param("bvec", is_pointer=True),
+            Param("n", DType.S32),
+            Param("t", DType.S32),
+        ],
+    )
+    m_p, a_p, b_p = b.param(0), b.param(1), b.param(2)
+    n, t = b.param(3), b.param(4)
+    xidx = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    yidx = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    nt1 = b.sub(b.sub(n, t), 1)
+    ok = b.and_(
+        b.setp(CmpOp.LT, xidx, nt1),
+        b.setp(CmpOp.LT, yidx, b.sub(n, t)),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        row = b.add(b.add(xidx, t), 1)
+        col = b.add(yidx, t)
+        mv = b.ld_global(b.addr(m_p, b.mad(row, n, t), 4), DType.F32)
+        piv = b.ld_global(b.addr(a_p, b.mad(t, n, col), 4), DType.F32)
+        a_addr = b.addr(a_p, b.mad(row, n, col), 4)
+        av = b.ld_global(a_addr, DType.F32)
+        b.st_global(a_addr, b.sub(av, b.mul(mv, piv, DType.F32),
+                                  DType.F32), DType.F32)
+        first_col = b.setp(CmpOp.EQ, yidx, 0)
+        with b.if_then(first_col):
+            bv = b.ld_global(b.addr(b_p, row, 4), DType.F32)
+            bt = b.ld_global(b.addr(b_p, t, 4), DType.F32)
+            b.st_global(b.addr(b_p, row, 4),
+                        b.sub(bv, b.mul(mv, bt, DType.F32), DType.F32),
+                        DType.F32)
+    return b.build()
+
+
+class GaussianWorkload(Workload):
+    name = "gaussian"
+    abbr = "GAS"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 16}, "small": {"n": 48}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        a = self.rand_f32(n, n) + np.eye(n, dtype=np.float32) * n
+        self.h_a = a.astype(np.float32)
+        self.h_b = self.rand_f32(n)
+        self.d_a = device.upload(self.h_a)
+        self.d_b = device.upload(self.h_b)
+        self.d_m = device.upload(np.zeros((n, n), dtype=np.float32))
+        self.track_output(self.d_a, n * n, np.float32)
+        self.track_output(self.d_b, n, np.float32)
+
+        k1, k2 = fan1_kernel(), fan2_kernel()
+        launches = []
+        for t in range(n - 1):
+            launches.append(
+                LaunchSpec(k1, grid=(n + 255) // 256, block=256,
+                           args=(self.d_m, self.d_a, n, t))
+            )
+            g = ((n - t + 15) // 16, (n - t + 15) // 16)
+            launches.append(
+                LaunchSpec(k2, grid=g, block=(16, 16),
+                           args=(self.d_m, self.d_a, self.d_b, n, t))
+            )
+        return launches
+
+    def check(self, device) -> None:
+        n = self.n
+        a = device.download(self.d_a, n * n, np.float32).reshape(n, n)
+        bv = device.download(self.d_b, n, np.float32)
+        ra = self.h_a.astype(np.float32).copy()
+        rb = self.h_b.astype(np.float32).copy()
+        for t in range(n - 1):
+            mult = (ra[t + 1:, t] / ra[t, t]).astype(np.float32)
+            ra[t + 1:, t:] = (
+                ra[t + 1:, t:]
+                - mult[:, None] * ra[t, t:][None, :]
+            ).astype(np.float32)
+            rb[t + 1:] = (rb[t + 1:] - mult * rb[t]).astype(np.float32)
+        assert_close(a, ra, rtol=1e-2, atol=1e-2, context="gaussian A")
+        assert_close(bv, rb, rtol=1e-2, atol=1e-2, context="gaussian b")

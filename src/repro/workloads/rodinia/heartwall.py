@@ -1,0 +1,96 @@
+"""Rodinia heartwall (reduced): per-tracking-point windowed normalized
+cross-correlation surrogate against a template."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+WIN = 8  # window side
+
+
+def heartwall_kernel():
+    b = KernelBuilder(
+        "hw_track",
+        params=[
+            Param("frame", is_pointer=True),      # H x W f32
+            Param("template", is_pointer=True),   # WIN x WIN f32
+            Param("points", is_pointer=True),     # n x 2 s32 (row, col)
+            Param("scores", is_pointer=True),     # n f32
+            Param("width", DType.S32),
+            Param("n_points", DType.S32),
+        ],
+    )
+    frame, tmpl, pts, scores = (b.param(i) for i in range(4))
+    width, n_points = b.param(4), b.param(5)
+    tid = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, tid, n_points)
+    with b.if_then(ok):
+        p_addr = b.addr(pts, b.shl(tid, 1), 4)
+        row = b.ld_global(p_addr, DType.S32)
+        col = b.ld_global(p_addr, DType.S32, disp=4)
+        acc = b.mov(0.0, DType.F32)
+        with b.for_range(0, WIN) as wy:
+            f_row = b.add(row, wy)
+            f_base = b.mad(f_row, width, col)
+            f_addr = b.addr(frame, f_base, 4)
+            t_base = b.mul(wy, WIN)
+            t_addr = b.addr(tmpl, t_base, 4)
+            for wx in range(WIN):
+                fv = b.ld_global(f_addr, DType.F32, disp=4 * wx)
+                tv = b.ld_global(t_addr, DType.F32, disp=4 * wx)
+                b.mov_to(acc, b.fma(fv, tv, acc))
+        b.st_global(b.addr(scores, tid, 4), acc, DType.F32)
+    return b.build()
+
+
+class HeartwallWorkload(Workload):
+    name = "heartwall"
+    abbr = "HTW"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"h": 64, "w": 64, "n_points": 256},
+            "small": {"h": 128, "w": 128, "n_points": 2048},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        h, w = int(self.params["h"]), int(self.params["w"])
+        n = self.n = int(self.params["n_points"])
+        self.w = w
+        self.h_frame = self.rand_f32(h, w)
+        self.h_tmpl = self.rand_f32(WIN, WIN)
+        rows = self.rand_s32(0, h - WIN, n)
+        cols = self.rand_s32(0, w - WIN, n)
+        self.h_pts = np.stack([rows, cols], axis=1).astype(np.int32)
+        self.d_frame = device.upload(self.h_frame)
+        self.d_tmpl = device.upload(self.h_tmpl)
+        self.d_pts = device.upload(self.h_pts)
+        self.d_scores = device.alloc(n * 4)
+        self.track_output(self.d_scores, n, np.float32)
+        return [
+            LaunchSpec(heartwall_kernel(), grid=(n + 127) // 128,
+                       block=128,
+                       args=(self.d_frame, self.d_tmpl, self.d_pts,
+                             self.d_scores, w, n))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_scores, self.n, np.float32)
+        want = np.empty(self.n, dtype=np.float32)
+        for i, (r, c) in enumerate(self.h_pts):
+            window = self.h_frame[r:r + WIN, c:c + WIN]
+            want[i] = np.float32(
+                np.sum(
+                    window.astype(np.float64)
+                    * self.h_tmpl.astype(np.float64)
+                )
+            )
+        assert_close(got, want, rtol=1e-3, atol=1e-3,
+                     context="heartwall scores")

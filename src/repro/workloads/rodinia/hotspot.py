@@ -1,0 +1,164 @@
+"""Rodinia hotspot: 2D thermal stencil with shared-memory tiling."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+TILE = 16
+CAP = 0.5
+RX, RY, RZ = 0.2, 0.2, 0.1
+
+
+def hotspot_kernel():
+    """One Jacobi step over a TILE x TILE block staged through shared
+    memory (interior-only update; borders copy through)."""
+    b = KernelBuilder(
+        "hotspot_step",
+        params=[
+            Param("temp_in", is_pointer=True),
+            Param("power", is_pointer=True),
+            Param("temp_out", is_pointer=True),
+            Param("n", DType.S32),
+        ],
+        shared_mem_bytes=TILE * TILE * 4,
+    )
+    t_in, pwr, t_out = b.param(0), b.param(1), b.param(2)
+    n = b.param(3)
+    tx, ty = b.tid_x(), b.tid_y()
+    col = b.mad(b.ctaid_x(), b.ntid_x(), tx)
+    row = b.mad(b.ctaid_y(), b.ntid_y(), ty)
+    gidx = b.mad(row, n, col)
+
+    # Stage the tile into shared memory.
+    sidx = b.mad(ty, TILE, tx)
+    saddr = b.cvt(b.shl(sidx, 2), DType.S64)
+    tv = b.ld_global(b.addr(t_in, gidx, 4), DType.F32)
+    b.st_shared(saddr, tv, DType.F32)
+    b.bar()
+
+    n1 = b.sub(n, 1)
+    interior = b.and_(
+        b.and_(b.setp(CmpOp.GE, row, 1), b.setp(CmpOp.LT, row, n1),
+               DType.PRED),
+        b.and_(b.setp(CmpOp.GE, col, 1), b.setp(CmpOp.LT, col, n1),
+               DType.PRED),
+        DType.PRED,
+    )
+    tile_edge = b.or_(
+        b.or_(b.setp(CmpOp.EQ, tx, 0), b.setp(CmpOp.EQ, tx, TILE - 1),
+              DType.PRED),
+        b.or_(b.setp(CmpOp.EQ, ty, 0), b.setp(CmpOp.EQ, ty, TILE - 1),
+              DType.PRED),
+        DType.PRED,
+    )
+    with b.if_else(interior) as (then, otherwise):
+        with then:
+            with b.if_else(tile_edge) as (edge_then, edge_else):
+                with edge_then:
+                    # neighbors cross the tile: read from global
+                    north = b.ld_global(
+                        b.addr(t_in, b.sub(gidx, n), 4), DType.F32
+                    )
+                    south = b.ld_global(
+                        b.addr(t_in, b.add(gidx, n), 4), DType.F32
+                    )
+                    a = b.addr(t_in, gidx, 4)
+                    west = b.ld_global(a, DType.F32, disp=-4)
+                    east = b.ld_global(a, DType.F32, disp=4)
+                    _store_update(
+                        b, t_out, pwr, gidx, tv, north, south, east, west
+                    )
+                with edge_else:
+                    north = b.ld_shared(
+                        saddr, DType.F32, disp=-4 * TILE
+                    )
+                    south = b.ld_shared(
+                        saddr, DType.F32, disp=4 * TILE
+                    )
+                    west = b.ld_shared(saddr, DType.F32, disp=-4)
+                    east = b.ld_shared(saddr, DType.F32, disp=4)
+                    _store_update(
+                        b, t_out, pwr, gidx, tv, north, south, east, west
+                    )
+        with otherwise:
+            b.st_global(b.addr(t_out, gidx, 4), tv, DType.F32)
+    return b.build()
+
+
+def _store_update(b, t_out, pwr, gidx, tv, north, south, east, west):
+    p = b.ld_global(b.addr(pwr, gidx, 4), DType.F32)
+    ns = b.fma(
+        b.sub(b.add(north, south, DType.F32),
+              b.mul(tv, 2.0, DType.F32), DType.F32),
+        RY, p,
+    )
+    ew = b.fma(
+        b.sub(b.add(east, west, DType.F32),
+              b.mul(tv, 2.0, DType.F32), DType.F32),
+        RX, ns,
+    )
+    delta = b.mul(ew, CAP, DType.F32)
+    b.st_global(b.addr(t_out, gidx, 4), b.add(tv, delta, DType.F32),
+                DType.F32)
+
+
+def hotspot_reference(temp: np.ndarray, power: np.ndarray,
+                      steps: int) -> np.ndarray:
+    t = temp.astype(np.float32).copy()
+    for _ in range(steps):
+        out = t.copy()
+        c = t[1:-1, 1:-1]
+        ns = (t[:-2, 1:-1] + t[2:, 1:-1] - 2 * c).astype(np.float32)
+        ew = (t[1:-1, :-2] + t[1:-1, 2:] - 2 * c).astype(np.float32)
+        acc = (power[1:-1, 1:-1] + np.float32(RY) * ns).astype(np.float32)
+        acc = (acc + np.float32(RX) * ew).astype(np.float32)
+        out[1:-1, 1:-1] = (c + np.float32(CAP) * acc).astype(np.float32)
+        t = out
+    return t
+
+
+class HotspotWorkload(Workload):
+    name = "hotspot"
+    abbr = "HSP"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n": 32, "steps": 1},
+            "small": {"n": 96, "steps": 2},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        steps = self.steps = int(self.params["steps"])
+        self.h_temp = (self.rand_f32(n, n) * 40 + 300).astype(np.float32)
+        self.h_power = self.rand_f32(n, n)
+        self.d_t1 = device.upload(self.h_temp)
+        self.d_t2 = device.upload(self.h_temp)
+        self.d_p = device.upload(self.h_power)
+
+        kernel = hotspot_kernel()
+        grid = (n // TILE, n // TILE)
+        launches = []
+        src, dst = self.d_t1, self.d_t2
+        for _ in range(steps):
+            launches.append(
+                LaunchSpec(kernel, grid=grid, block=(TILE, TILE),
+                           args=(src, self.d_p, dst, n))
+            )
+            src, dst = dst, src
+        self.final = src
+        self.track_output(self.final, n * n, np.float32)
+        return launches
+
+    def check(self, device) -> None:
+        got = device.download(self.final, self.n * self.n,
+                              np.float32).reshape(self.n, self.n)
+        want = hotspot_reference(self.h_temp, self.h_power, self.steps)
+        assert_close(got, want, rtol=1e-3, atol=1e-2, context="hotspot")

@@ -1,0 +1,87 @@
+"""Rodinia kmeans: nearest-centroid assignment (1D blocks, feature loop).
+
+One-dimensional grid with thousands of blocks — the paper notes KM gains
+from cross-block thread-index sharing even with 1D blocks (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+
+
+def kmeans_kernel(n_features: int, n_clusters: int):
+    b = KernelBuilder(
+        "kmeans_assign",
+        params=[
+            Param("features", is_pointer=True),   # n_points x n_features
+            Param("clusters", is_pointer=True),   # n_clusters x n_features
+            Param("membership", is_pointer=True),
+            Param("n_points", DType.S32),
+        ],
+    )
+    feat, clus, member = b.param(0), b.param(1), b.param(2)
+    n_points = b.param(3)
+    pt = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, pt, n_points)
+    with b.if_then(ok):
+        row = b.mul(pt, n_features)
+        f_addr = b.addr(feat, row, 4)
+        best_d = b.mov(1e30, DType.F32)
+        best_i = b.mov(0)
+        for c in range(n_clusters):
+            d = b.mov(0.0, DType.F32)
+            c_addr = b.addr(clus, b.mov(c * n_features), 4)
+            for f in range(n_features):
+                fv = b.ld_global(f_addr, DType.F32, disp=4 * f)
+                cv = b.ld_global(c_addr, DType.F32, disp=4 * f)
+                diff = b.sub(fv, cv, DType.F32)
+                d = b.fma(diff, diff, d)
+            closer = b.setp(CmpOp.LT, d, best_d)
+            b.mov_to(best_d, b.selp(d, best_d, closer, DType.F32))
+            b.mov_to(best_i, b.selp(c, best_i, closer))
+        b.st_global(b.addr(member, pt, 4), best_i, DType.S32)
+    return b.build()
+
+
+class KmeansWorkload(Workload):
+    name = "kmeans"
+    abbr = "KM"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n_points": 1024, "n_features": 4, "n_clusters": 3},
+            "small": {"n_points": 8192, "n_features": 8, "n_clusters": 5},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n_points"])
+        nf = self.nf = int(self.params["n_features"])
+        nc = self.nc = int(self.params["n_clusters"])
+        self.h_feat = self.rand_f32(n, nf)
+        self.h_clus = self.rand_f32(nc, nf)
+        self.d_feat = device.upload(self.h_feat)
+        self.d_clus = device.upload(self.h_clus)
+        self.d_member = device.alloc(n * 4)
+        self.track_output(self.d_member, n, np.int32)
+        return [
+            LaunchSpec(
+                kmeans_kernel(nf, nc), grid=(n + 255) // 256, block=256,
+                args=(self.d_feat, self.d_clus, self.d_member, n),
+            )
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_member, self.n, np.int32)
+        d = np.zeros((self.n, self.nc), dtype=np.float32)
+        for c in range(self.nc):
+            diff = (self.h_feat - self.h_clus[c]).astype(np.float32)
+            d[:, c] = np.sum(diff * diff, axis=1, dtype=np.float32)
+        want = np.argmin(d, axis=1).astype(np.int32)
+        assert_equal(got, want, context="kmeans membership")

@@ -1,0 +1,109 @@
+"""Rodinia lavaMD (reduced): particle interactions within a box and its
+neighbor boxes.  One thread block per home box; threads iterate over the
+particles of each neighbor box accumulating a cutoff-free LJ-style force
+surrogate."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+PAR_PER_BOX = 32
+NEIGHBORS = 4  # including self
+
+
+def lavamd_kernel():
+    b = KernelBuilder(
+        "lavamd_forces",
+        params=[
+            Param("pos", is_pointer=True),       # boxes*PAR x 3 f32
+            Param("charge", is_pointer=True),    # boxes*PAR f32
+            Param("nbr_list", is_pointer=True),  # boxes x NEIGHBORS s32
+            Param("force", is_pointer=True),     # boxes*PAR f32 (scalar)
+        ],
+    )
+    pos, q_p, nbrs, force = (b.param(i) for i in range(4))
+    box = b.ctaid_x()
+    tx = b.tid_x()
+    my_idx = b.mad(box, PAR_PER_BOX, tx)
+    my_base = b.mul(my_idx, 3)
+    a_me = b.addr(pos, my_base, 4)
+    x = b.ld_global(a_me, DType.F32)
+    y = b.ld_global(a_me, DType.F32, disp=4)
+    z = b.ld_global(a_me, DType.F32, disp=8)
+    acc = b.mov(0.0, DType.F32)
+    nbr_base = b.addr(nbrs, b.mul(box, NEIGHBORS), 4)
+    for k in range(NEIGHBORS):
+        nbox = b.ld_global(nbr_base, DType.S32, disp=4 * k)
+        first = b.mul(nbox, PAR_PER_BOX)
+        a_o = b.addr(pos, b.mul(first, 3), 4)
+        a_q = b.addr(q_p, first, 4)
+        with b.for_range(0, PAR_PER_BOX):
+            ox = b.ld_global(a_o, DType.F32)
+            oy = b.ld_global(a_o, DType.F32, disp=4)
+            oz = b.ld_global(a_o, DType.F32, disp=8)
+            qv = b.ld_global(a_q, DType.F32)
+            dx = b.sub(x, ox, DType.F32)
+            dy = b.sub(y, oy, DType.F32)
+            dz = b.sub(z, oz, DType.F32)
+            r2 = b.fma(dx, dx, b.fma(dy, dy, b.mul(dz, dz, DType.F32)))
+            w = b.rcp(b.add(r2, 1.0, DType.F32), DType.F32)
+            b.mov_to(acc, b.fma(qv, w, acc))
+            b.add_to(a_o, a_o, 12)
+            b.add_to(a_q, a_q, 4)
+    b.st_global(b.addr(force, my_idx, 4), acc, DType.F32)
+    return b.build()
+
+
+class LavaMDWorkload(Workload):
+    name = "lavaMD"
+    abbr = "LMD"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"boxes": 4}, "small": {"boxes": 24}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        boxes = self.boxes = int(self.params["boxes"])
+        n = boxes * PAR_PER_BOX
+        self.h_pos = self.rand_f32(n, 3)
+        self.h_q = self.rand_f32(n)
+        self.h_nbrs = np.stack(
+            [
+                (np.arange(boxes) + d) % boxes
+                for d in range(NEIGHBORS)
+            ],
+            axis=1,
+        ).astype(np.int32)
+        self.d_pos = device.upload(self.h_pos)
+        self.d_q = device.upload(self.h_q)
+        self.d_nbrs = device.upload(self.h_nbrs)
+        self.d_force = device.alloc(n * 4)
+        self.n = n
+        self.track_output(self.d_force, n, np.float32)
+        return [
+            LaunchSpec(lavamd_kernel(), grid=boxes, block=PAR_PER_BOX,
+                       args=(self.d_pos, self.d_q, self.d_nbrs,
+                             self.d_force))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_force, self.n, np.float32)
+        want = np.zeros(self.n, dtype=np.float64)
+        pos = self.h_pos.astype(np.float64)
+        for box in range(self.boxes):
+            for t in range(PAR_PER_BOX):
+                i = box * PAR_PER_BOX + t
+                for nbox in self.h_nbrs[box]:
+                    for j in range(PAR_PER_BOX):
+                        o = nbox * PAR_PER_BOX + j
+                        d = pos[i] - pos[o]
+                        r2 = float(d @ d)
+                        want[i] += self.h_q[o] / (r2 + 1.0)
+        assert_close(got, want.astype(np.float32), rtol=1e-3, atol=1e-3,
+                     context="lavamd forces")

@@ -1,0 +1,94 @@
+"""Rodinia mummergpu (structural stand-in): batched suffix-trie matching.
+
+Each thread walks a byte-indexed transition table for its query string —
+data-dependent loads in a while loop, like the original's tree walk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+
+ALPHABET = 4
+
+
+def mummer_kernel(qlen: int):
+    b = KernelBuilder(
+        "mummer_match",
+        params=[
+            Param("trans", is_pointer=True),   # s32 [n_states x ALPHABET]
+            Param("queries", is_pointer=True),  # s32 symbols
+            Param("out", is_pointer=True),      # matched length per query
+            Param("n_queries", DType.S32),
+        ],
+    )
+    trans, queries, out = b.param(0), b.param(1), b.param(2)
+    nq = b.param(3)
+    tid = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, tid, nq)
+    with b.if_then(ok):
+        qbase = b.mul(tid, qlen)
+        q_addr = b.addr(queries, qbase, 4)
+        state = b.mov(0)
+        matched = b.mov(0)
+        alive = b.mov(1)
+        for pos in range(qlen):
+            sym = b.ld_global(q_addr, DType.S32, disp=4 * pos)
+            t_idx = b.mad(state, ALPHABET, sym)
+            nxt = b.ld_global(b.addr(trans, t_idx, 4), DType.S32)
+            dead = b.setp(CmpOp.LT, nxt, 0)
+            b.mov_to(alive, b.selp(0, alive, dead))
+            still = b.setp(CmpOp.NE, alive, 0)
+            b.mov_to(state, b.selp(nxt, state, still))
+            b.mov_to(matched, b.selp(b.add(matched, 1), matched, still))
+        b.st_global(b.addr(out, tid, 4), matched, DType.S32)
+    return b.build()
+
+
+class MummerWorkload(Workload):
+    name = "mummergpu"
+    abbr = "MUM"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"n_states": 64, "n_queries": 1024, "qlen": 8},
+            "small": {"n_states": 256, "n_queries": 6144, "qlen": 12},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        ns = int(self.params["n_states"])
+        nq = self.nq = int(self.params["n_queries"])
+        qlen = self.qlen = int(self.params["qlen"])
+        # transition table with some dead ends (-1)
+        trans = self.rng.integers(-1, ns, size=(ns, ALPHABET))
+        self.h_trans = trans.astype(np.int32)
+        self.h_q = self.rand_s32(0, ALPHABET, nq, qlen)
+        self.d_trans = device.upload(self.h_trans)
+        self.d_q = device.upload(self.h_q)
+        self.d_out = device.alloc(nq * 4)
+        self.track_output(self.d_out, nq, np.int32)
+        return [
+            LaunchSpec(mummer_kernel(qlen), grid=(nq + 255) // 256,
+                       block=256,
+                       args=(self.d_trans, self.d_q, self.d_out, nq))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_out, self.nq, np.int32)
+        want = np.empty(self.nq, dtype=np.int32)
+        for i in range(self.nq):
+            state, matched = 0, 0
+            for pos in range(self.qlen):
+                nxt = self.h_trans[state, self.h_q[i, pos]]
+                if nxt < 0:
+                    break
+                state = nxt
+                matched += 1
+            want[i] = matched
+        assert_equal(got, want, context="mummer matched lengths")

@@ -1,0 +1,71 @@
+"""Rodinia nn (nearest neighbor): per-record Euclidean distance.
+
+Almost all of its instruction stream is address generation + a short
+float computation — one of the highest-linearity apps in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+
+def nn_kernel():
+    b = KernelBuilder(
+        "euclid",
+        params=[
+            Param("locations", is_pointer=True),  # interleaved lat/lng
+            Param("distances", is_pointer=True),
+            Param("n", DType.S32),
+        ],
+    )
+    loc, dist = b.param(0), b.param(1)
+    n = b.param(2)
+    lat0, lng0 = 30.0, -90.0
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n)
+    with b.if_then(ok):
+        pair = b.shl(i, 1)
+        a = b.addr(loc, pair, 4)
+        lat = b.ld_global(a, DType.F32)
+        lng = b.ld_global(a, DType.F32, disp=4)
+        dlat = b.sub(lat, lat0, DType.F32)
+        dlng = b.sub(lng, lng0, DType.F32)
+        sq = b.fma(dlat, dlat, b.mul(dlng, dlng, DType.F32))
+        b.st_global(b.addr(dist, i, 4), b.sqrt(sq, DType.F32), DType.F32)
+    return b.build()
+
+
+class NNWorkload(Workload):
+    name = "nn"
+    abbr = "NN"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {"tiny": {"n": 2048}, "small": {"n": 32768},
+                "large": {"n": 131072}}
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        n = self.n = int(self.params["n"])
+        self.h_loc = (self.rand_f32(n, 2) * 100.0 - 50.0).astype(np.float32)
+        self.d_loc = device.upload(self.h_loc)
+        self.d_dist = device.alloc(n * 4)
+        self.track_output(self.d_dist, n, np.float32)
+        return [
+            LaunchSpec(nn_kernel(), grid=(n + 255) // 256, block=256,
+                       args=(self.d_loc, self.d_dist, n))
+        ]
+
+    def check(self, device) -> None:
+        got = device.download(self.d_dist, self.n, np.float32)
+        dlat = self.h_loc[:, 0] - np.float32(30.0)
+        dlng = self.h_loc[:, 1] - np.float32(-90.0)
+        want = np.sqrt(
+            (dlat * dlat + dlng * dlng).astype(np.float32)
+        ).astype(np.float32)
+        assert_close(got, want, context="nn distances")

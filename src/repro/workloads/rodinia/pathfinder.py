@@ -1,0 +1,94 @@
+"""Rodinia pathfinder: dynamic programming over a grid, one row per
+launch (simplified from the pyramid-tiled original; the address pattern —
+row base + tid with left/right neighbors — is the same)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_equal
+
+
+def pathfinder_kernel():
+    b = KernelBuilder(
+        "dynproc",
+        params=[
+            Param("wall", is_pointer=True),   # s32 row of costs
+            Param("src", is_pointer=True),    # s32 previous results
+            Param("dst", is_pointer=True),    # s32 new results
+            Param("cols", DType.S32),
+        ],
+    )
+    wall, src, dst = b.param(0), b.param(1), b.param(2)
+    cols = b.param(3)
+    tid = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, tid, cols)
+    with b.if_then(ok):
+        a = b.addr(src, tid, 4)
+        center = b.ld_global(a, DType.S32)
+        best = b.mov(center)
+        left_ok = b.setp(CmpOp.GT, tid, 0)
+        with b.if_then(left_ok):
+            left = b.ld_global(a, DType.S32, disp=-4)
+            b.mov_to(best, b.min_(best, left))
+        c1 = b.sub(cols, 1)
+        right_ok = b.setp(CmpOp.LT, tid, c1)
+        with b.if_then(right_ok):
+            right = b.ld_global(a, DType.S32, disp=4)
+            b.mov_to(best, b.min_(best, right))
+        w = b.ld_global(b.addr(wall, tid, 4), DType.S32)
+        b.st_global(b.addr(dst, tid, 4), b.add(best, w), DType.S32)
+    return b.build()
+
+
+class PathfinderWorkload(Workload):
+    name = "pathfinder"
+    abbr = "PTH"
+    suite = "rodinia"
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"cols": 1024, "rows": 4},
+            "small": {"cols": 8192, "rows": 6},
+        }
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        cols = self.cols = int(self.params["cols"])
+        rows = self.rows = int(self.params["rows"])
+        self.h_wall = self.rand_s32(0, 10, rows, cols)
+        self.d_walls = [device.upload(self.h_wall[r]) for r in range(rows)]
+        self.d_a = device.upload(self.h_wall[0].astype(np.int32))
+        self.d_b = device.alloc(cols * 4)
+
+        kernel = pathfinder_kernel()
+        launches = []
+        src, dst = self.d_a, self.d_b
+        for r in range(1, rows):
+            launches.append(
+                LaunchSpec(kernel, grid=(cols + 255) // 256, block=256,
+                           args=(self.d_walls[r], src, dst, cols))
+            )
+            src, dst = dst, src
+        self.final = src
+        self.track_output(self.final, cols, np.int32)
+        return launches
+
+    def check(self, device) -> None:
+        got = device.download(self.final, self.cols, np.int32)
+        prev = self.h_wall[0].astype(np.int64)
+        for r in range(1, self.rows):
+            best = prev.copy()
+            best[1:] = np.minimum(best[1:], prev[:-1])
+            best[:-1] = np.minimum(best[:-1], prev[1:])
+            prev = best + self.h_wall[r]
+        assert_equal(got, prev.astype(np.int32), context="pathfinder")
+
+
+# The multi-write `best` register above (min-chain under predicates) is
+# deliberately shaped like the original kernel's running minimum: it
+# exercises the analyzer's divergent multi-write handling on a register
+# that is NOT a linear combination.

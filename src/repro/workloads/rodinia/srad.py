@@ -1,0 +1,205 @@
+"""Rodinia SRAD v1/v2: speckle-reducing anisotropic diffusion.
+
+Two kernels per iteration (gradient/coefficient, then update).  SRAD2 in
+the paper runs 65,536 blocks of 8 warps — the poster child for
+cross-block thread-index sharing; we keep the 2D many-small-blocks shape
+at reduced size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...isa import CmpOp, DType, KernelBuilder, Param
+from ..base import LaunchSpec, Workload, assert_close
+
+LAMBDA = 0.5
+Q0SQR = 0.05
+
+
+def srad_kernel1():
+    """Compute diffusion coefficient c from the 4-neighbor gradient."""
+    b = KernelBuilder(
+        "srad_prepare",
+        params=[
+            Param("img", is_pointer=True),
+            Param("c", is_pointer=True),
+            Param("rows", DType.S32),
+            Param("cols", DType.S32),
+        ],
+    )
+    img, c_p = b.param(0), b.param(1)
+    rows, cols = b.param(2), b.param(3)
+    j = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    i = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    r1 = b.sub(rows, 1)
+    c1 = b.sub(cols, 1)
+    ok = b.and_(
+        b.and_(b.setp(CmpOp.GE, i, 1), b.setp(CmpOp.LT, i, r1),
+               DType.PRED),
+        b.and_(b.setp(CmpOp.GE, j, 1), b.setp(CmpOp.LT, j, c1),
+               DType.PRED),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        idx = b.mad(i, cols, j)
+        a = b.addr(img, idx, 4)
+        jc = b.ld_global(a, DType.F32)
+        jn = b.ld_global(b.addr(img, b.sub(idx, cols), 4), DType.F32)
+        js = b.ld_global(b.addr(img, b.add(idx, cols), 4), DType.F32)
+        jw = b.ld_global(a, DType.F32, disp=-4)
+        je = b.ld_global(a, DType.F32, disp=4)
+        g2 = b.mov(0.0, DType.F32)
+        for nb in (jn, js, jw, je):
+            d = b.sub(nb, jc, DType.F32)
+            g2 = b.fma(d, d, g2)
+        denom = b.fma(jc, jc, 1e-6)
+        q = b.div(g2, denom, DType.F32)
+        cval = b.rcp(b.add(1.0, b.div(q, Q0SQR, DType.F32), DType.F32),
+                     DType.F32)
+        cval = b.max_(b.min_(cval, 1.0, DType.F32), 0.0, DType.F32)
+        b.st_global(b.addr(c_p, idx, 4), cval, DType.F32)
+    return b.build()
+
+
+def srad_kernel2():
+    """Diffuse: img += lambda/4 * divergence(c * grad)."""
+    b = KernelBuilder(
+        "srad_update",
+        params=[
+            Param("img", is_pointer=True),
+            Param("c", is_pointer=True),
+            Param("out", is_pointer=True),
+            Param("rows", DType.S32),
+            Param("cols", DType.S32),
+        ],
+    )
+    img, c_p, out = b.param(0), b.param(1), b.param(2)
+    rows, cols = b.param(3), b.param(4)
+    j = b.mad(b.ctaid_x(), b.ntid_x(), b.tid_x())
+    i = b.mad(b.ctaid_y(), b.ntid_y(), b.tid_y())
+    r1 = b.sub(rows, 1)
+    c1 = b.sub(cols, 1)
+    ok = b.and_(
+        b.and_(b.setp(CmpOp.GE, i, 1), b.setp(CmpOp.LT, i, r1),
+               DType.PRED),
+        b.and_(b.setp(CmpOp.GE, j, 1), b.setp(CmpOp.LT, j, c1),
+               DType.PRED),
+        DType.PRED,
+    )
+    with b.if_then(ok):
+        idx = b.mad(i, cols, j)
+        a_img = b.addr(img, idx, 4)
+        a_c = b.addr(c_p, idx, 4)
+        jc = b.ld_global(a_img, DType.F32)
+        cc = b.ld_global(a_c, DType.F32)
+        cs = b.ld_global(b.addr(c_p, b.add(idx, cols), 4), DType.F32)
+        ce = b.ld_global(a_c, DType.F32, disp=4)
+        jn = b.ld_global(b.addr(img, b.sub(idx, cols), 4), DType.F32)
+        js = b.ld_global(b.addr(img, b.add(idx, cols), 4), DType.F32)
+        jw = b.ld_global(a_img, DType.F32, disp=-4)
+        je = b.ld_global(a_img, DType.F32, disp=4)
+        div = b.mul(cc, b.sub(jn, jc, DType.F32), DType.F32)
+        div = b.fma(cs, b.sub(js, jc, DType.F32), div)
+        div = b.fma(cc, b.sub(jw, jc, DType.F32), div)
+        div = b.fma(ce, b.sub(je, jc, DType.F32), div)
+        newv = b.fma(div, LAMBDA / 4.0, jc)
+        b.st_global(b.addr(out, idx, 4), newv, DType.F32)
+    return b.build()
+
+
+def _srad_reference(img: np.ndarray, iters: int) -> np.ndarray:
+    x = img.astype(np.float32).copy()
+    for _ in range(iters):
+        jc = x[1:-1, 1:-1]
+        jn = x[:-2, 1:-1]
+        js = x[2:, 1:-1]
+        jw = x[1:-1, :-2]
+        je = x[1:-1, 2:]
+        g2 = ((jn - jc) ** 2 + (js - jc) ** 2 + (jw - jc) ** 2
+              + (je - jc) ** 2).astype(np.float32)
+        q = (g2 / (jc * jc + np.float32(1e-6))).astype(np.float32)
+        c = (1.0 / (1.0 + q / np.float32(Q0SQR))).astype(np.float32)
+        c = np.clip(c, 0.0, 1.0).astype(np.float32)
+        cfull = np.zeros_like(x)
+        cfull[1:-1, 1:-1] = c
+        out = x.copy()
+        cc = cfull[1:-1, 1:-1]
+        cs = cfull[2:, 1:-1]
+        ce = cfull[1:-1, 2:]
+        div = (cc * (jn - jc) + cs * (js - jc) + cc * (jw - jc)
+               + ce * (je - jc)).astype(np.float32)
+        out[1:-1, 1:-1] = (jc + np.float32(LAMBDA / 4.0) * div).astype(
+            np.float32
+        )
+        x = out
+    return x
+
+
+class _SradBase(Workload):
+    suite = "rodinia"
+    block_shape = (16, 16)
+
+    def prepare(self, device) -> List[LaunchSpec]:
+        rows = self.rows = int(self.params["rows"])
+        cols = self.cols = int(self.params["cols"])
+        iters = self.iters = int(self.params["iters"])
+        self.h_img = (self.rand_f32(rows, cols) + 0.5).astype(np.float32)
+        self.d_img = device.upload(self.h_img)
+        self.d_c = device.alloc(rows * cols * 4)
+        self.d_out = device.upload(self.h_img)  # borders carry through
+        bx, by = self.block_shape
+        grid = ((cols + bx - 1) // bx, (rows + by - 1) // by)
+        k1, k2 = srad_kernel1(), srad_kernel2()
+        launches = []
+        src, dst = self.d_img, self.d_out
+        for _ in range(iters):
+            launches.append(
+                LaunchSpec(k1, grid, self.block_shape,
+                           args=(src, self.d_c, rows, cols))
+            )
+            launches.append(
+                LaunchSpec(k2, grid, self.block_shape,
+                           args=(src, self.d_c, dst, rows, cols))
+            )
+            src, dst = dst, src
+        self.final = src
+        self.track_output(self.final, rows * cols, np.float32)
+        return launches
+
+    def check(self, device) -> None:
+        got = device.download(
+            self.final, self.rows * self.cols, np.float32
+        ).reshape(self.rows, self.cols)
+        want = _srad_reference(self.h_img, self.iters)
+        assert_close(got, want, rtol=1e-3, atol=1e-3,
+                     context=f"{self.abbr} img")
+
+
+class SradV1Workload(_SradBase):
+    name = "srad_v1"
+    abbr = "SRAD1"
+    block_shape = (32, 8)
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"rows": 32, "cols": 32, "iters": 1},
+            "small": {"rows": 96, "cols": 96, "iters": 2},
+        }
+
+
+class SradV2Workload(_SradBase):
+    name = "srad_v2"
+    abbr = "SRAD2"
+    block_shape = (16, 16)  # 8 warps/block, many blocks (paper shape)
+
+    @classmethod
+    def scales(cls) -> Dict[str, Dict[str, object]]:
+        return {
+            "tiny": {"rows": 48, "cols": 48, "iters": 1},
+            "small": {"rows": 160, "cols": 160, "iters": 2},
+            "large": {"rows": 320, "cols": 320, "iters": 2},
+        }

@@ -1,0 +1,133 @@
+"""R2D2 issue-policy and linear-phase accounting tests."""
+
+import pytest
+
+from repro.arch import LinearPhaseCounts, R2D2Arch
+from repro.arch.r2d2 import _R2D2Policy
+from repro.isa import DType, Dim3, KernelBuilder, LaunchConfig, Param
+from repro.sim import Cache, Device, IssueMode, tiny
+from repro.transform import r2d2_transform
+
+
+def loop_kernel():
+    b = KernelBuilder("loopy", params=[Param("out", is_pointer=True)])
+    out = b.param(0)
+    ptr = b.addr(out, b.global_tid_x(), 4)
+    with b.for_range(0, 4):
+        b.st_global(ptr, 1, DType.S32)
+        b.add_to(ptr, ptr, 4)
+    return b.build()
+
+
+def make_counts(rk, launch, config):
+    return R2D2Arch().linear_phase_counts(rk, launch, config)
+
+
+class TestLinearPhaseCounts:
+    def launch(self, blocks=8, threads=128):
+        return LaunchConfig(Dim3(blocks), Dim3(threads), args=(0,))
+
+    def test_totals(self):
+        counts = LinearPhaseCounts(
+            coef_per_sm=10, thread_per_sm=6, block_per_block=3,
+            sms_used=4, n_blocks=8, warps_per_block=4,
+            lanes_per_block_instr=2,
+        )
+        assert counts.coef_total == 40
+        assert counts.thread_total == 24
+        assert counts.block_total == 24
+        assert counts.warp_total == 88
+
+    def test_sms_used_capped_by_blocks(self):
+        rk = r2d2_transform(loop_kernel())
+        config = tiny()  # 4 SMs
+        counts = make_counts(rk, self.launch(blocks=2), config)
+        assert counts.sms_used == 2
+        counts = make_counts(rk, self.launch(blocks=100), config)
+        assert counts.sms_used == 4
+
+    def test_thread_phase_scales_with_warps(self):
+        rk = r2d2_transform(loop_kernel())
+        config = tiny()
+        small = make_counts(rk, self.launch(threads=32), config)
+        big = make_counts(rk, self.launch(threads=256), config)
+        assert big.thread_per_sm >= small.thread_per_sm
+
+
+class TestR2D2Policy:
+    def test_uniform_updates_issue_on_scalar_path(self):
+        kernel = loop_kernel()
+        rk = r2d2_transform(kernel)
+        assert rk.uniform_pcs, "pointer bump must be promoted"
+        launch = LaunchConfig(Dim3(4), Dim3(128), args=(4096,))
+        config = tiny()
+        counts = make_counts(rk, launch, config)
+        policy = _R2D2Policy(rk, counts, config)
+        for pc in rk.uniform_pcs:
+            assert policy._pc_mode[pc] == IssueMode.SCALAR
+
+    def test_linear_ref_memory_gets_address_add_latency(self):
+        kernel = loop_kernel()
+        rk = r2d2_transform(kernel)
+        launch = LaunchConfig(Dim3(4), Dim3(128), args=(4096,))
+        config = tiny()
+        counts = make_counts(rk, launch, config)
+        policy = _R2D2Policy(rk, counts, config)
+        from repro.isa import LinearRef
+        lr_pcs = [
+            pc for pc, ins in enumerate(rk.transformed.instructions)
+            if any(isinstance(op, LinearRef) for op in ins.srcs)
+        ]
+        if lr_pcs:  # pointer-bump form may keep a plain register base
+            for pc in lr_pcs:
+                assert policy._pc_extra[pc] >= config.latency.r2d2_address_add
+
+    def test_prologues_positive_when_linear_work_exists(self):
+        kernel = loop_kernel()
+        rk = r2d2_transform(kernel)
+        launch = LaunchConfig(Dim3(4), Dim3(128), args=(4096,))
+        config = tiny()
+        counts = make_counts(rk, launch, config)
+        policy = _R2D2Policy(rk, counts, config)
+        assert policy.sm_prologue_cycles(0) > 0
+
+    def test_fetch_extra_raises_prologue(self):
+        kernel = loop_kernel()
+        rk = r2d2_transform(kernel)
+        launch = LaunchConfig(Dim3(4), Dim3(128), args=(4096,))
+        base_cfg = tiny()
+        slow_cfg = tiny().with_latency(r2d2_fetch_extra=7)
+        counts = make_counts(rk, launch, base_cfg)
+        fast = _R2D2Policy(rk, counts, base_cfg).sm_prologue_cycles(0)
+        slow = _R2D2Policy(rk, counts, slow_cfg).sm_prologue_cycles(0)
+        assert slow > fast
+
+
+class TestUniformCounting:
+    def test_uniform_updates_not_in_warp_count(self):
+        """Promoted loop updates leave the SIMT stream (counted as
+        scalar ops instead)."""
+        dev = Device(tiny())
+        kernel = loop_kernel()
+        d = dev.alloc(4 * 4096)
+        arch = R2D2Arch()
+        stats = arch.make_stats()
+        arch.execute_launch(
+            dev, kernel, 4, 128, (d,), tiny(), stats, l2=Cache(tiny().l2)
+        )
+        rk = arch.transform(kernel)
+        # scalar instructions were issued for the promoted updates
+        assert stats.scalar_instructions > 0
+        # and the SIMT count is below the transformed trace size
+        dev2 = Device(tiny())
+        d2 = dev2.alloc(4 * 4096)
+        from repro.transform import R2D2Values
+        launch = LaunchConfig(Dim3(4), Dim3(128), args=(d2,))
+        trace = dev2.launch(
+            rk.transformed, 4, 128, (d2,),
+            linear_values=R2D2Values(rk.plan, launch),
+        )
+        nonlinear_plus_linear = stats.warp_instructions
+        assert nonlinear_plus_linear < trace.warp_instruction_count() + (
+            stats.linear_warp_instructions
+        )

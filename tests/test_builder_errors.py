@@ -1,0 +1,69 @@
+"""Builder misuse and edge-case tests."""
+
+import pytest
+
+from repro.isa import CmpOp, DType, KernelBuilder, Param
+
+
+class TestBuilderErrors:
+    def test_predicate_cannot_be_converted(self):
+        b = KernelBuilder("k")
+        p = b.setp(CmpOp.LT, b.tid_x(), 1)
+        with pytest.raises(TypeError):
+            b.add(p, 1, DType.S32)
+
+    def test_else_before_then_rejected(self):
+        b = KernelBuilder("k")
+        p = b.setp(CmpOp.LT, b.tid_x(), 1)
+        with pytest.raises(RuntimeError):
+            with b.if_else(p) as (then, otherwise):
+                with otherwise:
+                    pass
+
+    def test_operand_type_error(self):
+        b = KernelBuilder("k")
+        with pytest.raises(TypeError):
+            b.add("not-an-operand", 1)  # type: ignore[arg-type]
+
+    def test_unknown_scale_rejected(self):
+        from repro.workloads import factory
+        with pytest.raises(ValueError):
+            factory("NN", "galactic")()
+
+    def test_dim3_rejects_nonpositive(self):
+        from repro.isa import Dim3
+        with pytest.raises(ValueError):
+            Dim3(0)
+
+    def test_negative_for_range_direction(self):
+        """A downward loop uses LE as the exit comparison."""
+        b = KernelBuilder("k")
+        with b.for_range(10, 0, step=-1):
+            pass
+        kernel = b.build()
+        setps = [i for i in kernel.instructions if i.cmp is not None]
+        assert setps[0].cmp is CmpOp.LE
+
+
+class TestDim3Helpers:
+    def test_linear_to_xyz_roundtrip(self):
+        from repro.isa import Dim3
+        d = Dim3(4, 3, 2)
+        seen = set()
+        for idx in range(d.count):
+            xyz = d.linear_to_xyz(idx)
+            assert xyz not in seen
+            seen.add(xyz)
+            x, y, z = xyz
+            assert 0 <= x < 4 and 0 <= y < 3 and 0 <= z < 2
+
+    def test_iter(self):
+        from repro.isa import Dim3
+        assert tuple(Dim3(2, 3, 4)) == (2, 3, 4)
+
+    def test_as_dim3_forms(self):
+        from repro.sim import as_dim3
+        from repro.isa import Dim3
+        assert as_dim3(5) == Dim3(5)
+        assert as_dim3((2, 3)) == Dim3(2, 3)
+        assert as_dim3(Dim3(1, 1, 7)) == Dim3(1, 1, 7)

@@ -1,0 +1,47 @@
+"""CLI tests (`python -m repro`)."""
+
+import pytest
+
+from repro.harness.cli import ALL_NAMES, build_parser, main
+
+
+class TestParser:
+    def test_all_artifact_names_accepted(self):
+        parser = build_parser()
+        for name in ALL_NAMES + ["all", "list"]:
+            args = parser.parse_args([name])
+            assert args.artifact == name
+
+    def test_unknown_artifact_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig12"])
+        assert args.scale == "small"
+        assert args.sms == 4
+        assert args.apps is None
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "tab3" in out
+
+    def test_sec56_runs(self, capsys):
+        assert main(["sec56", "--scale", "tiny", "--sms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "register usage" in out
+        assert "STC" in out
+
+    def test_suite_figure_with_restricted_apps(self, capsys):
+        assert main(
+            ["fig12", "--scale", "tiny", "--sms", "2",
+             "--apps", "NN", "BP"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NN" in out and "BP" in out
+        assert "R2D2" in out

@@ -1,0 +1,70 @@
+"""Energy-model sanity properties."""
+
+import pytest
+
+from repro.isa import CmpOp, DType, KernelBuilder, Param
+from repro.sim import Device, TimingSimulator, tiny
+import dataclasses
+import numpy as np
+
+
+def trace_for(n=2048, float_heavy=False):
+    dev = Device(tiny())
+    b = KernelBuilder(
+        "e", params=[Param("a", is_pointer=True), Param("c", is_pointer=True)]
+    )
+    a_p, c_p = b.param(0), b.param(1)
+    i = b.global_tid_x()
+    v = b.ld_global(b.addr(a_p, i, 4), DType.F32)
+    if float_heavy:
+        for _ in range(8):
+            v = b.fma(v, 1.0001, v)
+    b.st_global(b.addr(c_p, i, 4), v, DType.F32)
+    da = dev.upload(np.ones(n, dtype=np.float32))
+    dc = dev.alloc(4 * n)
+    return dev.launch(b.build(), n // 256, 256, (da, dc))
+
+
+class TestEnergyModel:
+    def test_float_work_costs_more_alu_energy(self):
+        lean = TimingSimulator(tiny(), trace_for()).run()
+        heavy = TimingSimulator(tiny(), trace_for(float_heavy=True)).run()
+        assert heavy.energy.values["alu"] > lean.energy.values["alu"]
+
+    def test_static_energy_scales_with_cycles(self):
+        cfg = tiny()
+        res = TimingSimulator(cfg, trace_for()).run()
+        expected = (
+            cfg.energy.static_pj_per_sm_cycle * res.cycles * res.sms_used
+        )
+        assert res.energy.values["static"] == pytest.approx(expected)
+
+    def test_rf_energy_uses_table1_numbers(self):
+        cfg = tiny()
+        res = TimingSimulator(cfg, trace_for()).run()
+        # rf energy must be a sum of k1*14.2 + k2*20.9 with integer k.
+        rf = res.energy.values["rf"]
+        # brute-force small decomposition check on the per-instruction
+        # average instead: reads+writes happened, so rf > 0 and is
+        # consistent with at least one read per issued instruction.
+        assert rf >= res.issued_simd * cfg.energy.rf_read_pj * 0.5
+
+    def test_dram_energy_appears_on_cold_run(self):
+        res = TimingSimulator(tiny(), trace_for()).run()
+        assert res.energy.values.get("dram", 0) > 0
+
+    def test_energy_total_is_sum(self):
+        res = TimingSimulator(tiny(), trace_for()).run()
+        assert res.energy.total() == pytest.approx(
+            sum(res.energy.values.values())
+        )
+
+    def test_zeroed_static_power(self):
+        cfg = dataclasses.replace(
+            tiny(),
+            energy=dataclasses.replace(
+                tiny().energy, static_pj_per_sm_cycle=0.0
+            ),
+        )
+        res = TimingSimulator(cfg, trace_for()).run()
+        assert res.energy.values["static"] == 0.0

@@ -1,0 +1,95 @@
+"""Harness tests: runner plumbing, report formatting, experiment tables."""
+
+import pytest
+
+from repro.harness import (
+    Table,
+    bench_config,
+    geomean,
+    make_architecture,
+    mean,
+    percent,
+    run_workload,
+)
+from repro.harness.runner import ALL_ARCHES
+from repro.sim import tiny
+from repro.workloads import factory
+
+
+class TestReport:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"
+
+    def test_table_render_aligns(self):
+        t = Table("Title", ["a", "bb"])
+        t.add_row("x", 1.5)
+        t.add_row("longer", 22)
+        text = t.render()
+        assert "Title" in text
+        assert "longer" in text
+        lines = text.splitlines()
+        assert len(lines) == 6
+
+    def test_table_rejects_wrong_arity(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+
+class TestMakeArchitecture:
+    @pytest.mark.parametrize("name", ALL_ARCHES)
+    def test_all_names_constructible(self, name):
+        arch = make_architecture(name)
+        assert arch.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_architecture("tpu")
+
+    def test_r2d2_kwargs_forwarded(self):
+        arch = make_architecture("r2d2", max_entries=4)
+        assert arch.max_entries == 4
+
+
+class TestRunWorkload:
+    def test_subset_of_arches(self):
+        res = run_workload(
+            factory("NN", "tiny"), config=tiny(),
+            arch_names=("baseline", "wp"),
+        )
+        assert set(res.stats) == {"baseline", "wp"}
+        assert res.verified
+
+    def test_metric_helpers_consistent(self):
+        res = run_workload(
+            factory("NN", "tiny"), config=tiny(),
+            arch_names=("baseline", "darsie"),
+        )
+        base = res["baseline"]
+        darsie = res["darsie"]
+        manual = 1 - darsie.warp_instructions / base.warp_instructions
+        assert res.instruction_reduction("darsie") == pytest.approx(manual)
+        assert res.speedup("darsie") == pytest.approx(
+            base.cycles / darsie.cycles
+        )
+
+    def test_verify_can_be_disabled(self):
+        res = run_workload(
+            factory("NN", "tiny"), config=tiny(),
+            arch_names=("baseline",), verify=False,
+        )
+        assert not res.verified
+
+    def test_bench_config_shape(self):
+        cfg = bench_config(6)
+        assert cfg.num_sms == 6
+        assert cfg.warp_size == 32

@@ -1,0 +1,57 @@
+"""Properties of the ideal machines across the whole workload suite."""
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.sim import tiny
+from repro.workloads import all_abbrs, factory
+
+# A representative slice across suites; the full-suite invariant is
+# enforced by tests/test_workloads_integration.py.
+APPS = ("NN", "BP", "GEM", "BFS", "HIS", "DWT", "MUM", "SSSP")
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for abbr in APPS:
+        out[abbr] = run_workload(
+            factory(abbr, "tiny"), config=tiny(),
+            arch_names=("baseline", "wp", "tb", "ln"),
+        )
+    return out
+
+
+class TestIdealOrdering:
+    def test_ln_subsumes_wp(self, results):
+        """Section 2.2: 'the redundancy addressed by WP ... is also
+        incurred by the linearity'."""
+        for abbr, res in results.items():
+            assert (
+                res.thread_instruction_reduction("ln")
+                >= res.thread_instruction_reduction("wp") - 1e-9
+            ), abbr
+
+    def test_ln_subsumes_tb_within_slack(self, results):
+        """LN shares across blocks; TB's memoization can additionally
+        catch value-coincidences, so allow small slack per app but
+        require dominance in aggregate."""
+        ln_total = wp_total = tb_total = 0.0
+        for abbr, res in results.items():
+            ln = res.thread_instruction_reduction("ln")
+            tb = res.thread_instruction_reduction("tb")
+            assert ln >= tb - 0.10, abbr
+            ln_total += ln
+            tb_total += tb
+        assert ln_total > tb_total
+
+    def test_reductions_bounded(self, results):
+        for abbr, res in results.items():
+            for arch in ("wp", "tb", "ln"):
+                red = res.thread_instruction_reduction(arch)
+                assert 0.0 <= red < 1.0, (abbr, arch, red)
+
+    def test_irregular_apps_have_low_ln(self, results):
+        assert results["MUM"].thread_instruction_reduction(
+            "ln"
+        ) < results["NN"].thread_instruction_reduction("ln")

@@ -1,0 +1,233 @@
+"""Unit tests for the KernelBuilder DSL."""
+
+import pytest
+
+from repro.isa import (
+    CmpOp,
+    DType,
+    Instruction,
+    KernelBuilder,
+    MemRef,
+    Opcode,
+    Param,
+    Reg,
+    SpecialReg,
+    validate_kernel,
+)
+
+
+def make_builder(**kw):
+    return KernelBuilder(
+        "k",
+        params=[Param("out", is_pointer=True), Param("n", DType.S32)],
+        **kw,
+    )
+
+
+class TestRegisterNaming:
+    def test_prefixes_follow_ptx_convention(self):
+        b = make_builder()
+        assert b.new_reg(DType.S32).name.startswith("%r")
+        assert b.new_reg(DType.S64).name.startswith("%rd")
+        assert b.new_reg(DType.F32).name.startswith("%f")
+        assert b.new_reg(DType.F64).name.startswith("%fd")
+        assert b.new_reg(DType.PRED).name.startswith("%p")
+
+    def test_names_are_unique(self):
+        b = make_builder()
+        names = {b.new_reg(DType.S32).name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_f32_and_f64_use_distinct_prefixes(self):
+        b = make_builder()
+        f = b.new_reg(DType.F32)
+        fd = b.new_reg(DType.F64)
+        assert f.name != fd.name
+
+
+class TestArithmeticEmission:
+    def test_add_emits_single_instruction(self):
+        b = make_builder()
+        r = b.add(b.tid_x(), 1)
+        kernel = b.build()
+        adds = [i for i in kernel.instructions if i.opcode is Opcode.ADD]
+        assert len(adds) == 1
+        assert adds[0].dst == r
+
+    def test_mad_has_three_sources(self):
+        b = make_builder()
+        b.mad(b.tid_x(), 4, 100)
+        kernel = b.build()
+        mads = [i for i in kernel.instructions if i.opcode is Opcode.MAD]
+        assert len(mads) == 1
+        assert len(mads[0].srcs) == 3
+
+    def test_width_mix_inserts_cvt(self):
+        b = make_builder()
+        ptr = b.param(0)          # s64
+        idx = b.tid_x()           # s32
+        b.add(ptr, idx)
+        kernel = b.build()
+        cvts = [i for i in kernel.instructions if i.opcode is Opcode.CVT]
+        assert len(cvts) == 1
+        assert cvts[0].dtype is DType.S64
+
+    def test_result_dtype_prefers_float(self):
+        b = make_builder()
+        f = b.new_reg(DType.F32)
+        b.mov_to(f, 0.0)
+        r = b.add(f, f)
+        assert r.dtype is DType.F32
+
+    def test_setp_produces_predicate(self):
+        b = make_builder()
+        p = b.setp(CmpOp.LT, b.tid_x(), 10)
+        assert p.dtype is DType.PRED
+        kernel = b.build()
+        setp = [i for i in kernel.instructions if i.opcode is Opcode.SETP][0]
+        assert setp.cmp is CmpOp.LT
+
+    def test_addr_uses_mad_into_s64(self):
+        b = make_builder()
+        base = b.param(0)
+        r = b.addr(base, b.tid_x(), 4)
+        assert r.dtype is DType.S64
+        kernel = b.build()
+        assert any(
+            i.opcode is Opcode.MAD and i.dtype is DType.S64
+            for i in kernel.instructions
+        )
+
+
+class TestMemoryEmission:
+    def test_ld_global_wraps_memref(self):
+        b = make_builder()
+        base = b.param(0)
+        b.ld_global(base, DType.F32, disp=8)
+        kernel = b.build()
+        ld = [i for i in kernel.instructions if i.opcode is Opcode.LD_GLOBAL][0]
+        assert isinstance(ld.srcs[0], MemRef)
+        assert ld.srcs[0].disp == 8
+
+    def test_st_global_value_operand(self):
+        b = make_builder()
+        base = b.param(0)
+        b.st_global(base, 42, DType.S32)
+        kernel = b.build()
+        st = [i for i in kernel.instructions if i.opcode is Opcode.ST_GLOBAL][0]
+        assert st.dst is None
+        assert st.is_store
+
+    def test_address_must_be_register(self):
+        b = make_builder()
+        with pytest.raises(TypeError):
+            b.ld_global(1024)  # type: ignore[arg-type]
+
+    def test_32bit_address_is_widened(self):
+        b = make_builder()
+        idx = b.tid_x()
+        b.ld_global(idx)
+        kernel = b.build()
+        ld = [i for i in kernel.instructions if i.opcode is Opcode.LD_GLOBAL][0]
+        assert ld.srcs[0].base.dtype is DType.S64
+
+
+class TestControlFlow:
+    def test_build_appends_exit(self):
+        b = make_builder()
+        b.add(b.tid_x(), 1)
+        kernel = b.build()
+        assert kernel.instructions[-1].opcode is Opcode.EXIT
+
+    def test_if_then_emits_guarded_branch(self):
+        b = make_builder()
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        with b.if_then(p):
+            b.add(b.tid_x(), 1)
+        kernel = b.build()
+        validate_kernel(kernel)
+        branches = [i for i in kernel.instructions if i.is_branch]
+        assert len(branches) == 1
+        assert branches[0].pred is p
+        assert branches[0].pred_negated
+
+    def test_if_else_creates_two_labels(self):
+        b = make_builder()
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        with b.if_else(p) as (then, otherwise):
+            with then:
+                b.mov(1)
+            with otherwise:
+                b.mov(2)
+        kernel = b.build()
+        validate_kernel(kernel)
+        assert len(kernel.labels) == 2
+
+    def test_for_range_counter_is_multiwrite(self):
+        b = make_builder()
+        with b.for_range(0, 10) as i:
+            b.add(i, 1)
+        kernel = b.build()
+        validate_kernel(kernel)
+        assert kernel.write_counts()[i.name] == 2
+
+    def test_duplicate_label_placement_rejected(self):
+        b = make_builder()
+        lbl = b.fresh_label()
+        b.place_label(lbl)
+        with pytest.raises(ValueError):
+            b.place_label(lbl)
+
+    def test_branch_to_unknown_label_rejected_at_build(self):
+        b = make_builder()
+        b.bra("$nowhere")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_while_loop_breaks(self):
+        b = make_builder()
+        counter = b.mov(0)
+        with b.while_loop() as loop:
+            p = b.setp(CmpOp.GE, counter, 5)
+            loop.break_if(p)
+            b.add_to(counter, counter, 1)
+        kernel = b.build()
+        validate_kernel(kernel)
+
+
+class TestParams:
+    def test_param_load_has_comment(self):
+        b = make_builder()
+        b.param(1)
+        kernel = b.build()
+        ld = [i for i in kernel.instructions if i.opcode is Opcode.LD_PARAM][0]
+        assert ld.comment == "n"
+
+    def test_param_by_name(self):
+        b = make_builder()
+        r = b.param_by_name("n")
+        assert r.dtype is DType.S32
+
+    def test_param_by_unknown_name_raises(self):
+        b = make_builder()
+        with pytest.raises(KeyError):
+            b.param_by_name("missing")
+
+    def test_pointer_params_are_s64(self):
+        b = make_builder()
+        assert b.param(0).dtype is DType.S64
+
+
+class TestDisassembly:
+    def test_disassemble_contains_kernel_name_and_pcs(self):
+        b = make_builder()
+        b.add(b.tid_x(), 1)
+        text = b.build().disassemble()
+        assert "kernel k" in text
+        assert "/*0000*/" in text
+
+    def test_special_register_rendering(self):
+        b = make_builder()
+        b.tid_x()
+        text = b.build().disassemble()
+        assert "%tid.x" in text

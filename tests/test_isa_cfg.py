@@ -1,0 +1,148 @@
+"""Tests for CFG construction and reconvergence analysis."""
+
+from repro.isa import CmpOp, ControlFlowGraph, DType, KernelBuilder, Param
+
+
+def straight_line_kernel():
+    b = KernelBuilder("straight", params=[Param("p", is_pointer=True)])
+    b.add(b.tid_x(), 1)
+    b.mul(b.tid_x(), 2)
+    return b.build()
+
+
+def diamond_kernel():
+    b = KernelBuilder("diamond")
+    p = b.setp(CmpOp.LT, b.tid_x(), 4)
+    with b.if_else(p) as (then, otherwise):
+        with then:
+            b.mov(1)
+        with otherwise:
+            b.mov(2)
+    b.mov(3)
+    return b.build()
+
+
+def loop_kernel():
+    b = KernelBuilder("loop")
+    with b.for_range(0, 8) as i:
+        b.add(i, 1)
+    return b.build()
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = ControlFlowGraph(straight_line_kernel())
+        assert cfg.num_blocks() == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_blocks_partition_all_pcs(self):
+        kernel = diamond_kernel()
+        cfg = ControlFlowGraph(kernel)
+        covered = sorted(
+            pc for block in cfg.blocks for pc in block.pcs
+        )
+        assert covered == list(range(len(kernel.instructions)))
+
+    def test_diamond_shape(self):
+        cfg = ControlFlowGraph(diamond_kernel())
+        entry = cfg.blocks[0]
+        assert len(entry.successors) == 2
+        merge_targets = [
+            cfg.blocks[s].successors for s in entry.successors
+        ]
+        # both arms go to the same merge block
+        assert merge_targets[0] == merge_targets[1]
+
+    def test_predecessors_mirror_successors(self):
+        cfg = ControlFlowGraph(diamond_kernel())
+        for block in cfg.blocks:
+            for s in block.successors:
+                assert block.index in cfg.blocks[s].predecessors
+
+    def test_block_of_pc(self):
+        kernel = diamond_kernel()
+        cfg = ControlFlowGraph(kernel)
+        for pc in range(len(kernel.instructions)):
+            assert pc in cfg.block_of(pc)
+
+
+class TestReconvergence:
+    def test_diamond_reconverges_at_merge(self):
+        kernel = diamond_kernel()
+        cfg = ControlFlowGraph(kernel)
+        branch_pc = next(
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.is_conditional_branch
+        )
+        rpc = cfg.reconvergence_pc(branch_pc)
+        merge_block = cfg.block_of(rpc)
+        # The merge block post-dominates both arms.
+        assert len(merge_block.predecessors) == 2
+
+    def test_loop_exit_branch_reconverges_after_loop(self):
+        kernel = loop_kernel()
+        cfg = ControlFlowGraph(kernel)
+        branch_pc = next(
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.is_conditional_branch
+        )
+        rpc = cfg.reconvergence_pc(branch_pc)
+        # Reconvergence point is the loop-exit block (after the back edge).
+        assert rpc > branch_pc
+
+    def test_if_then_reconverges_at_endif(self):
+        b = KernelBuilder("ifthen")
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        with b.if_then(p):
+            b.mov(1)
+        tail = b.mov(9)
+        kernel = b.build()
+        cfg = ControlFlowGraph(kernel)
+        branch_pc = next(
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.is_conditional_branch
+        )
+        rpc = cfg.reconvergence_pc(branch_pc)
+        tail_pc = next(
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.dst is not None and instr.dst.name == tail.name
+        )
+        assert rpc == tail_pc
+
+
+class TestLoops:
+    def test_loop_has_back_edge(self):
+        cfg = ControlFlowGraph(loop_kernel())
+        assert len(cfg.back_edges()) == 1
+
+    def test_straight_line_has_no_back_edges(self):
+        cfg = ControlFlowGraph(straight_line_kernel())
+        assert cfg.back_edges() == []
+
+    def test_blocks_in_loops_contains_body(self):
+        kernel = loop_kernel()
+        cfg = ControlFlowGraph(kernel)
+        loop_blocks = cfg.blocks_in_loops()
+        add_pc = next(
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.opcode.value == "add"
+        )
+        assert cfg.block_of(add_pc).index in loop_blocks
+
+    def test_entry_not_in_loop(self):
+        kernel = loop_kernel()
+        cfg = ControlFlowGraph(kernel)
+        assert 0 not in cfg.blocks_in_loops()
+
+    def test_nested_loops_two_back_edges(self):
+        b = KernelBuilder("nested")
+        with b.for_range(0, 4) as i:
+            with b.for_range(0, 4) as j:
+                b.add(i, j)
+        cfg = ControlFlowGraph(b.build())
+        assert len(cfg.back_edges()) == 2

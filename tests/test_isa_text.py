@@ -1,0 +1,148 @@
+"""Round-trip tests for the textual kernel format."""
+
+import pytest
+
+from repro.isa import (
+    DType,
+    Kernel,
+    KernelBuilder,
+    Param,
+    ParseError,
+    kernel_to_text,
+    parse_kernel,
+)
+from repro.sim import Device, tiny
+from repro.transform import r2d2_transform
+from repro.workloads import REGISTRY, factory
+
+
+def assert_same_kernel(a: Kernel, b: Kernel) -> None:
+    assert a.name == b.name
+    assert a.params == b.params
+    assert a.shared_mem_bytes == b.shared_mem_bytes
+    assert a.labels == b.labels
+    assert len(a.instructions) == len(b.instructions)
+    for pc, (x, y) in enumerate(zip(a.instructions, b.instructions)):
+        assert x.opcode is y.opcode, pc
+        assert x.dtype is y.dtype, pc
+        assert x.dst == y.dst, pc
+        assert x.srcs == y.srcs, (pc, x.srcs, y.srcs)
+        assert x.pred == y.pred, pc
+        assert x.pred_negated == y.pred_negated, pc
+        assert x.target == y.target, pc
+        assert x.cmp is y.cmp, pc
+        assert x.atom is y.atom, pc
+
+
+@pytest.mark.parametrize("abbr", sorted(REGISTRY))
+def test_roundtrip_every_workload_kernel(abbr):
+    w = factory(abbr, "tiny")()
+    dev = Device(tiny())
+    seen = set()
+    for spec in w.prepare(dev):
+        if id(spec.kernel) in seen:
+            continue
+        seen.add(id(spec.kernel))
+        text = kernel_to_text(spec.kernel)
+        parsed = parse_kernel(text)
+        assert_same_kernel(spec.kernel, parsed)
+
+
+@pytest.mark.parametrize("abbr", ["BP", "GEM", "BFS", "HSP", "CFD"])
+def test_roundtrip_transformed_kernels(abbr):
+    """%lr/%cr operands survive the text round trip."""
+    w = factory(abbr, "tiny")()
+    dev = Device(tiny())
+    for spec in w.prepare(dev)[:1]:
+        rk = r2d2_transform(spec.kernel)
+        text = kernel_to_text(rk.transformed)
+        parsed = parse_kernel(text)
+        assert_same_kernel(rk.transformed, parsed)
+
+
+class TestHandWrittenText:
+    def test_minimal_kernel(self):
+        text = """
+        .kernel mini
+        .param ptr out
+        .shared 0
+
+        /*0000*/ ld.param.s64 %rd1, [P0]
+        /*0001*/ mov.s32 %r1, %tid.x
+        /*0002*/ mad.s64 %rd2, %r1, 4, %rd1
+        /*0003*/ st.global.s32 [%rd2], %r1
+        /*0004*/ exit
+        """
+        kernel = parse_kernel(text)
+        assert kernel.name == "mini"
+        assert len(kernel.instructions) == 5
+        assert kernel.params[0].is_pointer
+
+    def test_parsed_kernel_executes(self):
+        import numpy as np
+        text = """
+        .kernel doubler
+        .param ptr out
+        .shared 0
+        /*0*/ ld.param.s64 %rd1, [P0]
+        /*1*/ mov.s32 %r1, %tid.x
+        /*2*/ shl.s32 %r2, %r1, 1
+        /*3*/ cvt.s64 %rd3, %r1
+        /*4*/ mad.s64 %rd2, %rd3, 4, %rd1
+        /*5*/ st.global.s32 [%rd2], %r2
+        /*6*/ exit
+        """
+        kernel = parse_kernel(text)
+        dev = Device(tiny())
+        d = dev.alloc(4 * 32)
+        dev.launch(kernel, 1, 32, (d,))
+        got = dev.download(d, 32, np.int32)
+        assert got.tolist() == [2 * i for i in range(32)]
+
+    def test_labels_and_guards(self):
+        text = """
+        .kernel branches
+        .shared 0
+        /*0*/ mov.s32 %r1, %tid.x
+        /*1*/ setp.lt.s32 %p1, %r1, 4
+        /*2*/ @!%p1 bra $SKIP
+        /*3*/ add.s32 %r2, %r1, 1
+        $SKIP:
+        /*4*/ exit
+        """
+        kernel = parse_kernel(text)
+        assert kernel.labels == {"$SKIP": 4}
+        bra = kernel.instructions[2]
+        assert bra.pred_negated
+        assert bra.target == "$SKIP"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel("/*0*/ exit")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel(".kernel x\n/*0*/ frobnicate.s32 %r1, %r2\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel(".kernel x\n$L:\n$L:\n/*0*/ exit\n")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel(".kernel x\n/*0*/ mov.s32 %zz1, 0\n")
+
+    def test_negative_displacement(self):
+        text = """
+        .kernel neg
+        .param ptr p
+        .shared 0
+        /*0*/ ld.param.s64 %rd1, [P0]
+        /*1*/ ld.global.f32 %f1, [%rd1+-4]
+        /*2*/ exit
+        """
+        kernel = parse_kernel(text)
+        from repro.isa import MemRef
+        ld = kernel.instructions[1]
+        assert isinstance(ld.srcs[0], MemRef)
+        assert ld.srcs[0].disp == -4

@@ -1,0 +1,136 @@
+"""Tests for kernel structural validation."""
+
+import pytest
+
+from repro.isa import (
+    CmpOp,
+    DType,
+    Instruction,
+    Kernel,
+    KernelBuilder,
+    MemRef,
+    Opcode,
+    Param,
+    Reg,
+    ValidationError,
+    collect_errors,
+    validate_kernel,
+)
+
+
+def valid_kernel():
+    b = KernelBuilder("ok", params=[Param("p", is_pointer=True)])
+    out = b.param(0)
+    b.st_global(b.addr(out, b.tid_x(), 4), 1, DType.S32)
+    return b.build()
+
+
+class TestValidKernels:
+    def test_builder_output_validates(self):
+        validate_kernel(valid_kernel())
+
+    def test_collect_errors_empty(self):
+        assert collect_errors(valid_kernel()) == []
+
+    def test_control_flow_kernel_validates(self):
+        b = KernelBuilder("cf")
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        with b.if_then(p):
+            b.mov(1)
+        with b.for_range(0, 3):
+            b.mov(2)
+        validate_kernel(b.build())
+
+
+class TestInvalidKernels:
+    def _kernel(self, instrs, labels=None):
+        return Kernel("bad", [], instrs, labels or {})
+
+    def test_read_of_never_written_register(self):
+        r = Reg("%r1", DType.S32)
+        ghost = Reg("%r99", DType.S32)
+        instrs = [
+            Instruction(Opcode.ADD, dst=r, srcs=(ghost, ghost)),
+            Instruction(Opcode.EXIT),
+        ]
+        errors = collect_errors(self._kernel(instrs))
+        assert any("%r99" in e for e in errors)
+
+    def test_wrong_arity(self):
+        r = Reg("%r1", DType.S32)
+        instrs = [
+            Instruction(Opcode.ADD, dst=r, srcs=()),
+            Instruction(Opcode.EXIT),
+        ]
+        errors = collect_errors(self._kernel(instrs))
+        assert any("expects 2 sources" in e for e in errors)
+
+    def test_setp_without_cmp(self):
+        p = Reg("%p1", DType.PRED)
+        r = Reg("%r1", DType.S32)
+        instrs = [
+            Instruction(Opcode.MOV, dst=r, srcs=(r,)),
+            Instruction(Opcode.SETP, dst=p, srcs=(r, r)),
+            Instruction(Opcode.EXIT),
+        ]
+        errors = collect_errors(self._kernel(instrs))
+        assert any("comparison" in e for e in errors)
+
+    def test_non_pred_guard(self):
+        r = Reg("%r1", DType.S32)
+        instrs = [
+            Instruction(Opcode.MOV, dst=r, srcs=(r,), pred=r),
+            Instruction(Opcode.EXIT),
+        ]
+        errors = collect_errors(self._kernel(instrs))
+        assert any("not a predicate" in e for e in errors)
+
+    def test_narrow_memory_base(self):
+        r32 = Reg("%r1", DType.S32)
+        f = Reg("%f1", DType.F32)
+        instrs = [
+            Instruction(Opcode.MOV, dst=r32, srcs=(r32,)),
+            Instruction(
+                Opcode.LD_GLOBAL, dtype=DType.F32, dst=f,
+                srcs=(MemRef(r32),),
+            ),
+            Instruction(Opcode.EXIT),
+        ]
+        errors = collect_errors(self._kernel(instrs))
+        assert any("must be s64" in e for e in errors)
+
+    def test_no_exit(self):
+        r = Reg("%r1", DType.S32)
+        instrs = [Instruction(Opcode.MOV, dst=r, srcs=(r,))]
+        errors = collect_errors(self._kernel(instrs))
+        assert any("EXIT" in e for e in errors)
+
+    def test_param_index_out_of_range(self):
+        from repro.isa import ParamRef
+        r = Reg("%rd1", DType.S64)
+        instrs = [
+            Instruction(Opcode.LD_PARAM, dtype=DType.S64, dst=r,
+                        srcs=(ParamRef(3),)),
+            Instruction(Opcode.EXIT),
+        ]
+        errors = collect_errors(self._kernel(instrs))
+        assert any("out of range" in e for e in errors)
+
+    def test_validate_kernel_raises(self):
+        r = Reg("%r1", DType.S32)
+        instrs = [Instruction(Opcode.MOV, dst=r, srcs=(r,))]
+        with pytest.raises(ValidationError):
+            validate_kernel(self._kernel(instrs))
+
+    def test_branch_to_missing_label_rejected_by_kernel_ctor(self):
+        with pytest.raises(ValueError):
+            Kernel(
+                "bad", [],
+                [Instruction(Opcode.BRA, target="nowhere"),
+                 Instruction(Opcode.EXIT)],
+                {},
+            )
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            Kernel("bad", [], [Instruction(Opcode.EXIT)], {"L": 99})

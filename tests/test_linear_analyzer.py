@@ -1,0 +1,233 @@
+"""Tests for the R2D2 code analyzer (Algorithm 1)."""
+
+from repro.isa import CmpOp, DType, KernelBuilder, Param, SpecialReg
+from repro.linear import CoeffVec, LinExpr, LinearKind, analyze_kernel
+
+
+def ptr_params(*names):
+    return [Param(n, is_pointer=True) for n in names]
+
+
+def backprop_like_kernel():
+    """The paper's running example (Figures 2/3/7):
+    index = (hid+1)*(HEIGHT*by+ty+1)+tx+1, address = base + 4*index."""
+    b = KernelBuilder(
+        "bp", params=ptr_params("w") + [Param("hid", DType.S32)]
+    )
+    base = b.param(0)
+    hid = b.param(1)
+    by = b.ctaid_y()
+    ty = b.tid_y()
+    tx = b.tid_x()
+    height_by = b.shl(by, 4)          # HEIGHT=16
+    row = b.add(height_by, ty)
+    hid1 = b.add(hid, 1)
+    idx = b.mad(row, hid1, tx)        # (hid+1)*(16*by+ty) + tx
+    idx2 = b.add(idx, hid1)           # + (hid+1)
+    addr = b.mad(idx2, 4, base)       # base + 4*index
+    v = b.ld_global(addr, DType.F32)
+    b.st_global(addr, b.fma(v, v, v), DType.F32)
+    return b.build()
+
+
+class TestBasicTracking:
+    def test_param_load_is_scalar(self):
+        b = KernelBuilder("k", params=[Param("p", is_pointer=True)])
+        b.param(0)
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[0] is LinearKind.SCALAR
+
+    def test_tid_mov_is_thread_kind(self):
+        b = KernelBuilder("k")
+        b.tid_x()
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[0] is LinearKind.THREAD
+
+    def test_ctaid_mov_is_block_kind(self):
+        b = KernelBuilder("k")
+        b.ctaid_x()
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[0] is LinearKind.BLOCK
+
+    def test_global_tid_is_full_linear(self):
+        b = KernelBuilder("k")
+        gtid = b.global_tid_x()
+        kernel = b.build()
+        result = analyze_kernel(kernel)
+        mad_pc = next(
+            pc
+            for pc, i in enumerate(kernel.instructions)
+            if i.dst is not None and i.dst.name == gtid.name
+        )
+        assert result.kind_by_pc[mad_pc] is LinearKind.FULL
+        vec = result.vec_by_pc[mad_pc]
+        # ctaid.x * ntid.x + tid.x
+        assert vec.thread_part[0] == 1
+        assert vec.block_part[0] == LinExpr.symbol("NTID_X")
+
+    def test_float_ops_are_nonlinear(self):
+        b = KernelBuilder("k")
+        f = b.mov(1.5, DType.F32)
+        b.add(f, f)
+        result = analyze_kernel(b.build())
+        assert all(
+            result.kind_by_pc[pc] is LinearKind.NONLINEAR for pc in (0, 1)
+        )
+
+    def test_div_breaks_linearity(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        b.div(t, 3)
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[1] is LinearKind.NONLINEAR
+
+    def test_index_times_index_is_nonlinear(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        b.mul(t, t)
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[1] is LinearKind.NONLINEAR
+
+    def test_shift_by_register_constant(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        b.shl(t, 4)
+        result = analyze_kernel(b.build())
+        assert result.vec_by_pc[1].thread_part[0] == 16
+
+
+class TestPaperExample:
+    def test_backprop_address_vector(self):
+        kernel = backprop_like_kernel()
+        result = analyze_kernel(kernel)
+        # The load's base register must be a demanded boundary value.
+        assert result.demanded, "no boundary linear registers found"
+        (reg, vec), = [
+            (r, v)
+            for r, v in result.demanded.items()
+            if v.has_thread_part and v.has_block_part
+        ][:1]
+        p1 = LinExpr.symbol("P1")
+        assert vec.thread_part[0] == 4                # 4*tx
+        assert vec.thread_part[1] == 4 * (p1 + 1)     # 4*(hid+1)*ty
+        assert vec.block_part[1] == 64 * (p1 + 1)     # 4*16*(hid+1)*by
+        assert vec.c == LinExpr.symbol("P0") + 4 * (p1 + 1)
+
+    def test_most_instructions_are_linear(self):
+        result = analyze_kernel(backprop_like_kernel())
+        assert result.linear_fraction() > 0.6
+
+    def test_loads_and_stores_stay_nonlinear(self):
+        kernel = backprop_like_kernel()
+        result = analyze_kernel(kernel)
+        for pc, instr in enumerate(kernel.instructions):
+            if instr.is_global_memory:
+                assert result.kind_by_pc.get(
+                    pc, LinearKind.NONLINEAR
+                ) is LinearKind.NONLINEAR
+
+
+class TestBoundaryUses:
+    def test_address_use_flagged(self):
+        kernel = backprop_like_kernel()
+        result = analyze_kernel(kernel)
+        address_uses = [u for u in result.boundary_uses if u.as_address]
+        assert len(address_uses) == 2  # one load + one store
+
+    def test_use_weight_counts_uses(self):
+        kernel = backprop_like_kernel()
+        result = analyze_kernel(kernel)
+        reg = next(iter(result.demanded))
+        assert result.use_weight[reg] >= 2
+
+    def test_loop_uses_weighted_higher(self):
+        b = KernelBuilder("k", params=[Param("p", is_pointer=True)])
+        base = b.param(0)
+        addr = b.addr(base, b.tid_x(), 4)
+        with b.for_range(0, 4):
+            b.ld_global(addr)
+        result = analyze_kernel(b.build())
+        assert result.use_weight[addr.name] >= 8
+
+
+class TestMultiWrite:
+    def test_loop_counter_update_is_uniform_promoted(self):
+        b = KernelBuilder("k", params=[Param("p", is_pointer=True)])
+        base = b.param(0)
+        with b.for_range(0, 10) as i:
+            addr = b.addr(base, i, 4)
+            b.ld_global(addr)
+        kernel = b.build()
+        result = analyze_kernel(kernel)
+        assert len(result.uniform_updates) == 1
+        (pc,) = result.uniform_updates
+        assert kernel.instructions[pc].dst.name == i.name
+
+    def test_counter_itself_not_tracked_linear(self):
+        b = KernelBuilder("k", params=[Param("p", is_pointer=True)])
+        base = b.param(0)
+        with b.for_range(0, 10) as i:
+            addr = b.addr(base, i, 4)
+            b.ld_global(addr)
+        result = analyze_kernel(b.build())
+        assert i.name not in result.demanded
+
+    def test_divergent_linear_defs_become_mov_replaced(self):
+        b = KernelBuilder("k", params=[Param("p", is_pointer=True)])
+        base = b.param(0)
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        merged = b.new_reg(DType.S64)
+        with b.if_else(p) as (then, otherwise):
+            with then:
+                b.mov_to(merged, b.addr(base, b.tid_x(), 4))
+            with otherwise:
+                b.mov_to(merged, b.addr(base, b.tid_x(), 8))
+        b.ld_global(merged)
+        kernel = b.build()
+        result = analyze_kernel(kernel)
+        assert len(result.mov_replaced) == 2
+        for pc in result.mov_replaced:
+            assert result.kind_by_pc[pc] is LinearKind.MOV_REPLACED
+        # Both replaced defs demand their vectors.
+        demanded_full = [
+            v for v in result.demanded.values() if v.has_thread_part
+        ]
+        assert len(demanded_full) >= 2
+
+    def test_trivial_immediate_multiwrite_left_alone(self):
+        b = KernelBuilder("k")
+        r = b.mov(0)
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        with b.if_then(p):
+            b.mov_to(r, 1)
+        kernel = b.build()
+        result = analyze_kernel(kernel)
+        assert not result.mov_replaced
+
+    def test_nonuniform_loop_update_not_promoted(self):
+        b = KernelBuilder("k", params=[Param("p", is_pointer=True)])
+        base = b.param(0)
+        acc = b.mov(0, DType.S32)
+        with b.for_range(0, 4) as i:
+            v = b.ld_global(b.addr(base, i, 4), DType.S32)
+            b.add_to(acc, acc, v)  # delta is a loaded value, not uniform
+        kernel = b.build()
+        result = analyze_kernel(kernel)
+        update_pcs = [
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.dst is not None and instr.dst.name == acc.name
+        ]
+        assert all(pc not in result.uniform_updates for pc in update_pcs[1:])
+
+
+class TestKindCounts:
+    def test_counts_sum_to_static_count(self):
+        kernel = backprop_like_kernel()
+        result = analyze_kernel(kernel)
+        assert sum(result.kind_counts().values()) == len(kernel.instructions)
+
+    def test_empty_kernel_fraction_zero(self):
+        b = KernelBuilder("k")
+        result = analyze_kernel(b.build())
+        assert result.linear_fraction() == 0.0

@@ -1,0 +1,201 @@
+"""Unit + property tests for coefficient vectors (paper Figure 6)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import SpecialReg
+from repro.linear import CoeffVec, LinExpr
+
+
+def vec_strategy():
+    @st.composite
+    def build(draw):
+        elems = tuple(
+            LinExpr.const(draw(st.integers(-30, 30))) for _ in range(7)
+        )
+        return CoeffVec(elems)
+
+    return build()
+
+
+def env():
+    return {
+        "P0": 3,
+        "P1": 16,
+        "NTID_X": 64,
+        "NTID_Y": 4,
+        "NTID_Z": 1,
+        "NCTAID_X": 10,
+        "NCTAID_Y": 2,
+        "NCTAID_Z": 1,
+    }
+
+
+TIDS = [(0, 0, 0), (5, 1, 0), (63, 3, 0)]
+CTAS = [(0, 0, 0), (3, 1, 0), (9, 1, 0)]
+
+
+class TestConstructors:
+    def test_constant(self):
+        v = CoeffVec.constant(42)
+        assert v.is_pure_constant
+        assert v.c == 42
+
+    def test_parameter_symbolic(self):
+        v = CoeffVec.parameter(1)
+        assert v.is_pure_constant
+        assert v.c == LinExpr.symbol("P1")
+
+    def test_tid_specials_map_to_thread_slots(self):
+        v = CoeffVec.special(SpecialReg.TID_Y)
+        assert v.is_thread_only
+        assert v.thread_part[1] == 1
+
+    def test_ctaid_specials_map_to_block_slots(self):
+        v = CoeffVec.special(SpecialReg.CTAID_Z)
+        assert v.is_block_only
+        assert v.block_part[2] == 1
+
+    def test_dimension_specials_are_constants(self):
+        v = CoeffVec.special(SpecialReg.NTID_X)
+        assert v.is_pure_constant
+        assert v.c == LinExpr.symbol("NTID_X")
+
+
+class TestClassification:
+    def test_zero_is_pure_constant(self):
+        assert CoeffVec.zero().is_pure_constant
+
+    def test_thread_only(self):
+        v = CoeffVec.special(SpecialReg.TID_X) + CoeffVec.constant(5)
+        assert v.is_thread_only
+        assert not v.is_block_only
+        assert v.has_thread_part
+        assert not v.has_block_part
+
+    def test_full(self):
+        v = CoeffVec.special(SpecialReg.TID_X) + CoeffVec.special(
+            SpecialReg.CTAID_X
+        )
+        assert not v.is_thread_only
+        assert not v.is_block_only
+        assert v.has_thread_part and v.has_block_part
+
+
+class TestTransferFunctions:
+    @given(vec_strategy(), vec_strategy())
+    def test_add_matches_evaluation(self, a, b):
+        e = env()
+        for tid in TIDS:
+            for cta in CTAS:
+                assert (a + b).evaluate(e, tid, cta) == a.evaluate(
+                    e, tid, cta
+                ) + b.evaluate(e, tid, cta)
+
+    @given(vec_strategy(), vec_strategy())
+    def test_sub_matches_evaluation(self, a, b):
+        e = env()
+        tid, cta = (5, 1, 0), (3, 1, 0)
+        assert (a - b).evaluate(e, tid, cta) == a.evaluate(
+            e, tid, cta
+        ) - b.evaluate(e, tid, cta)
+
+    @given(vec_strategy(), st.integers(-20, 20))
+    def test_scale_matches_evaluation(self, a, k):
+        e = env()
+        scaled = a.scaled(CoeffVec.constant(k))
+        assert scaled is not None
+        tid, cta = (5, 1, 0), (3, 1, 0)
+        assert scaled.evaluate(e, tid, cta) == k * a.evaluate(e, tid, cta)
+
+    def test_scale_by_index_vector_is_not_linear(self):
+        a = CoeffVec.special(SpecialReg.TID_X)
+        assert a.scaled(CoeffVec.special(SpecialReg.TID_X)) is None
+
+    @given(vec_strategy(), st.integers(0, 8))
+    def test_shl_matches_evaluation(self, a, bits):
+        e = env()
+        shifted = a.shifted_left(CoeffVec.constant(bits))
+        assert shifted is not None
+        tid, cta = (2, 0, 0), (1, 0, 0)
+        assert shifted.evaluate(e, tid, cta) == a.evaluate(e, tid, cta) << bits
+
+    def test_shl_by_symbolic_amount_not_trackable(self):
+        a = CoeffVec.constant(4)
+        sym = CoeffVec.constant(LinExpr.symbol("P0"))
+        assert a.shifted_left(sym) is None
+
+    def test_shl_by_negative_amount_not_trackable(self):
+        assert CoeffVec.constant(4).shifted_left(CoeffVec.constant(-1)) is None
+
+    @given(vec_strategy(), st.integers(-10, 10), vec_strategy())
+    def test_mad_matches_evaluation(self, a, k, c):
+        e = env()
+        result = a.mad(CoeffVec.constant(k), c)
+        assert result is not None
+        tid, cta = (7, 2, 0), (4, 0, 0)
+        assert result.evaluate(e, tid, cta) == a.evaluate(
+            e, tid, cta
+        ) * k + c.evaluate(e, tid, cta)
+
+    def test_mad_commutes_constant_into_either_slot(self):
+        tidx = CoeffVec.special(SpecialReg.TID_X)
+        k = CoeffVec.constant(4)
+        c = CoeffVec.constant(100)
+        assert tidx.mad(k, c) == k.mad(tidx, c)
+
+    def test_mad_index_times_index_is_not_linear(self):
+        tidx = CoeffVec.special(SpecialReg.TID_X)
+        assert tidx.mad(tidx, CoeffVec.constant(0)) is None
+
+
+class TestDecomposition:
+    """The value decomposes exactly into thread part + block part
+    (constant included in the block part), the tuple R2D2 stores."""
+
+    @given(vec_strategy())
+    def test_thread_plus_block_equals_full(self, v):
+        e = env()
+        for tid in TIDS:
+            for cta in CTAS:
+                assert v.evaluate(e, tid, cta) == v.thread_value(
+                    e, tid
+                ) + v.block_value(e, cta)
+
+    def test_paper_backprop_vector(self):
+        # Figure 7: %rd14 = {P5+4*P1, 4, 4*(P1+1), 0, 0, 64*(P1+1), 0}
+        p1 = LinExpr.symbol("P1")
+        p5 = LinExpr.symbol("P5")
+        vec = CoeffVec(
+            (
+                p5 + 4 * p1,
+                LinExpr.const(4),
+                4 * (p1 + 1),
+                LinExpr(),
+                LinExpr(),
+                64 * (p1 + 1),
+                LinExpr(),
+            )
+        )
+        e = {"P1": 16, "P5": 1000}
+        # index = (hid+1)*(HEIGHT*by+ty+1)+tx+1 with hid=16, HEIGHT=16,
+        # times 4 bytes plus base P5, with an extra +4*P1 constant.
+        tid, cta = (3, 2, 0), (0, 5, 0)
+        expected = (1000 + 4 * 16) + 4 * 3 + 4 * 17 * 2 + 64 * 17 * 5
+        assert vec.evaluate(e, tid, cta) == expected
+
+
+class TestGroupingKeys:
+    def test_vectors_differing_in_constant_share_keys(self):
+        base = CoeffVec.special(SpecialReg.TID_X) + CoeffVec.special(
+            SpecialReg.CTAID_X
+        )
+        shifted = base + CoeffVec.constant(8)
+        assert base.thread_key() == shifted.thread_key()
+        assert base.block_key() == shifted.block_key()
+        assert base.full_key() == shifted.full_key()
+
+    def test_different_thread_coeffs_have_different_keys(self):
+        a = CoeffVec.special(SpecialReg.TID_X)
+        b = a.scaled(CoeffVec.constant(2))
+        assert a.thread_key() != b.thread_key()

@@ -1,0 +1,152 @@
+"""Unit + property tests for the symbolic LinExpr polynomials."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linear import LinExpr, launch_env, param_symbol
+
+SYMBOLS = ["P0", "P1", "P2", "NTID_X", "NCTAID_Y"]
+
+
+@st.composite
+def exprs(draw, max_terms=4):
+    expr = LinExpr.const(draw(st.integers(-50, 50)))
+    for _ in range(draw(st.integers(0, max_terms))):
+        coeff = draw(st.integers(-20, 20))
+        syms = draw(st.lists(st.sampled_from(SYMBOLS), max_size=2))
+        term = LinExpr.const(coeff)
+        for s in syms:
+            term = term * LinExpr.symbol(s)
+        expr = expr + term
+    return expr
+
+
+def env_strategy():
+    return st.fixed_dictionaries(
+        {name: st.integers(-10, 10) for name in SYMBOLS}
+    )
+
+
+class TestConstruction:
+    def test_const(self):
+        assert LinExpr.const(5).constant_value == 5
+
+    def test_const_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            LinExpr.const(1.5)  # type: ignore[arg-type]
+
+    def test_zero_is_zero(self):
+        assert LinExpr().is_zero
+        assert LinExpr.const(0).is_zero
+
+    def test_symbol_not_constant(self):
+        assert not LinExpr.symbol("P0").is_constant
+
+    def test_constant_value_raises_on_symbolic(self):
+        with pytest.raises(ValueError):
+            LinExpr.symbol("P0").constant_value
+
+    def test_param_symbol_naming(self):
+        assert str(param_symbol(3)) == "P3"
+
+
+class TestAlgebraicIdentities:
+    @given(exprs(), exprs())
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(exprs(), exprs(), exprs())
+    def test_add_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(exprs(), exprs())
+    def test_mul_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(exprs(), exprs(), exprs())
+    def test_mul_distributes_over_add(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(exprs())
+    def test_sub_self_is_zero(self, a):
+        assert (a - a).is_zero
+
+    @given(exprs())
+    def test_add_zero_identity(self, a):
+        assert a + LinExpr() == a
+
+    @given(exprs())
+    def test_mul_one_identity(self, a):
+        assert a * LinExpr.const(1) == a
+
+    @given(exprs())
+    def test_mul_zero_annihilates(self, a):
+        assert (a * LinExpr.const(0)).is_zero
+
+    @given(exprs(), st.integers(0, 6))
+    def test_shift_is_power_of_two_multiply(self, a, bits):
+        assert a.shifted_left(bits) == a * (1 << bits)
+
+
+class TestEvaluation:
+    @given(exprs(), exprs(), env_strategy())
+    def test_eval_homomorphic_add(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(exprs(), exprs(), env_strategy())
+    def test_eval_homomorphic_mul(self, a, b, env):
+        assert (a * b).evaluate(env) == a.evaluate(env) * b.evaluate(env)
+
+    @given(exprs(), env_strategy())
+    def test_eval_homomorphic_neg(self, a, env):
+        assert (-a).evaluate(env) == -a.evaluate(env)
+
+    def test_eval_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            LinExpr.symbol("P9").evaluate({})
+
+    def test_paper_example_16_p1_plus_1(self):
+        # Figure 7: shl by 4 of (P1+1) gives 16*(P1+1)
+        expr = (param_symbol(1) + 1).shifted_left(4)
+        assert expr.evaluate({"P1": 16}) == 16 * 17
+
+
+class TestHashingEquality:
+    @given(exprs(), exprs())
+    def test_equal_implies_equal_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+    @given(exprs())
+    def test_usable_as_dict_key(self, a):
+        d = {a: 1}
+        rebuilt = LinExpr(a.terms)
+        assert d[rebuilt] == 1
+
+    def test_int_comparison(self):
+        assert LinExpr.const(7) == 7
+        assert LinExpr.symbol("P0") != 7
+
+
+class TestRepr:
+    def test_zero_repr(self):
+        assert repr(LinExpr()) == "0"
+
+    def test_negative_coefficients_render_with_minus(self):
+        expr = LinExpr.const(1) - LinExpr.symbol("P0") * 2
+        assert "- 2*P0" in repr(expr)
+
+    def test_product_term_renders_star(self):
+        expr = LinExpr.symbol("P0") * LinExpr.symbol("P1")
+        assert "P0*P1" in repr(expr)
+
+
+class TestLaunchEnv:
+    def test_launch_env_contents(self):
+        env = launch_env({0: 100, 2: 7}, block=(64, 2, 1), grid=(10, 1, 1))
+        assert env["P0"] == 100
+        assert env["P2"] == 7
+        assert env["NTID_X"] == 64
+        assert env["NTID_Y"] == 2
+        assert env["NCTAID_X"] == 10

@@ -1,0 +1,192 @@
+"""Tests for the grouping/selection pass (paper Section 3.1.4)."""
+
+from repro.isa import DType, KernelBuilder, Param
+from repro.linear import (
+    AssignKind,
+    MAX_LINEAR_ENTRIES,
+    analyze_kernel,
+    build_plan,
+)
+
+
+def ptr(n):
+    return Param(n, is_pointer=True)
+
+
+def two_array_kernel():
+    """w[index] and oldw[index] — same index, different bases (paper §3.1.4:
+    these share their thread-index part)."""
+    b = KernelBuilder("two", params=[ptr("w"), ptr("oldw")])
+    w = b.param(0)
+    oldw = b.param(1)
+    idx = b.global_tid_x()
+    a1 = b.addr(w, idx, 4)
+    a2 = b.addr(oldw, idx, 4)
+    v1 = b.ld_global(a1)
+    v2 = b.ld_global(a2)
+    b.st_global(a1, b.fma(v1, 0.9, v2))
+    return b.build()
+
+
+def cfd_like_kernel():
+    """Figure 8 pattern: several addresses equal up to a constant delta."""
+    b = KernelBuilder("cfd", params=[ptr("buf"), Param("n", DType.S32)])
+    buf = b.param(0)
+    n = b.param(1)
+    idx = b.global_tid_x()
+    base = b.addr(buf, idx, 4)
+    # offsets n*4 apart — symbolic deltas
+    stride = b.mul(n, 4)
+    a1 = b.add(base, b.cvt(stride, DType.S64))
+    a2 = b.add(a1, b.cvt(stride, DType.S64))
+    v0 = b.ld_global(base)
+    v1 = b.ld_global(a1)
+    v2 = b.ld_global(a2)
+    b.st_global(base, b.fma(v0, v1, v2))
+    return b.build()
+
+
+class TestScalarEntries:
+    def test_pure_constant_demand_goes_to_cr(self):
+        b = KernelBuilder("k", params=[ptr("p"), Param("n", DType.S32)])
+        p = b.param(0)
+        n = b.param(1)
+        # storing a scalar value: the store is non-linear, so the scalar
+        # must be materialized in a coefficient register
+        b.st_global(p, n, DType.S32)
+        plan = build_plan(analyze_kernel(b.build()))
+        assert plan.scalars
+        assert plan.assignment[n.name].kind is AssignKind.SCALAR
+
+    def test_identical_scalar_exprs_share_cr(self):
+        b = KernelBuilder("k", params=[ptr("p"), Param("n", DType.S32)])
+        p = b.param(0)
+        n1 = b.param(1)
+        n2 = b.param(1)
+        b.st_global(p, n1, DType.S32)
+        b.st_global(p, n2, DType.S32, disp=4)
+        plan = build_plan(analyze_kernel(b.build()))
+        crs = {
+            plan.assignment[r].cr_id for r in (n1.name, n2.name)
+        }
+        assert len(crs) == 1
+
+    def test_opaque_scalar_chain_is_scalarized(self):
+        """shr/div/and of kernel-uniform values become scalar recipes."""
+        b = KernelBuilder("k", params=[ptr("p"), Param("n", DType.S32)])
+        p = b.param(0)
+        n = b.param(1)
+        half = b.shr(n, 1)       # not linear-trackable, but uniform
+        masked = b.and_(half, 255)
+        addr = b.addr(p, b.tid_x(), 4)
+        b.st_global(addr, masked, DType.S32)
+        analysis = analyze_kernel(b.build())
+        assert len(analysis.scalar_recipes) == 2
+        plan = build_plan(analysis)
+        assert plan.assignment[masked.name].kind is AssignKind.SCALAR
+
+
+class TestLinearGrouping:
+    def test_shared_thread_part_across_bases(self):
+        plan = build_plan(analyze_kernel(two_array_kernel()))
+        # w[index] and oldw[index] share thread and block parts and differ
+        # only by the symbolic constant P1-P0, so they collapse into one
+        # entry with a delta coefficient register — maximal sharing.
+        assert len(plan.entries) == 1
+        assert plan.num_thread_registers == 1
+        deltas = set(plan.entries[0].members.values())
+        assert len(deltas) == 2  # zero and P1-P0
+
+    def test_constant_delta_folds_into_disp(self):
+        b = KernelBuilder("k", params=[ptr("p")])
+        base = b.param(0)
+        idx = b.global_tid_x()
+        a1 = b.addr(base, idx, 4)
+        a2 = b.add(a1, 256)
+        v = b.ld_global(a1)
+        w = b.ld_global(a2)
+        b.st_global(a1, b.fma(v, w, w))
+        plan = build_plan(analyze_kernel(b.build()))
+        assert len(plan.entries) == 1
+        assignments = [plan.assignment[a1.name], plan.assignment[a2.name]]
+        disp = sorted(a.disp_delta for a in assignments)
+        assert disp == [0, 256]
+
+    def test_symbolic_delta_gets_coefficient_register(self):
+        plan = build_plan(analyze_kernel(cfd_like_kernel()))
+        deltas = [
+            a
+            for a in plan.assignment.values()
+            if a.kind is AssignKind.LINEAR and a.cr_id is not None
+        ]
+        assert deltas, "expected symbolic deltas via %cr"
+        assert len(plan.entries) == 1
+
+    def test_grouping_off_creates_more_entries(self):
+        analysis = analyze_kernel(cfd_like_kernel())
+        grouped = build_plan(analysis, group_shared_parts=True)
+        ungrouped = build_plan(analysis, group_shared_parts=False)
+        assert ungrouped.num_linear_registers > grouped.num_linear_registers
+
+
+class TestCapacityLimits:
+    def _many_streams_kernel(self, n_arrays):
+        b = KernelBuilder(
+            "many", params=[ptr(f"a{i}") for i in range(n_arrays)]
+        )
+        tx = b.tid_x()
+        acc = b.mov(0.0, DType.F32)
+        for i in range(n_arrays):
+            base = b.param(i)
+            # distinct scale per array → ungroupable thread parts
+            a = b.addr(base, tx, 4 * (i + 1))
+            v = b.ld_global(a)
+            acc = b.fma(v, 1.0, acc)
+        b.st_global(b.param(0), acc)
+        return b.build()
+
+    def test_entry_count_capped_at_16(self):
+        kernel = self._many_streams_kernel(24)
+        plan = build_plan(analyze_kernel(kernel))
+        assert plan.num_linear_registers <= MAX_LINEAR_ENTRIES
+        assert plan.rejected
+
+    def test_higher_weight_groups_win(self):
+        b = KernelBuilder("w", params=[ptr("hot"), ptr("cold")])
+        hot = b.param(0)
+        cold = b.param(1)
+        hot_addr = b.addr(hot, b.tid_x(), 4)
+        cold_addr = b.addr(cold, b.tid_y(), 8)
+        with b.for_range(0, 16):
+            b.ld_global(hot_addr)
+        b.ld_global(cold_addr)
+        plan = build_plan(analyze_kernel(b.build()), max_entries=1)
+        assert plan.assignment.get(hot_addr.name) is not None
+        assert cold_addr.name in plan.rejected
+
+    def test_empty_kernel_plan_is_empty(self):
+        b = KernelBuilder("empty")
+        plan = build_plan(analyze_kernel(b.build()))
+        assert plan.is_empty()
+
+
+class TestPlanIntrospection:
+    def test_register_counts(self):
+        plan = build_plan(analyze_kernel(two_array_kernel()))
+        assert plan.num_linear_registers == len(plan.entries)
+        assert plan.num_coefficient_registers == len(plan.scalars) + len(
+            plan.delta_exprs
+        )
+
+    def test_entry_for_lr_roundtrip(self):
+        plan = build_plan(analyze_kernel(two_array_kernel()))
+        for e in plan.entries:
+            assert plan.entry_for_lr(e.lr_id) is e
+
+    def test_representative_vec_reconstruction(self):
+        plan = build_plan(analyze_kernel(two_array_kernel()))
+        for e in plan.entries:
+            vec = e.representative_vec()
+            assert vec.thread_part == e.thread_part
+            assert vec.block_part == e.block_part
+            assert vec.c == e.block_const

@@ -1,0 +1,131 @@
+"""Edge cases in multi-write register handling (paper Section 3.1.2)."""
+
+import numpy as np
+
+from repro.isa import CmpOp, DType, KernelBuilder, Param
+from repro.linear import LinearKind, analyze_kernel
+from repro.sim import Device, tiny
+from repro.transform import r2d2_transform
+
+
+def ptr(name):
+    return Param(name, is_pointer=True)
+
+
+class TestUniformPromotionGating:
+    def test_uniform_base_counter_promoted(self):
+        """Immediate-initialized loop counters are warp-uniform; their
+        constant self-updates may run on the uniform datapath."""
+        b = KernelBuilder("k", params=[ptr("out")])
+        out = b.param(0)
+        a = b.addr(out, b.global_tid_x(), 4)
+        with b.for_range(0, 4):
+            b.st_global(a, 1, DType.S32)
+            b.add_to(a, a, 4)
+        analysis = analyze_kernel(b.build())
+        assert analysis.uniform_updates
+
+    def test_nonuniform_base_not_promoted(self):
+        """A cursor initialized from a *loaded* value is per-lane; its
+        self-update must stay SIMT."""
+        b = KernelBuilder("k", params=[ptr("idx"), ptr("out")])
+        idx_p, out = b.param(0), b.param(1)
+        start = b.ld_global(b.addr(idx_p, b.global_tid_x(), 4),
+                            DType.S32)
+        cursor = b.addr(out, start, 4)
+        with b.for_range(0, 4):
+            b.st_global(cursor, 1, DType.S32)
+            b.add_to(cursor, cursor, 4)
+        analysis = analyze_kernel(b.build())
+        kernel = analysis.kernel
+        cursor_updates = [
+            pc
+            for pc, ins in enumerate(kernel.instructions)
+            if ins.dst is not None
+            and ins.dst.name == cursor.name
+            and any(
+                r.name == cursor.name for r in ins.source_regs()
+            )
+        ]
+        assert cursor_updates
+        assert not (set(cursor_updates) & analysis.uniform_updates)
+
+    def test_nonconstant_delta_not_promoted(self):
+        """A self-update by a loaded (non-uniform) delta stays SIMT."""
+        b = KernelBuilder("k", params=[ptr("deltas"), ptr("out")])
+        deltas, out = b.param(0), b.param(1)
+        a = b.addr(out, b.global_tid_x(), 4)
+        with b.for_range(0, 4) as i:
+            d = b.ld_global(b.addr(deltas, i, 4), DType.S32)
+            b.st_global(a, d, DType.S32)
+            b.add_to(a, a, b.cvt(d, DType.S64))
+        analysis = analyze_kernel(b.build())
+        a_updates = [
+            pc
+            for pc in analysis.uniform_updates
+            if analysis.kernel.instructions[pc].dst.name == a.name
+        ]
+        assert not a_updates
+
+
+class TestDivergentDefCorrectness:
+    def test_three_way_divergent_assignment(self):
+        """Three different linear addresses merged through one register
+        under nested divergence — must stay bit-exact under R2D2."""
+        def build():
+            b = KernelBuilder("k", params=[ptr("out")])
+            out = b.param(0)
+            t = b.global_tid_x()
+            dest = b.new_reg(DType.S64)
+            p1 = b.setp(CmpOp.LT, b.tid_x(), 8)
+            p2 = b.setp(CmpOp.LT, b.tid_x(), 16)
+            with b.if_else(p1) as (then, otherwise):
+                with then:
+                    b.mov_to(dest, b.addr(out, t, 4))
+                with otherwise:
+                    with b.if_else(p2) as (then2, otherwise2):
+                        with then2:
+                            b.mov_to(dest, b.addr(out, t, 4, disp=0))
+                        with otherwise2:
+                            b.mov_to(dest, b.addr(out, t, 4))
+            b.st_global(dest, t, DType.S32)
+            return b.build()
+
+        kernel = build()
+        from repro.isa import Dim3, LaunchConfig
+        from repro.transform import R2D2Values
+
+        dev1 = Device(tiny())
+        d1 = dev1.alloc(4 * 64)
+        dev1.launch(kernel, 2, 32, (d1,))
+
+        rk = r2d2_transform(kernel)
+        dev2 = Device(tiny())
+        d2 = dev2.alloc(4 * 64)
+        launch = LaunchConfig(Dim3(2), Dim3(32), args=(d2,))
+        dev2.launch(rk.transformed, 2, 32, (d2,),
+                    linear_values=R2D2Values(rk.plan, launch))
+        assert np.array_equal(
+            dev1.download(d1, 64, np.int32),
+            dev2.download(d2, 64, np.int32),
+        )
+
+    def test_mov_replaced_def_count(self):
+        b = KernelBuilder("k", params=[ptr("out")])
+        out = b.param(0)
+        t = b.global_tid_x()
+        dest = b.new_reg(DType.S64)
+        p = b.setp(CmpOp.LT, b.tid_x(), 8)
+        with b.if_else(p) as (then, otherwise):
+            with then:
+                b.mov_to(dest, b.addr(out, t, 4))
+            with otherwise:
+                b.mov_to(dest, b.addr(out, t, 8))
+        b.st_global(dest, t, DType.S32)
+        analysis = analyze_kernel(b.build())
+        movs = [
+            pc
+            for pc, k in analysis.kind_by_pc.items()
+            if k is LinearKind.MOV_REPLACED
+        ]
+        assert len(movs) == 2

@@ -1,0 +1,89 @@
+"""The launch-time scalar-recipe evaluator must match the functional
+executor's integer semantics exactly (property-based cross-check)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import DType, Instruction, Opcode
+from repro.sim.executor import FunctionalExecutor
+from repro.transform.values import _apply_scalar_op
+
+BINARY_OPS = [
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.DIV,
+    Opcode.REM,
+    Opcode.MIN,
+    Opcode.MAX,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+]
+UNARY_OPS = [Opcode.NOT, Opcode.ABS, Opcode.NEG, Opcode.MOV, Opcode.CVT]
+
+
+def executor_compute(opcode, args):
+    instr = Instruction(opcode, dtype=DType.S64, dst=None, srcs=())
+    arrays = [np.array([a], dtype=np.int64) for a in args]
+    ex = FunctionalExecutor.__new__(FunctionalExecutor)
+    result = ex._compute(instr, arrays, None)
+    return int(np.asarray(result)[0])
+
+
+small_ints = st.integers(-(2**31), 2**31 - 1)
+shift_amounts = st.integers(0, 63)
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize("opcode", BINARY_OPS)
+    @given(a=small_ints, b=small_ints)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_executor(self, opcode, a, b):
+        if opcode in (Opcode.SHL, Opcode.SHR):
+            b = abs(b) % 8  # realistic shift amounts
+        got = _apply_scalar_op(opcode, [a, b])
+        want = executor_compute(opcode, [a, b])
+        # both are int64 semantics; compare modulo 2^64 wrap
+        assert np.int64(got % (1 << 64) - (1 << 64)
+                        if got % (1 << 64) >= (1 << 63)
+                        else got % (1 << 64)) == np.int64(want) or (
+            int(np.int64(got)) == want
+        )
+
+    def test_division_truncates_toward_zero(self):
+        assert _apply_scalar_op(Opcode.DIV, [-7, 2]) == -3
+        assert _apply_scalar_op(Opcode.DIV, [7, -2]) == -3
+
+    def test_division_by_zero_is_zero(self):
+        assert _apply_scalar_op(Opcode.DIV, [5, 0]) == 0
+        assert _apply_scalar_op(Opcode.REM, [5, 0]) == 5
+
+    def test_rem_sign(self):
+        assert _apply_scalar_op(Opcode.REM, [-7, 2]) == -1
+        assert _apply_scalar_op(Opcode.REM, [7, -2]) == 1
+
+
+class TestUnaryAndMad:
+    @pytest.mark.parametrize("opcode", UNARY_OPS)
+    @given(a=small_ints)
+    @settings(max_examples=25, deadline=None)
+    def test_unary_matches_executor(self, opcode, a):
+        got = _apply_scalar_op(opcode, [a])
+        want = executor_compute(opcode, [a])
+        assert int(np.int64(got)) == want
+
+    @given(a=small_ints, b=st.integers(-100, 100), c=small_ints)
+    @settings(max_examples=25, deadline=None)
+    def test_mad(self, a, b, c):
+        got = _apply_scalar_op(Opcode.MAD, [a, b, c])
+        want = executor_compute(Opcode.MAD, [a, b, c])
+        assert int(np.int64(got)) == want
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(ValueError):
+            _apply_scalar_op(Opcode.SIN, [1])

@@ -1,0 +1,59 @@
+"""GPU-configuration tests."""
+
+import pytest
+
+from repro.sim import small, tiny, titan_v
+from repro.sim.config import CacheConfig
+
+
+class TestTitanV:
+    """The paper's Table 1 parameters."""
+
+    def test_table1_values(self):
+        cfg = titan_v()
+        assert cfg.num_sms == 80
+        assert cfg.warp_size == 32
+        assert cfg.max_warps_per_sm == 64
+        assert cfg.max_blocks_per_sm == 32
+        assert cfg.num_schedulers == 4
+        assert cfg.scheduler_policy == "gto"
+        assert cfg.registers_per_sm * 4 == 256 * 1024  # 256 KB
+        assert cfg.l2.size_bytes == 4608 * 1024  # 4.5 MB
+        assert cfg.l2.ways == 24
+        assert cfg.l1.size_bytes == 96 * 1024
+
+    def test_rf_energies_from_table1(self):
+        cfg = titan_v()
+        assert cfg.energy.rf_read_pj == pytest.approx(14.2)
+        assert cfg.energy.rf_write_pj == pytest.approx(20.9)
+
+
+class TestDerivedConfigs:
+    def test_with_sms(self):
+        cfg = titan_v().with_sms(160)
+        assert cfg.num_sms == 160
+        assert titan_v().num_sms == 80  # frozen original untouched
+
+    def test_with_latency(self):
+        cfg = tiny().with_latency(r2d2_fetch_extra=7)
+        assert cfg.latency.r2d2_fetch_extra == 7
+        assert cfg.latency.alu == tiny().latency.alu
+
+    def test_with_scheduler_validates(self):
+        assert tiny().with_scheduler("rr").scheduler_policy == "rr"
+        with pytest.raises(ValueError):
+            tiny().with_scheduler("fifo")
+
+    def test_presets_scale_down(self):
+        assert tiny().num_sms < small().num_sms < titan_v().num_sms
+
+
+class TestCacheConfig:
+    def test_set_count(self):
+        cfg = CacheConfig(size_bytes=4096, line_bytes=128, ways=4)
+        assert cfg.num_lines == 32
+        assert cfg.num_sets == 8
+
+    def test_degenerate_small_cache(self):
+        cfg = CacheConfig(size_bytes=128, line_bytes=128, ways=4)
+        assert cfg.num_sets == 1

@@ -1,0 +1,75 @@
+"""Tests for trace containers and memory-access coalescing."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import Dim3, Kernel, LaunchConfig
+from repro.sim import BlockTrace, KernelTrace, TraceRecord, WarpTrace, coalesce
+
+
+class TestCoalesce:
+    def test_consecutive_f32_lane_accesses_one_line(self):
+        addrs = 1024 + 4 * np.arange(32)
+        assert len(coalesce(addrs)) == 1
+
+    def test_unaligned_base_spans_two_lines(self):
+        addrs = 1000 + 4 * np.arange(32)
+        assert len(coalesce(addrs)) == 2
+
+    def test_strided_access_many_lines(self):
+        addrs = 1024 + 128 * np.arange(32)
+        assert len(coalesce(addrs)) == 32
+
+    def test_same_address_all_lanes_one_line(self):
+        addrs = np.full(32, 4096)
+        assert len(coalesce(addrs)) == 1
+
+    def test_empty(self):
+        assert coalesce(np.array([], dtype=np.int64)) == ()
+
+    def test_line_addresses_are_aligned(self):
+        addrs = np.array([130, 260, 513])
+        lines = coalesce(addrs)
+        assert all(line % 128 == 0 for line in lines)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_line_count_bounded_by_lanes(self, addrs):
+        lines = coalesce(np.array(addrs))
+        assert 1 <= len(lines) <= len(addrs)
+        assert list(lines) == sorted(set(lines))
+
+
+class TestTraceContainers:
+    def _trace(self):
+        kernel = Kernel("k", [], [], {})
+        trace = KernelTrace(
+            kernel, LaunchConfig(Dim3(2), Dim3(64), ())
+        )
+        for blk in range(2):
+            block = BlockTrace(blk, (blk, 0, 0))
+            for w in range(2):
+                warp = WarpTrace(blk, w)
+                warp.records = [
+                    TraceRecord(pc=0, active=32),
+                    TraceRecord(pc=1, active=16, uniform=True),
+                ]
+                block.warps.append(warp)
+            trace.blocks.append(block)
+        return trace
+
+    def test_warp_instruction_count(self):
+        assert self._trace().warp_instruction_count() == 8
+
+    def test_thread_instruction_count(self):
+        assert self._trace().thread_instruction_count() == 4 * (32 + 16)
+
+    def test_records_iterates_all(self):
+        assert len(list(self._trace().records())) == 8
+
+    def test_warps_per_block(self):
+        assert self._trace().warps_per_block == 2
+
+    def test_record_repr_flags(self):
+        r = TraceRecord(pc=3, active=8, uniform=True, affine=True)
+        assert "U" in repr(r) and "A" in repr(r)

@@ -1,0 +1,134 @@
+"""Tests for the linear-instruction generator (paper Figure 9)."""
+
+import pytest
+
+from repro.isa import DType, KernelBuilder, Opcode, Param, SpecialReg
+from repro.linear import analyze_kernel, build_plan
+from repro.transform import BLOCK_BATCH, generate_linear_blocks
+
+
+def ptr(name):
+    return Param(name, is_pointer=True)
+
+
+def plan_for(builder_fn):
+    kernel = builder_fn()
+    return build_plan(analyze_kernel(kernel))
+
+
+def simple_kernel():
+    b = KernelBuilder("k", params=[ptr("out"), Param("n", DType.S32)])
+    out = b.param(0)
+    i = b.global_tid_x()
+    b.st_global(b.addr(out, i, 4), i, DType.S32)
+    return b.build()
+
+
+class TestCoefficientBlock:
+    def test_param_symbols_loaded_once(self):
+        b = KernelBuilder("k", params=[ptr("a"), ptr("c")])
+        a_p, c_p = b.param(0), b.param(1)
+        i = b.global_tid_x()
+        v = b.ld_global(b.addr(a_p, i, 4), DType.S32)
+        b.st_global(b.addr(c_p, i, 4), v, DType.S32)
+        blocks = generate_linear_blocks(plan_for(lambda: b.build()))
+        param_loads = [
+            ins for ins in blocks.coef_instrs
+            if ins.opcode is Opcode.LD_PARAM
+        ]
+        # one ld.param per distinct parameter symbol
+        assert len(param_loads) == len(
+            {str(ins.srcs[0]) for ins in param_loads}
+        )
+
+    def test_concrete_coefficients_generate_no_instructions(self):
+        """Section 3.2.1: zero/immediate coefficients cost nothing."""
+        b = KernelBuilder("k", params=[ptr("out")])
+        out = b.param(0)
+        t = b.tid_x()
+        b.st_global(b.addr(out, t, 4), t, DType.S32)  # coeff 4: immediate
+        blocks = generate_linear_blocks(plan_for(lambda: b.build()))
+        # only P0 must be materialized
+        assert blocks.n_coef <= 2
+
+    def test_dimension_symbols_use_mov(self):
+        blocks = generate_linear_blocks(plan_for(simple_kernel))
+        movs = [
+            ins for ins in blocks.coef_instrs
+            if ins.opcode is Opcode.MOV
+            and ins.srcs
+            and isinstance(ins.srcs[0], SpecialReg)
+        ]
+        # ntid.x appears in the block-index coefficient
+        assert any(
+            ins.srcs[0] is SpecialReg.NTID_X for ins in movs
+        )
+
+
+class TestThreadBlock:
+    def test_one_mad_per_nonzero_coefficient(self):
+        blocks = generate_linear_blocks(plan_for(simple_kernel))
+        mads = [
+            i for i in blocks.thread_instrs if i.opcode is Opcode.MAD
+        ]
+        movs = [
+            i for i in blocks.thread_instrs if i.opcode is Opcode.MOV
+        ]
+        assert len(movs) >= 1  # tid.x fetch
+        assert len(mads) >= 1
+
+    def test_2d_thread_part_uses_two_mads(self):
+        b = KernelBuilder("k", params=[ptr("out"), Param("w", DType.S32)])
+        out = b.param(0)
+        w = b.param(1)
+        idx = b.mad(b.tid_y(), w, b.tid_x())
+        b.st_global(b.addr(out, idx, 4), idx, DType.S32)
+        blocks = generate_linear_blocks(plan_for(lambda: b.build()))
+        mads = [
+            i for i in blocks.thread_instrs if i.opcode is Opcode.MAD
+        ]
+        assert len(mads) >= 2
+
+
+class TestBlockBlock:
+    def test_batching_is_sixteen_wide(self):
+        assert BLOCK_BATCH == 16
+
+    def test_block_phase_cost_counted(self):
+        blocks = generate_linear_blocks(plan_for(simple_kernel))
+        assert blocks.n_block == len(blocks.block_instrs)
+        assert blocks.n_block >= 1
+
+    def test_empty_plan_generates_nothing(self):
+        b = KernelBuilder("empty")
+        b.mov(1.0, DType.F32)
+        blocks = generate_linear_blocks(plan_for(lambda: b.build()))
+        assert blocks.n_coef == 0
+        assert blocks.n_thread == 0
+        assert blocks.n_block == 0
+
+
+class TestOpaqueScalarRecipes:
+    def test_recipe_emits_original_opcode(self):
+        b = KernelBuilder("k", params=[ptr("out"), Param("n", DType.S32)])
+        out = b.param(0)
+        n = b.param(1)
+        half = b.shr(n, 1)
+        idx = b.add(b.global_tid_x(), half)
+        b.st_global(b.addr(out, idx, 4), idx, DType.S32)
+        blocks = generate_linear_blocks(plan_for(lambda: b.build()))
+        assert any(
+            ins.opcode is Opcode.SHR for ins in blocks.coef_instrs
+        )
+
+    def test_disassembly_sections(self):
+        blocks = generate_linear_blocks(plan_for(simple_kernel))
+        text = blocks.disassemble()
+        assert "coefficients" in text
+        assert "thread-index" in text
+        assert "block-index" in text
+
+    def test_coefficient_register_total(self):
+        plan = plan_for(simple_kernel)
+        blocks = generate_linear_blocks(plan)
+        assert blocks.total_coefficient_registers >= len(plan.scalars)

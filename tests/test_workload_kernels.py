@@ -1,0 +1,170 @@
+"""Per-workload kernel expectations: what the R2D2 analyzer should find
+in each benchmark's instruction stream (the qualitative claims Section 5
+makes about individual apps)."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Opcode, validate_kernel
+from repro.linear import LinearKind, analyze_kernel
+from repro.sim import Device, tiny
+from repro.transform import r2d2_transform
+from repro.workloads import factory
+
+
+def kernels_of(abbr, scale="tiny"):
+    w = factory(abbr, scale)()
+    dev = Device(tiny())
+    launches = w.prepare(dev)
+    seen = {}
+    for spec in launches:
+        seen.setdefault(id(spec.kernel), spec.kernel)
+    return list(seen.values())
+
+
+ALL_ABBRS = sorted(
+    __import__("repro.workloads", fromlist=["REGISTRY"]).REGISTRY
+)
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_every_workload_kernel_validates(abbr):
+    for kernel in kernels_of(abbr):
+        validate_kernel(kernel)
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_every_workload_kernel_transforms_cleanly(abbr):
+    for kernel in kernels_of(abbr):
+        rk = r2d2_transform(kernel)
+        validate_kernel(rk.transformed)
+        assert len(rk.transformed.instructions) <= len(kernel.instructions)
+
+
+class TestBackprop:
+    def test_shared_thread_index_parts(self):
+        """w[index] and oldw[index] share their thread-index register
+        (the paper's Section 3.1.4 example)."""
+        (kernel,) = kernels_of("BP")
+        rk = r2d2_transform(kernel)
+        assert rk.plan.num_linear_registers >= 1
+        # fewer thread registers than linear entries -> sharing happened
+        assert (
+            rk.plan.num_thread_registers <= rk.plan.num_linear_registers
+        )
+
+    def test_2d_block_structure_in_vectors(self):
+        (kernel,) = kernels_of("BP")
+        analysis = analyze_kernel(kernel)
+        full_vecs = [
+            v for v in analysis.demanded.values()
+            if v.has_thread_part and v.has_block_part
+        ]
+        assert full_vecs
+        # backprop indexes with tid.x, tid.y and ctaid.y
+        assert any(not v.thread_part[1].is_zero for v in full_vecs)
+        assert any(not v.block_part[1].is_zero for v in full_vecs)
+
+
+class TestSgemm:
+    def test_moving_window_promoted_to_uniform(self):
+        """SGM's pointer bumps become uniform-register updates
+        (Section 5.1: coefficient-register usage covers the moving
+        computation window)."""
+        (kernel,) = kernels_of("SGM")
+        analysis = analyze_kernel(kernel)
+        assert len(analysis.uniform_updates) >= 2  # both operand pointers
+
+
+class TestBfs:
+    def test_loaded_cursor_not_promoted(self):
+        """BFS's edge cursor starts from a *loaded* row offset: its bump
+        is per-lane and must NOT be promoted to the uniform datapath."""
+        (kernel,) = kernels_of("BFS")
+        analysis = analyze_kernel(kernel)
+        for pc in analysis.uniform_updates:
+            instr = kernel.instructions[pc]
+            # only the loop counter may be promoted, never the cursor
+            assert instr.dst.dtype.value != "s64", str(instr)
+
+    def test_regular_accesses_linear(self):
+        """The frontier/row_ptr accesses (linear in tid) are demanded."""
+        (kernel,) = kernels_of("BFS")
+        analysis = analyze_kernel(kernel)
+        assert any(
+            v.has_thread_part and v.has_block_part
+            for v in analysis.demanded.values()
+        )
+
+
+class TestCfd:
+    def test_constant_delta_grouping(self):
+        """The SoA accesses (base + k*n*4) share linear registers with
+        symbolic deltas (the paper's Figure 8 CFD pattern)."""
+        (kernel,) = kernels_of("CFD")
+        rk = r2d2_transform(kernel)
+        multi_member = [
+            e for e in rk.plan.entries if len(e.members) > 1
+        ]
+        assert multi_member, "expected grouped linear registers"
+
+
+class TestStencil:
+    def test_column_pointers_promoted(self):
+        """The z-marching pointers all bump by the (uniform) plane
+        stride and are promoted."""
+        (kernel,) = kernels_of("STC")
+        analysis = analyze_kernel(kernel)
+        assert len(analysis.uniform_updates) >= 4
+
+    def test_register_bound_kernel_fits(self):
+        (kernel,) = kernels_of("STC")
+        rk = r2d2_transform(kernel)
+        assert rk.fits(tiny(), 128)
+
+
+class TestIrregularApps:
+    @pytest.mark.parametrize("abbr", ["BTR", "MUM", "SSSP"])
+    def test_low_linearity(self, abbr):
+        """Pointer-chasing apps have mostly non-linear streams (the
+        paper: SSSP gains little because R2D2 rarely detects linear
+        combinations there)."""
+        for kernel in kernels_of(abbr):
+            analysis = analyze_kernel(kernel)
+            assert analysis.linear_fraction() < 0.55, abbr
+
+    @pytest.mark.parametrize("abbr", ["NN", "DWT", "BP"])
+    def test_high_linearity(self, abbr):
+        """Regular index-bound apps are mostly linear."""
+        for kernel in kernels_of(abbr):
+            analysis = analyze_kernel(kernel)
+            assert analysis.linear_fraction() > 0.45, abbr
+
+
+class TestFftPersistent:
+    def test_regular_work_queue_is_linear(self):
+        """The persistent-thread FFT's butterfly indices are linear in
+        tid (Section 5.7)."""
+        (kernel,) = kernels_of("FFT_PT")
+        analysis = analyze_kernel(kernel)
+        thread_kinds = sum(
+            1 for k in analysis.kind_by_pc.values()
+            if k in (LinearKind.THREAD, LinearKind.FULL)
+        )
+        assert thread_kinds >= 10
+
+    def test_register_estimate_modest_despite_unrolling(self):
+        from repro.isa import allocated_registers
+        (kernel,) = kernels_of("FFT_PT")
+        assert len(kernel.registers()) > 100  # heavily unrolled SSA
+        assert allocated_registers(kernel) < 64  # but allocatable
+
+
+class TestLud:
+    def test_many_small_launches(self):
+        """LUD's launch cascade is the paper's linear-overhead worst
+        case; the workload must actually have that shape."""
+        w = factory("LUD", "tiny")()
+        dev = Device(tiny())
+        launches = w.prepare(dev)
+        assert len(launches) >= 20

@@ -1,0 +1,75 @@
+"""Integration gate: every workload runs at tiny scale through the full
+runner — functional verification against the numpy reference, all
+trace-analyzing architectures, the R2D2 transform, and a bit-identical
+output comparison between the baseline and R2D2 devices."""
+
+import pytest
+
+from repro.harness.runner import ALL_ARCHES, run_workload
+from repro.sim import tiny
+from repro.workloads import REGISTRY, all_abbrs, factory
+
+CONFIG = tiny()
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+def _run(abbr, results):
+    if abbr not in results:
+        results[abbr] = run_workload(
+            factory(abbr, "tiny"), config=CONFIG, arch_names=ALL_ARCHES
+        )
+    return results[abbr]
+
+
+@pytest.mark.parametrize("abbr", all_abbrs())
+class TestWorkload:
+    def test_verified_against_reference(self, abbr, results):
+        res = _run(abbr, results)
+        assert res.verified
+
+    def test_r2d2_outputs_bit_identical(self, abbr, results):
+        res = _run(abbr, results)
+        assert res.outputs_identical, (
+            f"{abbr}: R2D2 execution diverged from baseline memory state"
+        )
+
+    def test_all_architectures_have_stats(self, abbr, results):
+        res = _run(abbr, results)
+        assert set(res.stats) == set(ALL_ARCHES)
+
+    def test_baseline_counts_positive(self, abbr, results):
+        res = _run(abbr, results)
+        base = res["baseline"]
+        assert base.warp_instructions > 0
+        assert base.thread_instructions >= base.warp_instructions
+        assert base.cycles > 0
+        assert base.energy_pj > 0
+
+    def test_no_variant_exceeds_baseline_warp_count(self, abbr, results):
+        res = _run(abbr, results)
+        base = res["baseline"].warp_instructions
+        for name in ("wp", "tb", "dac", "darsie", "darsie+scalar"):
+            assert res[name].warp_instructions <= base, name
+
+    def test_ideal_thread_counts_ordered(self, abbr, results):
+        """WP/TB/LN never execute more thread instructions than baseline."""
+        res = _run(abbr, results)
+        base = res["baseline"].thread_instructions
+        for name in ("wp", "tb", "ln"):
+            assert res[name].thread_instructions <= base, name
+
+    def test_r2d2_instruction_count_sane(self, abbr, results):
+        """R2D2's total (linear + non-linear) stays within baseline plus
+        a small overhead bound (the paper's worst case is LUD at +19%
+        linear overhead but still a net reduction; tiny scales can be
+        less favorable, so allow parity plus slack)."""
+        res = _run(abbr, results)
+        base = res["baseline"].warp_instructions
+        r2d2 = res["r2d2"].warp_instructions
+        assert r2d2 <= base * 1.35, (
+            f"{abbr}: r2d2={r2d2} vs baseline={base}"
+        )
