@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate over pytest-benchmark JSON artifacts.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json=BENCH_sim.json
+    python benchmarks/compare.py BENCH_sim.json \
+        benchmarks/baseline/BENCH_sim.json [--threshold 0.25]
+
+Two independent checks, both of which must pass:
+
+1. **Baseline regression** — every benchmark present in both files must
+   not be more than ``threshold`` (fraction, default 0.25) slower than
+   the committed baseline's mean.  Absolute times are machine-dependent,
+   so CI sets a looser threshold via ``--threshold`` / the
+   ``BENCH_COMPARE_THRESHOLD`` env var; the committed baseline gates
+   like-for-like reruns on a developer machine.
+2. **Dedup speedup ratio** — when the current run contains both
+   ``test_timing_replay_throughput`` (dedup on) and
+   ``test_timing_replay_reference_throughput`` (dedup off), the fast
+   path must be at least ``--min-dedup-speedup`` (default 3.0) times
+   faster.  This is a same-machine, same-run ratio, so it is meaningful
+   on any hardware and enforces the repo's headline acceptance
+   criterion.
+
+Exit status 0 on pass, 1 on regression, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+DEDUP_BENCH = "test_timing_replay_throughput"
+REFERENCE_BENCH = "test_timing_replay_reference_throughput"
+
+
+def load_means(path: str) -> Dict[str, float]:
+    with open(path) as fh:
+        data = json.load(fh)
+    means = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["name"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_sim.json")
+    parser.add_argument(
+        "baseline", nargs="?", default="benchmarks/baseline/BENCH_sim.json",
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_COMPARE_THRESHOLD", "0.25")),
+        help="max fractional slowdown vs baseline (default: 0.25, i.e. "
+             "fail when >25%% slower; $BENCH_COMPARE_THRESHOLD overrides)",
+    )
+    parser.add_argument(
+        "--min-dedup-speedup", type=float, default=3.0,
+        help="required dedup-vs-reference replay speedup (default: 3.0)",
+    )
+    parser.add_argument(
+        "--allow-missing-baseline", action="store_true",
+        help="pass the baseline check when the baseline file is absent",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_means(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read {args.current}: {exc}", file=sys.stderr)
+        return 2
+
+    failed = False
+
+    # -- check 1: regression vs committed baseline ----------------------
+    try:
+        baseline = load_means(args.baseline)
+    except OSError as exc:
+        if args.allow_missing_baseline:
+            print(f"note: no baseline ({exc}); skipping regression check")
+            baseline = {}
+        else:
+            print(
+                f"error: cannot read baseline {args.baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    except (ValueError, KeyError) as exc:
+        print(
+            f"error: malformed baseline {args.baseline}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+
+    for name in sorted(set(current) & set(baseline)):
+        ratio = current[name] / baseline[name]
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"{status:>10}  {name}: {current[name] * 1e3:.3f} ms"
+            f" vs baseline {baseline[name] * 1e3:.3f} ms"
+            f" ({ratio:.2f}x)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{'new':>10}  {name}: {current[name] * 1e3:.3f} ms")
+
+    # -- check 2: dedup speedup ratio (same machine, same run) ----------
+    if DEDUP_BENCH in current and REFERENCE_BENCH in current:
+        speedup = current[REFERENCE_BENCH] / current[DEDUP_BENCH]
+        ok = speedup >= args.min_dedup_speedup
+        print(
+            f"{'ok' if ok else 'REGRESSION':>10}  dedup replay speedup:"
+            f" {speedup:.2f}x (required >= {args.min_dedup_speedup:.1f}x)"
+        )
+        failed = failed or not ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,11 @@
 """Raw-performance benchmarks of the simulator substrate itself
 (pytest-benchmark timings, no paper claims): functional execution,
-timing replay, and the R2D2 transform."""
+timing replay (dedup fast path and reference engine), and the R2D2
+transform.
+
+Run with ``--benchmark-json=BENCH_sim.json`` to produce the
+machine-readable artifact consumed by ``benchmarks/compare.py`` (see
+docs/PERFORMANCE.md)."""
 
 import numpy as np
 
@@ -26,30 +31,64 @@ def _vadd_kernel():
     return b.build()
 
 
+N = 16384
+
+
+def _vadd_trace():
+    kernel = _vadd_kernel()
+    dev = Device(tiny())
+    da = dev.upload(np.ones(N, dtype=np.float32))
+    dc = dev.alloc(4 * N)
+    return dev.launch(kernel, N // 256, 256, (da, dc, N))
+
+
 def test_functional_execution_throughput(benchmark):
     kernel = _vadd_kernel()
-    n = 16384
 
-    def run():
+    # Device construction and input upload are setup, not workload: a
+    # fresh device per round keeps launches independent while the timed
+    # region isolates executor throughput.
+    def setup():
         dev = Device(tiny())
-        da = dev.upload(np.ones(n, dtype=np.float32))
-        dc = dev.alloc(4 * n)
-        return dev.launch(kernel, n // 256, 256, (da, dc, n))
+        da = dev.upload(np.ones(N, dtype=np.float32))
+        dc = dev.alloc(4 * N)
+        return (dev, da, dc), {}
 
-    trace = benchmark(run)
+    def run(dev, da, dc):
+        return dev.launch(kernel, N // 256, 256, (da, dc, N))
+
+    trace = benchmark.pedantic(run, setup=setup, rounds=5)
     assert trace.warp_instruction_count() > 0
 
 
 def test_timing_replay_throughput(benchmark):
-    kernel = _vadd_kernel()
-    n = 16384
-    dev = Device(tiny())
-    da = dev.upload(np.ones(n, dtype=np.float32))
-    dc = dev.alloc(4 * n)
-    trace = dev.launch(kernel, n // 256, 256, (da, dc, n))
-
-    result = benchmark(lambda: TimingSimulator(tiny(), trace).run())
+    """The production configuration: warp-dedup fast path enabled."""
+    trace = _vadd_trace()
+    result = benchmark(
+        lambda: TimingSimulator(tiny(), trace, dedup=True).run()
+    )
     assert result.cycles > 0
+
+
+def test_timing_replay_reference_throughput(benchmark):
+    """The record-by-record reference engine (dedup off).  Kept as a
+    benchmark so ``compare.py`` can assert the dedup speedup ratio
+    machine-independently."""
+    trace = _vadd_trace()
+    result = benchmark(
+        lambda: TimingSimulator(tiny(), trace, dedup=False).run()
+    )
+    assert result.cycles > 0
+
+
+def test_timing_replay_engines_agree():
+    """Not a timing benchmark: the two engines above must produce
+    identical cycle counts on the benchmarked trace."""
+    trace = _vadd_trace()
+    fast = TimingSimulator(tiny(), trace, dedup=True).run()
+    ref = TimingSimulator(tiny(), trace, dedup=False).run()
+    assert fast.cycles == ref.cycles
+    assert fast.issued_total == ref.issued_total
 
 
 def test_analyzer_throughput(benchmark):

@@ -5,17 +5,28 @@ Usage::
     python -m repro fig12                 # one artifact
     python -m repro fig13 --apps BP NN    # restrict the suite
     python -m repro all --scale tiny      # everything, quickly
+    python -m repro fig12 --jobs 4        # parallel suite run
+    python -m repro cache stats           # persistent-cache usage
+    python -m repro cache clear           # drop every cached result
     python -m repro list                  # what's available
+
+Figure/table runs use the persistent result cache by default (reruns of
+the same configuration are nearly free); pass ``--no-cache`` to force
+recomputation.  The library default is cache-off, so tests and
+programmatic users are unaffected.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 import time
 from typing import Optional, Sequence
 
 from . import experiments
+from ..perf import TraceCache, cache_from_env
 from .experiments import SuiteResults, bench_config, run_suite
 
 #: figure name -> (needs shared suite?, callable)
@@ -56,8 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=ALL_NAMES + ["all", "list"],
-        help="which figure/table to regenerate",
+        choices=ALL_NAMES + ["all", "list", "cache"],
+        help="which figure/table to regenerate (or 'cache' to manage "
+             "the persistent result cache)",
+    )
+    parser.add_argument(
+        "op", nargs="?", choices=("stats", "clear"), default=None,
+        help="operation for the 'cache' artifact (default: stats)",
     )
     parser.add_argument(
         "--scale", default="small", choices=("tiny", "small"),
@@ -71,7 +87,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--apps", nargs="*", default=None,
         help="restrict the suite figures to these Table 2 abbreviations",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan workload cells out to N worker processes "
+             "(default: $R2D2_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache for this run",
+    )
     return parser
+
+
+def _cache_command(op: str) -> int:
+    cache = cache_from_env() or TraceCache()
+    if op == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entries from {cache.root}")
+        return 0
+    info = cache.stats()
+    print(f"cache root   : {info['root']} (schema v{info['schema']})")
+    print(
+        f"entries      : {info['entries']}"
+        f" ({info['total_bytes'] / 1e6:.1f} MB"
+        f" of {info['max_bytes'] / 1e6:.0f} MB cap)"
+    )
+    for ns, bucket in sorted(info["namespaces"].items()):
+        print(
+            f"  {ns:<10}: {bucket['entries']} entries,"
+            f" {bucket['bytes'] / 1e6:.1f} MB"
+        )
+    return 0
+
+
+@contextlib.contextmanager
+def _scoped_env(**values: Optional[str]):
+    """Set env vars for the duration of one CLI invocation (so nested
+    ``run_workload`` calls inside standalone figures see the knobs) and
+    restore them afterwards — ``main()`` stays side-effect free for
+    callers like the test suite."""
+    saved = {k: os.environ.get(k) for k in values}
+    try:
+        for key, value in values.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -80,28 +148,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.artifact == "list":
         print("suite figures  :", ", ".join(SUITE_FIGURES))
         print("standalone     :", ", ".join(STANDALONE_FIGURES))
+        print("maintenance    : cache [stats|clear]")
         return 0
+
+    if args.artifact == "cache":
+        return _cache_command(args.op or "stats")
 
     config = bench_config(args.sms)
     names = ALL_NAMES if args.artifact == "all" else [args.artifact]
+    use_cache = not args.no_cache
 
-    suite: Optional[SuiteResults] = None
-    if any(n in SUITE_FIGURES for n in names):
-        t0 = time.time()
-        print(
-            f"running suite (scale={args.scale}, {config.num_sms} SMs) ...",
-            file=sys.stderr,
-        )
-        suite = run_suite(
-            abbrs=args.apps, scale=args.scale, config=config
-        )
-        print(f"suite done in {time.time() - t0:.0f}s", file=sys.stderr)
+    env = {"R2D2_CACHE": "1" if use_cache else "0"}
+    if args.jobs is not None:
+        env["R2D2_JOBS"] = str(args.jobs)
+    with _scoped_env(**env):
+        suite: Optional[SuiteResults] = None
+        if any(n in SUITE_FIGURES for n in names):
+            t0 = time.time()
+            print(
+                f"running suite (scale={args.scale}, {config.num_sms} SMs)"
+                " ...",
+                file=sys.stderr,
+            )
+            suite = run_suite(
+                abbrs=args.apps, scale=args.scale, config=config,
+                jobs=args.jobs, cache=use_cache,
+            )
+            print(
+                f"suite done in {time.time() - t0:.0f}s", file=sys.stderr
+            )
 
-    for name in names:
-        if name in SUITE_FIGURES:
-            table = SUITE_FIGURES[name](suite)
-        else:
-            table = STANDALONE_FIGURES[name](config, args.scale)
-        print()
-        print(table.render())
+        for name in names:
+            if name in SUITE_FIGURES:
+                table = SUITE_FIGURES[name](suite)
+            else:
+                table = STANDALONE_FIGURES[name](config, args.scale)
+            print()
+            print(table.render())
     return 0

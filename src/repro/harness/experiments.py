@@ -12,6 +12,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..perf import (
+    PARALLEL_FALLBACK_ERRORS,
+    resolve_cache,
+    resolve_jobs,
+    task_timeout,
+)
 from ..sim.config import GPUConfig, small, titan_v
 from ..workloads import all_abbrs, factory
 from .report import Table, geomean, mean, percent
@@ -56,15 +62,90 @@ def run_suite(
     config: Optional[GPUConfig] = None,
     arch_names: Sequence[str] = ALL_ARCHES,
     verify: bool = True,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> SuiteResults:
+    """Run the workload × architecture matrix.
+
+    ``jobs > 1`` (or ``R2D2_JOBS``) fans workload cells out to worker
+    processes; results merge in submission order, so the suite is
+    byte-identical to a serial run.  ``cache`` enables the persistent
+    result cache (see :mod:`repro.perf.trace_cache`); workers share it.
+    """
     config = config or bench_config()
+    abbrs = list(abbrs) if abbrs else list(DEFAULT_SUITE)
+    jobs = resolve_jobs(jobs)
+    tcache = resolve_cache(cache)
     suite = SuiteResults(config=config, scale=scale)
-    for abbr in abbrs or DEFAULT_SUITE:
-        suite.results[abbr] = run_workload(
-            factory(abbr, scale), config=config, arch_names=arch_names,
-            verify=verify,
+
+    done: Dict[str, WorkloadResult] = {}
+    if jobs > 1 and len(abbrs) > 1:
+        done = _run_suite_parallel(
+            abbrs, scale, config, tuple(arch_names), verify, tcache, jobs
         )
+    for abbr in abbrs:
+        res = done.get(abbr)
+        if res is None:  # serial run, or a cell that fell back
+            res = run_workload(
+                factory(abbr, scale), config=config,
+                arch_names=arch_names, verify=verify, cache=tcache,
+            )
+        suite.results[abbr] = res
     return suite
+
+
+def _suite_cell(
+    abbr: str,
+    scale: str,
+    config: GPUConfig,
+    arch_names: Tuple[str, ...],
+    verify: bool,
+    cache,
+) -> WorkloadResult:
+    """One suite cell; module-level so process-pool workers can pickle
+    it.  The workload factory itself is created inside the worker (the
+    registry's factories are closures and would not pickle)."""
+    return run_workload(
+        factory(abbr, scale), config=config, arch_names=arch_names,
+        verify=verify, cache=cache,
+    )
+
+
+def _run_suite_parallel(
+    abbrs: Sequence[str],
+    scale: str,
+    config: GPUConfig,
+    arch_names: Tuple[str, ...],
+    verify: bool,
+    tcache,
+    jobs: int,
+) -> Dict[str, WorkloadResult]:
+    """Fan cells out; any cell missing from the returned dict (pool
+    breakage, pickling failure, per-task timeout) is recomputed serially
+    by the caller."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    done: Dict[str, WorkloadResult] = {}
+    timeout = task_timeout()
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(abbrs)))
+    try:
+        futures = {
+            abbr: pool.submit(
+                _suite_cell, abbr, scale, config, arch_names, verify,
+                tcache,
+            )
+            for abbr in abbrs
+        }
+        for abbr in abbrs:
+            try:
+                done[abbr] = futures[abbr].result(timeout=timeout)
+            except TimeoutError:
+                futures[abbr].cancel()
+    except PARALLEL_FALLBACK_ERRORS:
+        pass  # remaining cells run serially in the caller
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return done
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,17 @@ from ..arch import (
     IdealWP,
     R2D2Arch,
 )
+from ..perf import (
+    PARALLEL_FALLBACK_ERRORS,
+    resolve_cache,
+    resolve_jobs,
+    task_timeout,
+)
+from ..perf.trace_cache import (
+    UnhashableKeyPart,
+    functional_trace_key,
+    workload_result_key,
+)
 from ..sim.caches import Cache
 from ..sim.config import GPUConfig, small
 from ..sim.gpu import Device
@@ -105,34 +116,63 @@ def run_workload(
     arch_names: Sequence[str] = ALL_ARCHES,
     r2d2_kwargs: Optional[dict] = None,
     verify: bool = True,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> WorkloadResult:
-    """Run one workload through the requested architectures."""
+    """Run one workload through the requested architectures.
+
+    ``jobs > 1`` fans the trace-analyzing architectures out to worker
+    processes (falling back to serial when the traces cannot cross the
+    process boundary); ``cache`` memoizes the whole result on disk — see
+    :mod:`repro.perf.trace_cache` for the key recipe and defaults.
+    """
     config = config or small()
     r2d2_kwargs = r2d2_kwargs or {}
+    jobs = resolve_jobs(jobs)
+    tcache = resolve_cache(cache)
 
     # ------------------------------------------------------------ 1+2
     workload = factory()
     device = Device(config)
     launches = workload.prepare(device)
-    traces = [
-        device.launch(spec.kernel, spec.grid, spec.block, spec.args)
-        for spec in launches
-    ]
+
+    result_key = trace_key = None
+    if tcache is not None:
+        try:
+            result_key = workload_result_key(
+                workload, launches, config, arch_names, r2d2_kwargs,
+                verify,
+            )
+            trace_key = functional_trace_key(workload, launches, config)
+        except UnhashableKeyPart:
+            tcache = None
+        else:
+            hit = tcache.get("result", result_key)
+            if isinstance(hit, WorkloadResult):
+                return hit
+
+    traces = None
+    if tcache is not None and not verify:
+        # Verified runs need the device's output state, so the
+        # functional execution cannot be skipped for them.
+        traces = tcache.get("trace", trace_key)
+    if traces is None:
+        traces = [
+            device.launch(spec.kernel, spec.grid, spec.block, spec.args)
+            for spec in launches
+        ]
+        if tcache is not None:
+            tcache.put("trace", trace_key, traces)
     if verify:
         workload.check(device)
 
     result = WorkloadResult(abbr=workload.abbr, scale=workload.scale)
     result.verified = verify
 
-    for name in arch_names:
-        if name == "r2d2":
-            continue
-        arch = make_architecture(name)
-        stats = arch.make_stats()
-        l2 = Cache(config.l2)
-        for trace in traces:
-            arch.process_trace(trace, config, stats, l2=l2)
-        result.stats[name] = stats
+    trace_arches = [n for n in arch_names if n != "r2d2"]
+    stats_by_name = _trace_arch_stats(traces, config, trace_arches, jobs)
+    for name in trace_arches:
+        result.stats[name] = stats_by_name[name]
 
     # ------------------------------------------------------------ 3
     if "r2d2" in arch_names:
@@ -154,13 +194,63 @@ def run_workload(
                 l2=l2,
             )
         if verify:
-            workload2.check(device2)
             result.outputs_identical = _outputs_match(
                 workload, device, workload2, device2
             )
+            # The baseline outputs already passed the numpy reference
+            # check in step 1, so bit-identical R2D2 outputs are correct
+            # by transitivity and the second (expensive) reference check
+            # only runs to diagnose an actual mismatch.
+            if not (result.outputs_identical
+                    and workload2.output_buffers()):
+                workload2.check(device2)
         result.stats["r2d2"] = stats
 
+    if tcache is not None and result_key is not None:
+        tcache.put("result", result_key, result)
     return result
+
+
+def _trace_arch_cell(traces, config: GPUConfig, name: str) -> ArchStats:
+    """One (traces, architecture) cell; module-level so process-pool
+    workers can pickle it."""
+    arch = make_architecture(name)
+    stats = arch.make_stats()
+    l2 = Cache(config.l2)
+    for trace in traces:
+        arch.process_trace(trace, config, stats, l2=l2)
+    return stats
+
+
+def _trace_arch_stats(
+    traces, config: GPUConfig, names: Sequence[str], jobs: int
+) -> Dict[str, ArchStats]:
+    if jobs > 1 and len(names) > 1:
+        try:
+            return _trace_arch_stats_parallel(traces, config, names, jobs)
+        except PARALLEL_FALLBACK_ERRORS:
+            pass  # recompute serially; real worker bugs re-raise below
+    return {name: _trace_arch_cell(traces, config, name) for name in names}
+
+
+def _trace_arch_stats_parallel(
+    traces, config: GPUConfig, names: Sequence[str], jobs: int
+) -> Dict[str, ArchStats]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    timeout = task_timeout()
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(names)))
+    try:
+        futures = {
+            name: pool.submit(_trace_arch_cell, traces, config, name)
+            for name in names
+        }
+        # Collect in submission order: the merge is deterministic no
+        # matter which worker finishes first.
+        return {name: futures[name].result(timeout=timeout)
+                for name in names}
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _outputs_match(w1: Workload, d1: Device, w2: Workload, d2: Device) -> bool:

@@ -1,0 +1,36 @@
+"""Simulation performance subsystem.
+
+Three cooperating layers keep full-suite runs tractable as grids grow
+toward the paper's TITAN-V configuration (see docs/PERFORMANCE.md):
+
+- :mod:`repro.sim.dedup` — warp-dedup timing replay inside
+  :class:`repro.sim.timing.TimingSimulator`;
+- :mod:`repro.perf.parallel` — process fan-out knobs shared by
+  ``run_workload`` / ``run_suite`` (``--jobs`` / ``R2D2_JOBS``);
+- :mod:`repro.perf.trace_cache` — the persistent content-addressed
+  result cache (``R2D2_CACHE`` / ``R2D2_CACHE_DIR``).
+"""
+
+from .parallel import PARALLEL_FALLBACK_ERRORS, resolve_jobs, task_timeout
+from .trace_cache import (
+    SCHEMA_VERSION,
+    TraceCache,
+    cache_from_env,
+    default_cache_dir,
+    functional_trace_key,
+    resolve_cache,
+    workload_result_key,
+)
+
+__all__ = [
+    "PARALLEL_FALLBACK_ERRORS",
+    "SCHEMA_VERSION",
+    "TraceCache",
+    "cache_from_env",
+    "default_cache_dir",
+    "functional_trace_key",
+    "resolve_cache",
+    "resolve_jobs",
+    "task_timeout",
+    "workload_result_key",
+]

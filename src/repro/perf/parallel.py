@@ -1,0 +1,57 @@
+"""Process fan-out knobs shared by the harness runners.
+
+``run_workload`` and ``run_suite`` accept a ``jobs`` argument; when it is
+left ``None`` the ``R2D2_JOBS`` environment variable decides (the CLI
+``--jobs`` flag sets both).  ``jobs <= 1`` means strictly serial
+execution, which is also the fallback whenever a process pool cannot be
+used — e.g. the workload factory closes over unpicklable state, or the
+pool dies — so CI on one core behaves identically to a parallel run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+#: Errors that demote a parallel run to the serial path instead of
+#: aborting it.  Exceptions raised *inside* a worker that are not of
+#: these types (i.e. real workload/model bugs) re-raise unchanged when
+#: the serial retry hits them again.
+PARALLEL_FALLBACK_ERRORS = (
+    pickle.PicklingError,
+    BrokenProcessPool,
+    TimeoutError,
+    AttributeError,
+    TypeError,
+    OSError,
+)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Effective worker count: explicit argument, else ``R2D2_JOBS``,
+    else 1 (serial)."""
+    if jobs is None:
+        env = os.environ.get("R2D2_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = 1
+        else:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def task_timeout() -> Optional[float]:
+    """Per-task timeout in seconds (``R2D2_TASK_TIMEOUT``), or None for
+    no limit.  A timed-out cell is recomputed serially in the parent."""
+    env = os.environ.get("R2D2_TASK_TIMEOUT", "").strip()
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None

@@ -66,6 +66,25 @@ class Cache:
         for cache_set in self._sets:
             cache_set.clear()
 
+    # ------------------------------------------------------------------
+    # Snapshot support (used by the warp-dedup engine to roll back probe
+    # accesses when an SM-clone attempt turns out not to be exact).
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Capture the full replacement state and statistics."""
+        return (
+            [cache_set.copy() for cache_set in self._sets],
+            self.stats.accesses,
+            self.stats.hits,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Return to a previously captured :meth:`snapshot` state."""
+        sets, accesses, hits = snap
+        self._sets = [cache_set.copy() for cache_set in sets]
+        self.stats.accesses = accesses
+        self.stats.hits = hits
+
 
 @dataclass
 class MemoryAccessResult:

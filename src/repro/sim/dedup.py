@@ -1,0 +1,667 @@
+"""Warp-dedup fast path for :class:`~repro.sim.timing.TimingSimulator`.
+
+The timing model replays every warp of every thread block record by
+record, yet — exactly the redundancy R2D2 itself exploits — most warps
+of a regular kernel execute *issue-equivalent* streams: the same static
+instructions with the same active-lane counts, coalescing degree,
+bank-conflict profile, and issue-plan modes, differing only in which
+memory lines they touch.  This module removes that redundancy from the
+simulator in two tiers while reproducing the reference loop's results
+exactly:
+
+**Tier A — signature grouping.**  Each warp's record stream is reduced
+to a *signature* (``TraceRecord.static_issue_key`` plus the issue plan's
+per-record mode/extra).  All per-warp static analysis — latency class,
+energy events, dependency register indices, destination slots, skip
+runs, LSU occupancy — is computed once per distinct signature and shared
+by every warp in the group.  The cycle-level scheduler replay still
+simulates each warp individually and takes exactly the same decisions as
+:meth:`TimingSimulator.run_reference`, so cycles, instruction counters,
+cache statistics, and energy (same per-component float-addition
+sequence) are bit-identical.
+
+**Tier B — SM cloning.**  SMs receive round-robin slices of the block
+list; on regular kernels those slices have identical signature
+sequences.  After the first SM of a signature is simulated (recording
+its memory accesses in issue order), later SMs with the same signature
+only *replay the memory accesses* against their fresh L1 and the real
+shared L2.  If every access resolves to the same L1/L2/DRAM outcome as
+the representative's, the SM's dynamics are provably identical and the
+recorded result deltas are committed without re-simulating — the L2
+content evolution is still exact because the replay performs the very
+accesses the full simulation would have.  On any outcome mismatch the L2
+is rolled back to a snapshot and the SM is simulated in full.
+
+Exactness conditions (see docs/PERFORMANCE.md): the fast path engages
+only for the GTO scheduler (round-robin falls back to the reference
+loop) and assumes pure :class:`IssuePolicy` hooks, which all in-repo
+policies are.  Cloned SMs report per-component energy subtotals instead
+of replaying each addition, so energy can differ from the reference by
+float-associativity ULPs when (and only when) a clone fires; every
+integer field is exact in all cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .caches import Cache, MemoryHierarchy
+from .timing import IssueMode, TimingResult, _latency_of
+from .trace import BlockTrace
+
+_FAR = 1 << 60
+
+# Record kinds, mirroring the branch structure of
+# ``TimingSimulator._issue``.
+_K_SCALAR = 0
+_K_BARRIER = 1
+_K_GMEM = 2
+_K_SMEM = 3
+_K_ALU = 4
+_K_SKIP = 5
+
+
+class _SigGroup:
+    """Per-record static issue tables shared by all warps of one
+    signature."""
+
+    __slots__ = (
+        "n",
+        "kind",
+        "lat",
+        "extra",
+        "active",
+        "dst",
+        "srcs",
+        "eadds",
+        "lsu_slots",
+        "n_lines",
+        "is_store",
+        "next_scalar",
+        "skip_next",
+        "skip_dsts",
+        "skip_count",
+        "has_scalar",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.kind: List[int] = []
+        self.lat: List[int] = []
+        self.extra: List[int] = []
+        self.active: List[int] = []
+        self.dst: List[int] = []
+        self.srcs: List[Tuple[int, ...]] = []
+        #: per record: ordered (component, picojoule) additions — the
+        #: exact float values the reference loop would add.
+        self.eadds: List[Tuple[Tuple[str, float], ...]] = []
+        self.lsu_slots: List[int] = []
+        self.n_lines: List[int] = []
+        self.is_store: List[bool] = []
+        self.next_scalar: List[bool] = []
+        self.skip_next: List[int] = []
+        self.skip_dsts: List[Tuple[int, ...]] = []
+        self.skip_count: List[int] = []
+        self.has_scalar = False
+
+
+def _build_group(sig: tuple, prep: "_Prep") -> _SigGroup:
+    cfg = prep.cfg
+    lat = cfg.latency
+    e = cfg.energy
+    instrs = prep.instrs
+    grp = _SigGroup(len(sig))
+    for pc, active, shared, bank_conflict, n_lines, mode, extra in sig:
+        instr = instrs[pc]
+        grp.extra.append(extra)
+        grp.active.append(active)
+        grp.n_lines.append(n_lines)
+        grp.is_store.append(instr.is_store)
+        grp.next_scalar.append(mode == IssueMode.SCALAR)
+        dst = instr.dst
+        dst_id = prep.reg_ids[dst.name] if dst is not None else -1
+        grp.dst.append(dst_id)
+        src_ids = tuple(
+            dict.fromkeys(
+                prep.reg_ids[r.name] for r in instr.source_regs()
+            )
+        )
+        grp.srcs.append(src_ids)
+        n_src = len(instr.source_regs())
+
+        if mode == IssueMode.SKIP:
+            grp.kind.append(_K_SKIP)
+            grp.lat.append(0)
+            grp.lsu_slots.append(0)
+            grp.eadds.append(())
+            continue
+        if mode in (IssueMode.SCALAR, IssueMode.SCALAR_INLINE):
+            grp.kind.append(_K_SCALAR)
+            grp.lat.append(_latency_of(instr, lat))
+            grp.lsu_slots.append(0)
+            grp.eadds.append((
+                ("fetch", e.fetch_decode_pj),
+                ("scalar", e.scalar_op_pj),
+                ("rf", e.rf_read_pj + e.rf_write_pj),
+            ))
+            grp.has_scalar = grp.has_scalar or mode == IssueMode.SCALAR
+            continue
+
+        adds: List[Tuple[str, float]] = [
+            ("fetch", e.fetch_decode_pj),
+            ("rf", e.rf_read_pj * n_src),
+        ]
+        if dst is not None:
+            adds.append(("rf", e.rf_write_pj))
+        if instr.is_barrier:
+            grp.kind.append(_K_BARRIER)
+            grp.lat.append(0)
+            grp.lsu_slots.append(0)
+        elif instr.is_global_memory and n_lines:
+            grp.kind.append(_K_GMEM)
+            grp.lat.append(0)
+            grp.lsu_slots.append(max(1, n_lines // cfg.mem_ports_per_sm))
+            adds.append(("l1", e.l1_access_pj * n_lines))
+        elif instr.is_shared_memory or shared:
+            grp.kind.append(_K_SMEM)
+            grp.lat.append(lat.shared_mem + max(0, bank_conflict - 1))
+            grp.lsu_slots.append(0)
+            adds.append(("shared", e.shared_access_pj * active))
+        else:
+            grp.kind.append(_K_ALU)
+            grp.lat.append(_latency_of(instr, lat))
+            grp.lsu_slots.append(0)
+            if instr.opcode in prep.sfu_opcodes:
+                adds.append(("sfu", e.sfu_lane_pj * active))
+            elif instr.dtype.is_float:
+                adds.append(("alu", e.float_lane_pj * active))
+            else:
+                adds.append(("alu", e.int_lane_pj * active))
+        grp.eadds.append(tuple(adds))
+
+    # Maximal skip runs from every position (mirrors ``_advance_skips``):
+    # ``skip_next[i]`` is the first non-SKIP index at or after i,
+    # ``skip_dsts[i]`` the destination slots written while skipping,
+    # ``skip_count[i]`` how many records were skipped.
+    n = grp.n
+    grp.skip_next = [0] * (n + 1)
+    grp.skip_dsts = [()] * (n + 1)
+    grp.skip_count = [0] * (n + 1)
+    grp.skip_next[n] = n
+    for i in range(n - 1, -1, -1):
+        if grp.kind[i] == _K_SKIP:
+            grp.skip_next[i] = grp.skip_next[i + 1]
+            dst = grp.dst[i]
+            if dst >= 0:
+                grp.skip_dsts[i] = (dst,) + grp.skip_dsts[i + 1]
+            else:
+                grp.skip_dsts[i] = grp.skip_dsts[i + 1]
+            grp.skip_count[i] = grp.skip_count[i + 1] + 1
+        else:
+            grp.skip_next[i] = i
+    return grp
+
+
+class _Prep:
+    """Signature pass: plans, groups, and per-SM signature keys."""
+
+    def __init__(self, sim) -> None:
+        from ..isa.opcodes import SFU_OPCODES
+
+        self.sim = sim
+        self.cfg = sim.config
+        self.instrs = sim.instrs
+        self.sfu_opcodes = SFU_OPCODES
+        # Register-name -> dense slot id (reference uses a name-keyed
+        # dict with default 0; dense arrays start at 0 likewise).
+        self.reg_ids: Dict[str, int] = {}
+        for instr in self.instrs:
+            if instr.dst is not None and instr.dst.name not in self.reg_ids:
+                self.reg_ids[instr.dst.name] = len(self.reg_ids)
+            for reg in instr.source_regs():
+                if reg.name not in self.reg_ids:
+                    self.reg_ids[reg.name] = len(self.reg_ids)
+        self.n_regs = len(self.reg_ids)
+
+        self._groups: Dict[tuple, _SigGroup] = {}
+        self._group_ids: Dict[tuple, int] = {}
+        #: block id -> (prologue cycles, per-warp _SigGroup list)
+        self.block_info: Dict[int, Tuple[int, List[_SigGroup]]] = {}
+        self.block_sig: Dict[int, tuple] = {}
+        self.any_scalar = False
+        policy = sim.policy
+        for block in sim.trace.blocks:
+            bprologue = policy.block_prologue_cycles(block)
+            groups: List[_SigGroup] = []
+            wsigs: List[int] = []
+            for warp in block.warps:
+                plan = policy.plan_warp(block, warp)
+                if plan.modes is None and plan.extra_latency is None:
+                    sig = tuple(
+                        r.static_issue_key() + (IssueMode.SIMD, 0)
+                        for r in warp.records
+                    )
+                else:
+                    sig = tuple(
+                        r.static_issue_key()
+                        + (plan.mode(i), plan.extra(i))
+                        for i, r in enumerate(warp.records)
+                    )
+                grp = self._groups.get(sig)
+                if grp is None:
+                    grp = _build_group(sig, self)
+                    self._groups[sig] = grp
+                    self._group_ids[sig] = len(self._group_ids)
+                    self.any_scalar = self.any_scalar or grp.has_scalar
+                groups.append(grp)
+                wsigs.append(self._group_ids[sig])
+            self.block_info[id(block)] = (bprologue, groups)
+            self.block_sig[id(block)] = (bprologue, tuple(wsigs))
+
+    def sm_signature(self, sm_id: int, blocks: List[BlockTrace]) -> tuple:
+        return (
+            self.sim.policy.sm_prologue_cycles(sm_id),
+            tuple(self.block_sig[id(b)] for b in blocks),
+        )
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._groups)
+
+
+class _FW:
+    """Dynamic per-warp state (mirrors ``_WarpSim``)."""
+
+    __slots__ = (
+        "slot",
+        "fb",
+        "grp",
+        "recs",
+        "idx",
+        "reg",
+        "start",
+        "bu",
+        "at_bar",
+        "done",
+        "bseq",
+        "wpos",
+    )
+
+    def __init__(self, slot: int, fb: "_FB", grp: _SigGroup, recs,
+                 n_regs: int, bseq: int, wpos: int) -> None:
+        self.slot = slot
+        self.fb = fb
+        self.grp = grp
+        self.recs = recs
+        self.idx = 0
+        self.reg = [0] * n_regs
+        self.start = 0
+        self.bu = 0
+        self.at_bar = False
+        self.done = grp.n == 0
+        self.bseq = bseq
+        self.wpos = wpos
+
+
+class _FB:
+    """Dynamic per-block state (mirrors ``_BlockSim``)."""
+
+    __slots__ = ("warps", "barrier_count", "remaining")
+
+    def __init__(self) -> None:
+        self.warps: List[_FW] = []
+        self.barrier_count = 0
+        self.remaining = 0
+
+
+class _SMRecord:
+    """Everything needed to clone an SM without re-simulating it."""
+
+    __slots__ = (
+        "cycles",
+        "d_simd",
+        "d_scalar",
+        "d_skipped",
+        "d_threads",
+        "d_prologue",
+        "d_dram",
+        "l1_accesses",
+        "l1_hits",
+        "energy_subtotal",
+        "memlog",
+    )
+
+
+def _ready(w: _FW) -> int:
+    if w.at_bar:
+        return _FAR
+    i = w.idx
+    grp = w.grp
+    if i >= grp.n:
+        return _FAR
+    m = w.start if w.start > w.bu else w.bu
+    reg = w.reg
+    for s in grp.srcs[i]:
+        v = reg[s]
+        if v > m:
+            m = v
+    return m
+
+
+def _pick(lst: List[_FW], last: Optional[_FW], t: int,
+          want_scalar: bool) -> Optional[_FW]:
+    """GTO pick, replicating ``TimingSimulator._pick`` decisions."""
+    if (
+        last is not None
+        and not last.done
+        and not last.at_bar
+        and last.grp.next_scalar[last.idx] == want_scalar
+        and _ready(last) <= t
+    ):
+        return last
+    best = None
+    best_slot = _FAR
+    for w in lst:
+        if w.grp.next_scalar[w.idx] != want_scalar:
+            continue
+        if w.slot < best_slot and _ready(w) <= t:
+            best = w
+            best_slot = w.slot
+    return best
+
+
+def run_dedup(sim) -> Optional[TimingResult]:
+    """Fast equivalent of :meth:`TimingSimulator.run_reference`.
+
+    Returns ``None`` when the preconditions for an exact fast replay are
+    not met (the caller then falls back to the reference loop).
+    """
+    cfg = sim.config
+    if cfg.scheduler_policy != "gto":
+        return None
+
+    prep = _Prep(sim)
+    result = TimingResult()
+    blocks = sim.trace.blocks
+    n_sms = min(cfg.num_sms, max(1, len(blocks)))
+    result.sms_used = n_sms
+    per_sm: List[List[BlockTrace]] = [[] for _ in range(n_sms)]
+    for i, block in enumerate(blocks):
+        per_sm[i % n_sms].append(block)
+
+    sm_sigs = [
+        prep.sm_signature(sm_id, per_sm[sm_id]) for sm_id in range(n_sms)
+    ]
+    sig_counts: Dict[tuple, int] = {}
+    for sig in sm_sigs:
+        sig_counts[sig] = sig_counts.get(sig, 0) + 1
+
+    seen: Dict[tuple, _SMRecord] = {}
+    sm_cycles: List[int] = []
+    for sm_id in range(n_sms):
+        sig = sm_sigs[sm_id]
+        rec = seen.get(sig)
+        if rec is not None and _try_clone(sim, rec, per_sm[sm_id], result):
+            sm_cycles.append(rec.cycles)
+            continue
+        record = sig_counts[sig] > 1
+        cycles, smrec = _run_sm_fast(
+            sim, prep, sm_id, per_sm[sm_id], result, record
+        )
+        if smrec is not None:
+            seen[sig] = smrec
+        sm_cycles.append(cycles)
+
+    result.cycles = max(sm_cycles) if sm_cycles else 0
+    result.l2 = sim.l2.stats
+    static = cfg.energy.static_pj_per_sm_cycle * result.cycles * n_sms
+    result.energy.add("static", static)
+    return result
+
+
+def _try_clone(sim, rec: _SMRecord, blocks: List[BlockTrace],
+               result: TimingResult) -> bool:
+    """Replay the representative's memory accesses for a candidate clone;
+    commit the recorded deltas if every outcome matches, else roll the L2
+    back and report failure."""
+    cfg = sim.config
+    l2 = sim.l2
+    snap = l2.snapshot() if rec.memlog else None
+    l1 = Cache(cfg.l1)
+    hierarchy = MemoryHierarchy(l1, l2, cfg.latency)
+    for bseq, wpos, ridx, want_l1, want_l2, want_dram, is_store in rec.memlog:
+        record = blocks[bseq].warps[wpos].records[ridx]
+        acc = hierarchy.access(record.lines, is_store=is_store)
+        if (
+            acc.l1_hits != want_l1
+            or acc.l2_hits != want_l2
+            or acc.dram_accesses != want_dram
+        ):
+            l2.restore(snap)
+            return False
+    result.issued_simd += rec.d_simd
+    result.issued_scalar += rec.d_scalar
+    result.skipped += rec.d_skipped
+    result.thread_ops += rec.d_threads
+    result.prologue_cycles += rec.d_prologue
+    result.dram_accesses += rec.d_dram
+    result.l1.accesses += rec.l1_accesses
+    result.l1.hits += rec.l1_hits
+    energy = result.energy
+    for key, pj in rec.energy_subtotal:
+        energy.add(key, pj)
+    return True
+
+
+def _run_sm_fast(
+    sim,
+    prep: _Prep,
+    sm_id: int,
+    blocks: List[BlockTrace],
+    result: TimingResult,
+    record: bool,
+) -> Tuple[int, Optional[_SMRecord]]:
+    if not blocks:
+        return 0, None
+    cfg = sim.config
+    policy = sim.policy
+    l1 = Cache(cfg.l1)
+    hierarchy = MemoryHierarchy(l1, sim.l2, cfg.latency)
+    resident = sim.resident_blocks_limit()
+    n_sched = cfg.num_schedulers
+    n_regs = prep.n_regs
+    do_scalar_pass = prep.any_scalar
+    e_l2_pj = cfg.energy.l2_access_pj
+    e_dram_pj = cfg.energy.dram_access_pj
+    evals = result.energy.values
+
+    if record:
+        pre_energy = dict(evals)
+        pre_simd = result.issued_simd
+        pre_scalar = result.issued_scalar
+        pre_skipped = result.skipped
+        pre_threads = result.thread_ops
+        pre_prologue = result.prologue_cycles
+        pre_dram = result.dram_accesses
+        memlog: Optional[list] = []
+    else:
+        memlog = None
+
+    prologue = policy.sm_prologue_cycles(sm_id)
+    result.prologue_cycles += prologue
+
+    pending = list(blocks)
+    scheds: List[List[_FW]] = [[] for _ in range(n_sched)]
+    slot_counter = 0
+    active_count = 0
+    nlive = 0
+    bseq_counter = 0
+
+    def activate_block(now: int) -> None:
+        nonlocal slot_counter, active_count, nlive, bseq_counter
+        block_trace = pending.pop(0)
+        bseq = bseq_counter
+        bseq_counter += 1
+        bprologue, groups = prep.block_info[id(block_trace)]
+        result.prologue_cycles += bprologue
+        start = now + bprologue
+        fb = _FB()
+        for wpos, wtrace in enumerate(block_trace.warps):
+            grp = groups[wpos]
+            fw = _FW(slot_counter, fb, grp, wtrace.records, n_regs,
+                     bseq, wpos)
+            fw.start = start
+            slot_counter += 1
+            # Leading skip run (mirrors _advance_skips at activation).
+            n_sk = grp.skip_count[0] if grp.n else 0
+            if n_sk:
+                reg = fw.reg
+                for dst in grp.skip_dsts[0]:
+                    reg[dst] = start
+                result.skipped += n_sk
+                fw.idx = grp.skip_next[0]
+                if fw.idx >= grp.n:
+                    fw.done = True
+            if not fw.done:
+                fb.warps.append(fw)
+                scheds[fw.slot % n_sched].append(fw)
+                nlive += 1
+        fb.remaining = len(fb.warps)
+        if fb.remaining:
+            active_count += 1
+
+    t = prologue
+    while pending and active_count < resident:
+        activate_block(t)
+    lsu_free = t
+    last_issued: List[Optional[_FW]] = [None] * n_sched
+
+    def finish(w: _FW, now: int) -> None:
+        nonlocal active_count, nlive
+        grp = w.grp
+        i = w.idx + 1
+        n_sk = grp.skip_count[i]
+        if n_sk:
+            t1 = now + 1
+            reg = w.reg
+            for dst in grp.skip_dsts[i]:
+                reg[dst] = t1
+            result.skipped += n_sk
+            i = grp.skip_next[i]
+        w.idx = i
+        if i >= grp.n:
+            w.done = True
+            scheds[w.slot % n_sched].remove(w)
+            nlive -= 1
+            fb = w.fb
+            fb.remaining -= 1
+            if fb.remaining == 0:
+                active_count -= 1
+                if pending:
+                    activate_block(now + 1)
+
+    def issue(w: _FW, now: int) -> None:
+        nonlocal lsu_free
+        grp = w.grp
+        i = w.idx
+        for key, pj in grp.eadds[i]:
+            evals[key] = evals.get(key, 0.0) + pj
+        kind = grp.kind[i]
+        if kind == _K_SCALAR:
+            result.issued_scalar += 1
+            result.thread_ops += 1
+            dst = grp.dst[i]
+            if dst >= 0:
+                w.reg[dst] = now + grp.lat[i] + grp.extra[i]
+            finish(w, now)
+            return
+        result.issued_simd += 1
+        result.thread_ops += grp.active[i]
+        if kind == _K_BARRIER:
+            fb = w.fb
+            fb.barrier_count += 1
+            if fb.barrier_count >= fb.remaining:
+                fb.barrier_count = 0
+                t1 = now + 1
+                for x in fb.warps:
+                    if not x.done:
+                        x.at_bar = False
+                        if x.bu < t1:
+                            x.bu = t1
+            else:
+                w.at_bar = True
+            finish(w, now)
+            return
+        if kind == _K_GMEM:
+            rec = w.recs[i]
+            start = now if now > lsu_free else lsu_free
+            lsu_free = start + grp.lsu_slots[i]
+            acc = hierarchy.access(rec.lines, is_store=grp.is_store[i])
+            completion = start + acc.latency + grp.extra[i]
+            result.dram_accesses += acc.dram_accesses
+            n_l2 = grp.n_lines[i] - acc.l1_hits
+            evals["l2"] = evals.get("l2", 0.0) + e_l2_pj * (
+                n_l2 if n_l2 > 0 else 0
+            )
+            evals["dram"] = (
+                evals.get("dram", 0.0) + e_dram_pj * acc.dram_accesses
+            )
+            if memlog is not None:
+                memlog.append((
+                    w.bseq, w.wpos, i, acc.l1_hits, acc.l2_hits,
+                    acc.dram_accesses, grp.is_store[i],
+                ))
+        else:  # _K_SMEM and _K_ALU share the static-latency shape
+            completion = now + grp.lat[i] + grp.extra[i]
+        dst = grp.dst[i]
+        if dst >= 0:
+            w.reg[dst] = completion
+        finish(w, now)
+
+    while nlive or pending:
+        issued_any = False
+        for sched in range(n_sched):
+            lst = scheds[sched]
+            if do_scalar_pass:
+                w = _pick(lst, last_issued[sched], t, True)
+                if w is not None:
+                    issue(w, t)
+                    issued_any = True
+            w = _pick(lst, last_issued[sched], t, False)
+            if w is not None:
+                issue(w, t)
+                last_issued[sched] = w
+                issued_any = True
+        if nlive == 0 and pending:
+            activate_block(t + 1)
+        if issued_any:
+            t += 1
+        elif nlive:
+            nxt = _FAR
+            for lst in scheds:
+                for w in lst:
+                    rt = _ready(w)
+                    if t < rt < nxt:
+                        nxt = rt
+            t = nxt if nxt < _FAR else t + 1
+    result.l1.merge(l1.stats)
+
+    smrec: Optional[_SMRecord] = None
+    if record:
+        smrec = _SMRecord()
+        smrec.cycles = t
+        smrec.d_simd = result.issued_simd - pre_simd
+        smrec.d_scalar = result.issued_scalar - pre_scalar
+        smrec.d_skipped = result.skipped - pre_skipped
+        smrec.d_threads = result.thread_ops - pre_threads
+        smrec.d_prologue = result.prologue_cycles - pre_prologue
+        smrec.d_dram = result.dram_accesses - pre_dram
+        smrec.l1_accesses = l1.stats.accesses
+        smrec.l1_hits = l1.stats.hits
+        smrec.energy_subtotal = tuple(
+            (key, pj - pre_energy.get(key, 0.0))
+            for key, pj in evals.items()
+            if pj != pre_energy.get(key, 0.0)
+        )
+        smrec.memlog = memlog
+    return t, smrec

@@ -19,6 +19,7 @@ block-index computation).
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -192,6 +193,7 @@ class TimingSimulator:
         policy: Optional[IssuePolicy] = None,
         l2: Optional[Cache] = None,
         regs_per_thread: Optional[int] = None,
+        dedup: Optional[bool] = None,
     ) -> None:
         self.config = config
         self.trace = trace
@@ -203,6 +205,10 @@ class TimingSimulator:
             regs_per_thread = allocated_registers(self.kernel)
         self.regs_per_thread = regs_per_thread
         self._lat_cache: Dict[int, int] = {}
+        if dedup is None:
+            env = os.environ.get("R2D2_SIM_DEDUP", "").strip().lower()
+            dedup = env not in ("0", "off", "false", "no")
+        self.dedup = dedup
 
     # ------------------------------------------------------------------
     def resident_blocks_limit(self) -> int:
@@ -223,6 +229,20 @@ class TimingSimulator:
 
     # ------------------------------------------------------------------
     def run(self) -> TimingResult:
+        """Replay the trace, using the warp-dedup fast path when its
+        exactness preconditions hold (see :mod:`repro.sim.dedup`)."""
+        if self.dedup:
+            from .dedup import run_dedup
+
+            result = run_dedup(self)
+            if result is not None:
+                return result
+        return self.run_reference()
+
+    # ------------------------------------------------------------------
+    def run_reference(self) -> TimingResult:
+        """Record-by-record reference replay (always exact; the dedup
+        fast path is validated against it)."""
         result = TimingResult()
         cfg = self.config
         blocks = self.trace.blocks

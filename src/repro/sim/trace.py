@@ -71,6 +71,24 @@ class TraceRecord:
         self.bank_conflict = bank_conflict
         self.issue_tag = issue_tag
 
+    def static_issue_key(self) -> Tuple[int, int, bool, int, int]:
+        """The timing-relevant static profile of this record.
+
+        Two records with equal keys (and equal issue-plan mode/extra) cost
+        the timing model the same in every situation except the global
+        memory hierarchy, whose outcome depends on the actual ``lines``.
+        The warp-dedup engine (:mod:`repro.sim.dedup`) groups warps whose
+        record streams agree on this key.
+        """
+        lines = self.lines
+        return (
+            self.pc,
+            self.active,
+            self.shared,
+            self.bank_conflict,
+            len(lines) if lines else 0,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(
             f

@@ -22,6 +22,23 @@ class TestParser:
         assert args.scale == "small"
         assert args.sms == 4
         assert args.apps is None
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.op is None
+
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["fig12", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_cache_artifact(self):
+        args = build_parser().parse_args(["cache", "clear"])
+        assert args.artifact == "cache"
+        assert args.op == "clear"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "frobnicate"])
 
 
 class TestExecution:
@@ -45,3 +62,30 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "NN" in out and "BP" in out
         assert "R2D2" in out
+
+    def test_cached_rerun_is_byte_identical(self, capsys):
+        argv = ["fig13", "--scale", "tiny", "--sms", "2",
+                "--apps", "NN", "BP"]
+        assert main(argv) == 0  # cold: populates the cache
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # warm: served from the cache
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_jobs_flag_matches_serial_output(self, capsys):
+        argv = ["fig12", "--scale", "tiny", "--sms", "2",
+                "--apps", "NN", "BP", "--no-cache"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_cache_stats_and_clear(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache root" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache"]) == 0  # default op is stats
+        assert "entries" in capsys.readouterr().out

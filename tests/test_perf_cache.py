@@ -1,0 +1,233 @@
+"""The perf subsystem: persistent result cache and parallel runners."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import bench_config, run_suite
+from repro.harness.runner import run_workload
+from repro.perf import (
+    TraceCache,
+    cache_from_env,
+    resolve_cache,
+    resolve_jobs,
+    task_timeout,
+)
+from repro.perf.trace_cache import (
+    SCHEMA_VERSION,
+    UnhashableKeyPart,
+    digest,
+)
+from repro.workloads import factory
+
+
+# ----------------------------------------------------------------------
+# Canonical key hashing
+# ----------------------------------------------------------------------
+class TestDigest:
+    def test_deterministic(self):
+        assert digest("a", 1, (2.0, None)) == digest("a", 1, (2.0, None))
+
+    def test_dict_order_independent(self):
+        assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+    def test_container_types_distinct(self):
+        assert digest([1]) != digest((1,))
+        assert digest(1) != digest("1") != digest(True)
+
+    def test_numpy_values(self):
+        assert digest(np.int64(5)) == digest(np.int64(5))
+        assert digest(np.int64(5)) != digest(np.int32(5))
+        arr = np.arange(8, dtype=np.float32)
+        assert digest(arr) == digest(arr.copy())
+        assert digest(arr) != digest(arr[::-1].copy())
+
+    def test_dataclasses_hash_by_fields(self):
+        assert digest(bench_config(2)) == digest(bench_config(2))
+        assert digest(bench_config(2)) != digest(bench_config(4))
+
+    def test_unhashable_rejected(self):
+        with pytest.raises(UnhashableKeyPart):
+            digest(object())
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+class TestTraceCache:
+    def test_roundtrip_and_miss(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        assert cache.get("result", "ab" * 32) is None
+        assert cache.put("result", "ab" * 32, {"x": 1})
+        assert cache.get("result", "ab" * 32) == {"x": 1}
+        assert cache.session_hits == 1 and cache.session_misses == 1
+
+    def test_layout_is_versioned(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        cache.put("trace", "cd" * 32, [1, 2, 3])
+        path = (tmp_path / f"v{SCHEMA_VERSION}" / "trace" / "cd"
+                / ("cd" * 32 + ".pkl"))
+        assert path.is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        cache.put("result", "ef" * 32, "payload")
+        path = cache._path("result", "ef" * 32)
+        path.write_bytes(b"not a pickle")
+        assert cache.get("result", "ef" * 32) is None
+
+    def test_eviction_drops_oldest_under_cap(self, tmp_path):
+        cache = TraceCache(root=tmp_path, max_bytes=4096)
+        blob = os.urandom(1500)
+        keys = [f"{i:02x}" * 32 for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put("result", key, blob + bytes([i]))
+            os.utime(cache._path("result", key), (1000 + i, 1000 + i))
+        cache._evict()
+        alive = [k for k in keys if cache._path("result", k).exists()]
+        # Oldest entries evicted first; the newest always survives.
+        assert keys[-1] in alive
+        assert keys[0] not in alive
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        cache.put("result", "aa" * 32, 1)
+        cache.put("trace", "bb" * 32, 2)
+        info = cache.stats()
+        assert info["entries"] == 2
+        assert set(info["namespaces"]) == {"result", "trace"}
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Resolution knobs
+# ----------------------------------------------------------------------
+class TestKnobs:
+    def test_resolve_jobs(self, monkeypatch):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) == 1
+        monkeypatch.setenv("R2D2_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        monkeypatch.setenv("R2D2_JOBS", "junk")
+        assert resolve_jobs(None) == 1
+
+    def test_task_timeout(self, monkeypatch):
+        assert task_timeout() is None
+        monkeypatch.setenv("R2D2_TASK_TIMEOUT", "2.5")
+        assert task_timeout() == 2.5
+        monkeypatch.setenv("R2D2_TASK_TIMEOUT", "-1")
+        assert task_timeout() is None
+
+    def test_cache_off_by_default(self):
+        # tests/conftest.py clears R2D2_CACHE: library default is off.
+        assert cache_from_env() is None
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_cache_env_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("R2D2_CACHE", "1")
+        monkeypatch.setenv("R2D2_CACHE_DIR", str(tmp_path))
+        cache = resolve_cache(None)
+        assert isinstance(cache, TraceCache)
+        assert cache.root == tmp_path
+
+    def test_explicit_instance_passthrough(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        assert resolve_cache(cache) is cache
+        assert isinstance(resolve_cache(True), TraceCache)
+
+    def test_cache_is_picklable_for_pool_workers(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.root == cache.root
+
+
+# ----------------------------------------------------------------------
+# Harness integration
+# ----------------------------------------------------------------------
+ARCHES = ("baseline", "darsie+scalar", "r2d2")
+
+
+class TestRunWorkloadCache:
+    def test_hit_returns_equal_result(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        cfg = bench_config(2)
+        first = run_workload(factory("BP", "tiny"), config=cfg,
+                             arch_names=ARCHES, cache=cache)
+        second = run_workload(factory("BP", "tiny"), config=cfg,
+                              arch_names=ARCHES, cache=cache)
+        assert cache.session_hits >= 1
+        assert list(second.stats) == list(first.stats)
+        for arch in ARCHES:
+            assert second.stats[arch].cycles == first.stats[arch].cycles
+            assert (second.stats[arch].warp_instructions
+                    == first.stats[arch].warp_instructions)
+        assert second.outputs_identical == first.outputs_identical
+
+    def test_config_change_misses(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        run_workload(factory("BP", "tiny"), config=bench_config(2),
+                     arch_names=ARCHES, cache=cache)
+        hits_before = cache.session_hits
+        run_workload(factory("BP", "tiny"), config=bench_config(4),
+                     arch_names=ARCHES, cache=cache)
+        assert cache.session_hits == hits_before
+
+    def test_verify_false_reuses_functional_trace(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        cfg = bench_config(2)
+        run_workload(factory("NN", "tiny"), config=cfg,
+                     arch_names=("baseline",), verify=False, cache=cache)
+        # Drop the memoized result so the second call must rebuild it —
+        # from the cached functional trace.
+        for path in (tmp_path / f"v{SCHEMA_VERSION}" / "result").glob(
+            "??/*.pkl"
+        ):
+            path.unlink()
+        before = cache.session_hits
+        res = run_workload(factory("NN", "tiny"), config=cfg,
+                           arch_names=("baseline",), verify=False,
+                           cache=cache)
+        assert cache.session_hits > before  # the trace entry hit
+        assert res.stats["baseline"].cycles > 0
+
+
+class TestParallelRunners:
+    def test_run_workload_jobs_matches_serial(self):
+        cfg = bench_config(2)
+        serial = run_workload(factory("BP", "tiny"), config=cfg,
+                              arch_names=ARCHES)
+        parallel = run_workload(factory("BP", "tiny"), config=cfg,
+                                arch_names=ARCHES, jobs=2)
+        assert list(parallel.stats) == list(serial.stats)
+        for arch in ARCHES:
+            assert parallel.stats[arch] == serial.stats[arch]
+
+    def test_run_suite_jobs_matches_serial(self):
+        cfg = bench_config(2)
+        apps = ["BP", "NN", "GEM"]
+        serial = run_suite(apps, "tiny", cfg, arch_names=ARCHES,
+                           verify=False)
+        parallel = run_suite(apps, "tiny", cfg, arch_names=ARCHES,
+                             verify=False, jobs=2)
+        assert list(parallel.results) == apps  # deterministic order
+        for abbr in apps:
+            for arch in ARCHES:
+                assert (parallel[abbr].stats[arch]
+                        == serial[abbr].stats[arch]), (abbr, arch)
+
+    def test_run_suite_timeout_falls_back_serially(self, monkeypatch):
+        # An absurdly small per-task timeout forces every parallel cell
+        # to be abandoned; the serial fallback must still fill them in.
+        monkeypatch.setenv("R2D2_TASK_TIMEOUT", "0.000001")
+        cfg = bench_config(2)
+        suite = run_suite(["BP", "NN"], "tiny", cfg,
+                          arch_names=("baseline",), verify=False, jobs=2)
+        assert list(suite.results) == ["BP", "NN"]
+        assert all(
+            suite[a].stats["baseline"].cycles > 0 for a in ("BP", "NN")
+        )

@@ -1,0 +1,156 @@
+"""Equivalence of the warp-dedup fast path and the reference engine.
+
+The dedup engine (repro.sim.dedup) must be *exact* for every integer
+observable of a ``TimingResult`` / ``ArchStats``: cycles, issue counts,
+skip counts, thread ops, cache events, DRAM accesses.  Energy is
+bit-exact whenever the engine only dedups static analysis (Tier A); the
+SM-clone tier adds per-clone subtotals instead of replaying every
+floating-point accumulation, which reorders additions and may differ in
+the last ULP — hence energy is compared with a tight relative
+tolerance.  See docs/PERFORMANCE.md ("Dedup exactness conditions").
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.isa import CmpOp, DType, KernelBuilder, Param
+from repro.sim import Device, TimingSimulator, tiny
+from repro.sim.config import small
+from repro.workloads import factory
+
+# Mixed coverage on purpose: barrier-heavy (LUD, BP), divergent /
+# data-dependent (BFS, MUM), and regular near-100%-duplicate streams
+# (NN, GEM).
+WORKLOADS = ("LUD", "BP", "BFS", "MUM", "NN", "GEM")
+
+TIMING_INT_FIELDS = (
+    "cycles",
+    "issued_simd",
+    "issued_scalar",
+    "skipped",
+    "thread_ops",
+    "prologue_cycles",
+    "dram_accesses",
+    "sms_used",
+)
+
+STATS_INT_FIELDS = (
+    "warp_instructions",
+    "thread_instructions",
+    "cycles",
+    "linear_warp_instructions",
+    "linear_cycles",
+    "scalar_instructions",
+    "skipped_instructions",
+    "fallback_launches",
+    "launches",
+    "sms_used",
+)
+
+
+def _assert_timing_equal(fast, ref):
+    for name in TIMING_INT_FIELDS:
+        assert getattr(fast, name) == getattr(ref, name), name
+    assert (fast.l1.accesses, fast.l1.hits) == (ref.l1.accesses,
+                                                ref.l1.hits)
+    assert (fast.l2.accesses, fast.l2.hits) == (ref.l2.accesses,
+                                                ref.l2.hits)
+    assert fast.energy.total() == pytest.approx(
+        ref.energy.total(), rel=1e-9
+    )
+    for key, value in ref.energy.values.items():
+        assert fast.energy.values.get(key, 0.0) == pytest.approx(
+            value, rel=1e-9
+        ), key
+
+
+@pytest.mark.parametrize("abbr", WORKLOADS)
+def test_run_workload_dedup_equivalence(abbr, monkeypatch):
+    """All timing architectures, dedup on vs off, on real workloads."""
+    arches = ("baseline", "dac", "darsie", "darsie+scalar", "r2d2")
+
+    def sweep(dedup_on):
+        monkeypatch.setenv("R2D2_SIM_DEDUP", "1" if dedup_on else "0")
+        return run_workload(
+            factory(abbr, "tiny"), arch_names=arches, verify=False
+        )
+
+    ref = sweep(False)
+    fast = sweep(True)
+    for arch in arches:
+        r, f = ref.stats[arch], fast.stats[arch]
+        for name in STATS_INT_FIELDS:
+            assert getattr(f, name) == getattr(r, name), (arch, name)
+        assert f.energy_pj == pytest.approx(r.energy_pj, rel=1e-9), arch
+
+
+def _traces_for(abbr, config):
+    workload = factory(abbr, "tiny")()
+    device = Device(config)
+    launches = workload.prepare(device)
+    return [
+        device.launch(spec.kernel, spec.grid, spec.block, spec.args)
+        for spec in launches
+    ]
+
+
+@pytest.mark.parametrize("abbr", ("LUD", "BFS", "NN"))
+def test_timing_simulator_dedup_equivalence(abbr):
+    """Direct TimingSimulator comparison, per launch, tiny config."""
+    config = tiny()
+    for trace in _traces_for(abbr, config):
+        fast = TimingSimulator(config, trace, dedup=True).run()
+        ref = TimingSimulator(config, trace, dedup=False).run()
+        _assert_timing_equal(fast, ref)
+
+
+def test_dedup_many_identical_warps_is_exact_and_engaged():
+    """A vadd-style stream (>90% duplicate warps) must go through the
+    fast path and still agree with the reference bit for bit."""
+    b = KernelBuilder(
+        "vadd",
+        params=[Param("a", is_pointer=True), Param("c", is_pointer=True),
+                Param("n", DType.S32)],
+    )
+    a_p, c_p, n_p = b.param(0), b.param(1), b.param(2)
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n_p)
+    with b.if_then(ok):
+        v = b.ld_global(b.addr(a_p, i, 4), DType.F32)
+        b.st_global(b.addr(c_p, i, 4), b.mul(v, 2.0, DType.F32),
+                    DType.F32)
+    kernel = b.build()
+
+    n = 4096
+    config = tiny()
+    dev = Device(config)
+    da = dev.upload(np.ones(n, dtype=np.float32))
+    dc = dev.alloc(4 * n)
+    trace = dev.launch(kernel, n // 256, 256, (da, dc, n))
+
+    fast = TimingSimulator(config, trace, dedup=True).run()
+    ref = TimingSimulator(config, trace, dedup=False).run()
+    _assert_timing_equal(fast, ref)
+
+
+def test_dedup_falls_back_on_non_gto_scheduler():
+    """Exactness precondition: a non-GTO scheduler disables the fast
+    path (run() must still succeed and match the reference)."""
+    config = dataclasses.replace(tiny(), scheduler_policy="rr")
+    for trace in _traces_for("NN", config):
+        fast = TimingSimulator(config, trace, dedup=True).run()
+        ref = TimingSimulator(config, trace, dedup=False).run()
+        _assert_timing_equal(fast, ref)
+
+
+def test_dedup_env_default(monkeypatch):
+    trace = _traces_for("NN", tiny())[0]
+    monkeypatch.delenv("R2D2_SIM_DEDUP", raising=False)
+    assert TimingSimulator(tiny(), trace).dedup is True
+    monkeypatch.setenv("R2D2_SIM_DEDUP", "0")
+    assert TimingSimulator(tiny(), trace).dedup is False
+    monkeypatch.setenv("R2D2_SIM_DEDUP", "off")
+    assert TimingSimulator(tiny(), trace).dedup is False
