@@ -8,6 +8,8 @@ Usage::
     python -m repro fig12 --jobs 4        # parallel suite run
     python -m repro cache stats           # persistent-cache usage
     python -m repro cache clear           # drop every cached result
+    python -m repro oracle fuzz           # analyzer soundness fuzzing
+    python -m repro oracle corpus         # replay saved counterexamples
     python -m repro list                  # what's available
 
 Figure/table runs use the persistent result cache by default (reruns of
@@ -143,12 +145,22 @@ def _scoped_env(**values: Optional[str]):
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+
+    # The oracle has its own subcommand tree; dispatch before the figure
+    # parser so its flags don't collide with the artifact choices.
+    if argv and argv[0] == "oracle":
+        from ..oracle.cli import main as oracle_main
+
+        return oracle_main(argv[1:])
+
     args = build_parser().parse_args(argv)
 
     if args.artifact == "list":
         print("suite figures  :", ", ".join(SUITE_FIGURES))
         print("standalone     :", ", ".join(STANDALONE_FIGURES))
         print("maintenance    : cache [stats|clear]")
+        print("testing        : oracle [fuzz|replay|corpus]")
         return 0
 
     if args.artifact == "cache":

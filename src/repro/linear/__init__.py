@@ -7,7 +7,7 @@ from .analyzer import (
     analyze_kernel,
     kind_of_vec,
 )
-from .coeffvec import ELEMENT_NAMES, CoeffVec
+from .coeffvec import ELEMENT_NAMES, CoeffVec, wrap_i64, wrap_to_dtype
 from .symbols import LinExpr, ZERO, dim_symbol, launch_env, param_symbol
 from .tables import (
     MAX_LINEAR_ENTRIES,
@@ -41,4 +41,6 @@ __all__ = [
     "kind_of_vec",
     "launch_env",
     "param_symbol",
+    "wrap_i64",
+    "wrap_to_dtype",
 ]

@@ -32,7 +32,7 @@ from ..isa.instruction import Instruction
 from ..isa.kernel import Kernel
 from ..isa.opcodes import LINEAR_TRACKABLE, DType, Opcode
 from ..isa.operands import Imm, MemRef, ParamRef, Reg, SpecialReg
-from .coeffvec import CoeffVec
+from .coeffvec import CoeffVec, dtype_shift_width
 from .symbols import LinExpr
 
 
@@ -93,6 +93,9 @@ class ScalarRecipe:
 
     opcode: Opcode
     sources: Tuple[object, ...]  # LinExpr values of the source operands
+    #: Instruction dtype: launch-time evaluation must narrow exactly the
+    #: way the executor does (``cvt.s32``/``cvt.u32`` truncate to 32 bits).
+    dtype: DType = DType.S64
 
 
 @dataclass
@@ -130,8 +133,14 @@ class AnalysisResult:
     #: kernel-uniform value (e.g. ``shr cols, 1``); R2D2 computes it once
     #: on the scalar pipeline and tracks it as a fresh symbol.
     scalar_recipes: "OrderedDict[str, ScalarRecipe]" = field(
-        default_factory=dict
+        default_factory=OrderedDict
     )
+    #: Multi-write registers whose linear/uniform base was later clobbered
+    #: by a write the decomposition cannot describe (predicated or
+    #: non-linear).  Any uniform-update promotion of such a register is
+    #: retracted after the walk: inside a loop the clobber re-executes
+    #: before the textually-earlier update.
+    demoted_multiwrite: Set[str] = field(default_factory=set)
 
     # ------------------------------------------------------------------
     def kind_counts(self) -> Dict[LinearKind, int]:
@@ -175,13 +184,42 @@ def analyze_kernel(kernel: Kernel) -> AnalysisResult:
     for pc, instr in enumerate(kernel.instructions):
         _classify_instruction(result, env, pc, instr, pc_in_loop)
 
+    _retract_demoted_promotions(result)
     _collect_boundary_uses(result, pc_in_loop)
     return result
+
+
+def _retract_demoted_promotions(result: AnalysisResult) -> None:
+    """Un-promote uniform updates whose register base was demoted.
+
+    The walk visits pcs once in program order, but inside a loop a
+    *later* clobbering write (a guarded ``mov``, a load) re-executes
+    before a textually-earlier promoted update on the next iteration, so
+    a demotion anywhere in the kernel invalidates every promotion of
+    that register.
+    """
+    if not result.demoted_multiwrite:
+        return
+    for pc in sorted(result.uniform_updates):
+        instr = result.kernel.instructions[pc]
+        if instr.dst is not None and (
+            instr.dst.name in result.demoted_multiwrite
+        ):
+            result.uniform_updates.discard(pc)
+            result.kind_by_pc[pc] = LinearKind.NONLINEAR
 
 
 # ----------------------------------------------------------------------
 # Per-instruction classification (Algorithm 1 lines 6-12)
 # ----------------------------------------------------------------------
+def _demote_multiwrite_base(result: AnalysisResult, name: str) -> None:
+    """Mark a multi-write register's base as non-decomposable."""
+    prev = result.multiwrite_base.get(name)
+    result.multiwrite_base[name] = "nonlinear"
+    if prev in ("linear", "uniform"):
+        result.demoted_multiwrite.add(name)
+
+
 def _source_vec(
     env: Dict[str, Optional[CoeffVec]], op: object
 ) -> Optional[CoeffVec]:
@@ -207,7 +245,15 @@ def _transfer(
         ref = instr.srcs[0]
         assert isinstance(ref, ParamRef)
         return CoeffVec.parameter(ref.index)
-    if op in (Opcode.MOV, Opcode.CVT):
+    if op is Opcode.MOV:
+        return srcs[0]
+    if op is Opcode.CVT:
+        # Widening conversions are the identity here (the executor keeps
+        # every integer register in int64 lanes), but a narrowing cvt to
+        # 32 bits truncates — a coefficient vector has no way to express
+        # "low 32 bits of", so the result leaves the linear domain.
+        if instr.dtype in (DType.S32, DType.U32):
+            return None
         return srcs[0]
     if op is Opcode.ADD:
         return srcs[0] + srcs[1]
@@ -219,7 +265,9 @@ def _transfer(
             scaled = srcs[1].scaled(srcs[0])
         return scaled
     if op is Opcode.SHL:
-        return srcs[0].shifted_left(srcs[1])
+        return srcs[0].shifted_left(
+            srcs[1], width=dtype_shift_width(instr.dtype)
+        )
     if op is Opcode.MAD:
         return srcs[0].mad(srcs[1], srcs[2])
     return None
@@ -265,7 +313,8 @@ def _classify_instruction(
         ]
         base_kind = result.multiwrite_base.get(dst.name)
         if (
-            instr.opcode in (Opcode.ADD, Opcode.SUB)
+            instr.pred is None
+            and instr.opcode in (Opcode.ADD, Opcode.SUB)
             and delta_vecs
             and all(v is not None and v.is_pure_constant for v in delta_vecs)
             and base_kind in ("linear", "uniform")
@@ -273,7 +322,12 @@ def _classify_instruction(
             result.kind_by_pc[pc] = LinearKind.UNIFORM_UPDATE
             result.uniform_updates.add(pc)
         else:
+            # A guarded or non-uniform self-update leaves per-lane state
+            # the (per-thread base + warp-uniform offset) decomposition
+            # can no longer describe — and poisons it for every other
+            # update of this register (loop bodies re-execute).
             result.kind_by_pc[pc] = LinearKind.NONLINEAR
+            _demote_multiwrite_base(result, dst.name)
         env[dst.name] = None
         return
 
@@ -283,7 +337,11 @@ def _classify_instruction(
         and instr.pred is None
     )
 
-    if instr.opcode is Opcode.LD_PARAM:
+    # ld.param is linear for any dtype (floats included: the loaded value
+    # is kernel-uniform), but the same pred gate as ``trackable`` applies:
+    # under a guard, inactive lanes keep their old register value, so the
+    # destination is *not* uniformly the parameter.
+    if instr.opcode is Opcode.LD_PARAM and instr.pred is None:
         src_vecs: List[Optional[CoeffVec]] = [None]
         vec = CoeffVec.parameter(instr.srcs[0].index)  # type: ignore[union-attr]
     elif trackable or scalarizable:
@@ -298,7 +356,7 @@ def _classify_instruction(
             # Opaque scalar: a pure function of kernel-uniform values.
             name = f"_S{pc}"
             result.scalar_recipes[name] = ScalarRecipe(
-                instr.opcode, tuple(v.c for v in src_vecs)
+                instr.opcode, tuple(v.c for v in src_vecs), instr.dtype
             )
             vec = CoeffVec.constant(LinExpr.symbol(name))
     else:
@@ -309,7 +367,10 @@ def _classify_instruction(
         env[dst.name] = None
         result.kind_by_pc[pc] = LinearKind.NONLINEAR
         if multi:
-            result.multiwrite_base.setdefault(dst.name, "nonlinear")
+            # Not just the *first* write matters: a later predicated or
+            # non-linear write clobbers a linear/uniform base, so record
+            # the demotion (it retracts any uniform-update promotion).
+            _demote_multiwrite_base(result, dst.name)
         return
 
     if not multi:

@@ -17,11 +17,48 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple
 
+from ..isa.opcodes import DType
 from ..isa.operands import SpecialReg
 from .symbols import LinExpr, Number, ZERO
 
 #: Element order within a coefficient vector.
 ELEMENT_NAMES = ("c", "x", "y", "z", "X", "Y", "Z")
+
+_U64_MASK = (1 << 64) - 1
+_I64_BIAS = 1 << 63
+
+
+def wrap_i64(value: int) -> int:
+    """Wrap an unbounded integer to 64-bit two's complement.
+
+    The functional executor keeps every integer register in numpy
+    ``int64`` lanes, so all arithmetic wraps mod 2**64; symbolic
+    evaluation must apply the same wrap or a decoupled chain whose
+    intermediate values cross 2**63 diverges from the SIMT stream it
+    replaces.
+    """
+    return ((value + _I64_BIAS) & _U64_MASK) - _I64_BIAS
+
+
+def wrap_to_dtype(value: int, dtype: Optional["DType"]) -> int:
+    """Wrap ``value`` the way the executor narrows to ``dtype``.
+
+    Mirrors ``FunctionalExecutor._convert``: S32 sign-extends the low 32
+    bits back into int64, U32 zero-extends them; every other integer
+    dtype lives in full int64 lanes.
+    """
+    if dtype is DType.S32:
+        return ((value + (1 << 31)) & 0xFFFFFFFF) - (1 << 31)
+    if dtype is DType.U32:
+        return value & 0xFFFFFFFF
+    return wrap_i64(value)
+
+
+def dtype_shift_width(dtype: Optional["DType"]) -> int:
+    """Largest shift amount + 1 that keeps ``shl`` linear for ``dtype``."""
+    if dtype in (DType.S32, DType.U32):
+        return 32
+    return 64
 
 _SPECIAL_TO_SLOT = {
     SpecialReg.TID_X: 1,
@@ -147,13 +184,18 @@ class CoeffVec:
         k = factor.c
         return CoeffVec(tuple(e * k for e in self.elems))
 
-    def shifted_left(self, factor: "CoeffVec") -> Optional["CoeffVec"]:
+    def shifted_left(
+        self, factor: "CoeffVec", width: int = 64
+    ) -> Optional["CoeffVec"]:
         """``shl``: scale by ``2**amount``; the amount must be a concrete
-        integer (symbolic shift amounts are not linear-trackable)."""
+        integer (symbolic shift amounts are not linear-trackable) and
+        must stay inside the destination width — a shift that pushes
+        every source bit past the register width is a clear, not a
+        linear scale."""
         if not (factor.is_pure_constant and factor.c.is_constant):
             return None
         bits = factor.c.constant_value
-        if bits < 0 or bits > 63:
+        if bits < 0 or bits >= width:
             return None
         return CoeffVec(tuple(e.shifted_left(bits) for e in self.elems))
 
@@ -174,8 +216,14 @@ class CoeffVec:
         env: Mapping[str, int],
         tid: Tuple[int, int, int],
         ctaid: Tuple[int, int, int],
+        dtype: Optional["DType"] = None,
     ) -> int:
-        """Concrete value for one thread: ``c + x·tid.x + ... + Z·ctaid.z``."""
+        """Concrete value for one thread: ``c + x·tid.x + ... + Z·ctaid.z``.
+
+        The result wraps to 64-bit two's complement (the executor's
+        register width); pass ``dtype`` to narrow further the way a
+        ``cvt`` to that width would.
+        """
         total = self.elems[0].evaluate(env)
         for coeff, idx in zip(self.elems[1:4], tid):
             if not coeff.is_zero:
@@ -183,28 +231,33 @@ class CoeffVec:
         for coeff, idx in zip(self.elems[4:7], ctaid):
             if not coeff.is_zero:
                 total += coeff.evaluate(env) * idx
-        return total
+        return wrap_to_dtype(total, dtype)
 
     def thread_value(
         self, env: Mapping[str, int], tid: Tuple[int, int, int]
     ) -> int:
-        """The thread-index part ``x·tid.x + y·tid.y + z·tid.z``."""
+        """The thread-index part ``x·tid.x + y·tid.y + z·tid.z``.
+
+        Wrapped to int64: add/sub/mul are ring operations mod 2**64, so
+        wrapping each decomposition part and re-adding them in int64
+        reproduces the executor's stepwise-wrapped result exactly.
+        """
         total = 0
         for coeff, idx in zip(self.elems[1:4], tid):
             if not coeff.is_zero:
                 total += coeff.evaluate(env) * idx
-        return total
+        return wrap_i64(total)
 
     def block_value(
         self, env: Mapping[str, int], ctaid: Tuple[int, int, int]
     ) -> int:
         """The block-index part plus constant:
-        ``c + X·ctaid.x + Y·ctaid.y + Z·ctaid.z``."""
+        ``c + X·ctaid.x + Y·ctaid.y + Z·ctaid.z`` (wrapped to int64)."""
         total = self.elems[0].evaluate(env)
         for coeff, idx in zip(self.elems[4:7], ctaid):
             if not coeff.is_zero:
                 total += coeff.evaluate(env) * idx
-        return total
+        return wrap_i64(total)
 
     # ------------------------------------------------------------------
     def thread_key(self) -> Tuple[LinExpr, ...]:

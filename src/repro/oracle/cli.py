@@ -1,0 +1,169 @@
+"""Command-line front-end: ``python -m repro oracle {fuzz,replay,corpus}``.
+
+``fuzz``   — generate seeded random kernels and run the full oracle over
+             each; failing specs are shrunk and saved as corpus cases.
+``replay`` — re-check saved case files (raw specs or corpus wrappers).
+``corpus`` — replay every ``*.json`` under a corpus directory.
+
+Exit status is 1 when any violation was found, 0 otherwise, so all three
+subcommands work directly as CI gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .diff import OracleReport, check_spec
+from .kernelgen import generate_spec
+from .shrink import failing_kinds_checker, shrink_spec
+
+DEFAULT_CORPUS = Path("tests") / "corpus"
+
+
+def _print_report(report: OracleReport, verbose: bool = False) -> None:
+    print(report.summary())
+    for v in report.violations:
+        print(f"    {v}")
+
+
+def _save_case(spec: dict, kinds: List[str], save_dir: Path) -> Path:
+    save_dir.mkdir(parents=True, exist_ok=True)
+    path = save_dir / f"{spec['name']}.json"
+    case = {
+        "schema": 1,
+        "name": spec["name"],
+        "description": f"oracle counterexample ({', '.join(sorted(kinds))})",
+        "kinds": sorted(kinds),
+        "spec": spec,
+    }
+    path.write_text(json.dumps(case, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    deadline = (
+        time.monotonic() + args.seconds if args.seconds else None
+    )
+    checked = 0
+    failures = 0
+    exercised = 0
+    for i in range(args.budget):
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        spec = generate_spec(args.seed, i)
+        report = check_spec(spec)
+        checked += 1
+        if not report.plan_empty:
+            exercised += 1
+        if report.ok:
+            continue
+        failures += 1
+        _print_report(report)
+        kinds = {v.kind for v in report.violations}
+        final = spec
+        if not args.no_shrink:
+            final = shrink_spec(
+                spec, failing_kinds_checker(check_spec, kinds)
+            )
+            print(
+                f"    shrunk from {len(json.dumps(spec))} to "
+                f"{len(json.dumps(final))} bytes"
+            )
+        if args.save_dir:
+            path = _save_case(final, sorted(kinds), Path(args.save_dir))
+            print(f"    saved {path}")
+        if args.max_failures and failures >= args.max_failures:
+            break
+    print(
+        f"fuzz: {checked} spec(s) checked (seed {args.seed}), "
+        f"{exercised} exercised the transform, {failures} failing"
+    )
+    return 1 if failures else 0
+
+
+def _load_specs(path: Path) -> List[dict]:
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and "spec" in data:
+        return [data["spec"]]
+    if isinstance(data, dict):
+        return [data]
+    return list(data)
+
+
+def _replay_files(paths: List[Path]) -> int:
+    failures = 0
+    total = 0
+    for path in paths:
+        for spec in _load_specs(path):
+            report = check_spec(spec)
+            total += 1
+            print(f"{path}: ", end="")
+            _print_report(report)
+            if not report.ok:
+                failures += 1
+    print(f"replay: {total} case(s), {failures} failing")
+    return 1 if failures else 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    return _replay_files([Path(f) for f in args.files])
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    root = Path(args.dir)
+    paths = sorted(root.glob("*.json"))
+    if not paths:
+        print(f"corpus: no cases under {root}")
+        return 0
+    return _replay_files(paths)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro oracle",
+        description="differential-testing oracle for analyzer soundness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="random-kernel soundness fuzzing")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--budget", type=int, default=200,
+        help="maximum number of specs to check",
+    )
+    fuzz.add_argument(
+        "--seconds", type=float, default=None,
+        help="wall-clock budget; stops early when exceeded",
+    )
+    fuzz.add_argument(
+        "--save-dir", default=str(DEFAULT_CORPUS),
+        help="directory for shrunk failing cases ('' disables saving)",
+    )
+    fuzz.add_argument("--no-shrink", action="store_true")
+    fuzz.add_argument(
+        "--max-failures", type=int, default=0,
+        help="stop after this many failing specs (0 = no limit)",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    replay = sub.add_parser("replay", help="re-check saved case files")
+    replay.add_argument("files", nargs="+")
+    replay.set_defaults(func=cmd_replay)
+
+    corpus = sub.add_parser(
+        "corpus", help="replay every case in a corpus directory"
+    )
+    corpus.add_argument("--dir", default=str(DEFAULT_CORPUS))
+    corpus.set_defaults(func=cmd_corpus)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,280 @@
+"""End-to-end differential oracle: original vs. R2D2-transformed.
+
+For one kernel spec this module runs the full soundness gauntlet:
+
+1. build + ISA-validate the kernel;
+2. analyze it and check the static invariants;
+3. probe-execute the *original* kernel, checking every removable pc's
+   coefficient vector against the registers the executor actually wrote
+   (:mod:`repro.oracle.invariants`);
+4. apply :func:`~repro.transform.decouple.r2d2_transform`, resolve
+   launch-time values, probe-execute the *transformed* kernel on an
+   identically prepared second device, and require bit-identical memory
+   outputs and per-warp data-address streams;
+5. replay both traces through the timing simulator with the warp-dedup
+   fast path on and off, requiring every integer field of
+   :class:`~repro.sim.timing.TimingResult` to agree.
+
+Any step that crashes becomes a violation too — a launch-time
+``OverflowError`` from an unwrapped coefficient is a soundness bug, not
+infrastructure noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.r2d2 import R2D2Arch, _R2D2Policy
+from ..isa.kernel import Dim3, Kernel, LaunchConfig
+from ..isa.validate import collect_errors
+from ..linear.analyzer import analyze_kernel
+from ..sim.config import GPUConfig, tiny
+from ..sim.gpu import Device
+from ..sim.timing import TimingResult, TimingSimulator
+from ..transform.decouple import r2d2_transform
+from ..transform.values import R2D2Values
+from .invariants import (
+    ProbeExecutor,
+    Violation,
+    check_dynamic,
+    check_static,
+)
+from .kernelgen import build_kernel
+
+#: TimingResult fields that must match exactly between dedup on/off.
+TIMING_INT_FIELDS = (
+    "cycles",
+    "issued_simd",
+    "issued_scalar",
+    "skipped",
+    "thread_ops",
+    "prologue_cycles",
+    "dram_accesses",
+    "sms_used",
+)
+
+
+@dataclass
+class OracleReport:
+    """Outcome of running the oracle over one spec."""
+
+    name: str
+    violations: List[Violation] = field(default_factory=list)
+    plan_empty: bool = True
+    removable_pcs: int = 0
+    stores_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        extra = "plan empty" if self.plan_empty else "transform exercised"
+        return (
+            f"{self.name}: {status} ({extra}, "
+            f"{self.removable_pcs} removable pcs)"
+        )
+
+
+def _prepare_device(
+    spec: Dict, config: GPUConfig
+) -> Tuple[Device, Tuple[object, ...], List[Tuple[str, int, int, object]]]:
+    """A fresh device with deterministically filled buffers.  The bump
+    allocator gives identical addresses for identical alloc sequences, so
+    two calls produce interchangeable launch args."""
+    dev = Device(config=config)
+    args: List[object] = []
+    buffers: List[Tuple[str, int, int, object]] = []
+    for p in spec["params"]:
+        if p["kind"] == "ptr":
+            np_dt = np.int32 if int(p["esize"]) == 4 else np.int64
+            rs = np.random.RandomState(int(p.get("fill", 0)) % (2 ** 32))
+            host = rs.randint(0, 100, size=int(p["elems"])).astype(np_dt)
+            addr = dev.upload(host)
+            args.append(addr)
+            buffers.append((p["name"], addr, int(p["elems"]), np_dt))
+        else:
+            args.append(int(p["value"]))
+    return dev, tuple(args), buffers
+
+
+def _timing_dedup_diffs(
+    config: GPUConfig,
+    trace,
+    policy=None,
+    regs_per_thread: Optional[int] = None,
+) -> List[str]:
+    on = TimingSimulator(
+        config, trace, policy=policy, regs_per_thread=regs_per_thread,
+        dedup=True,
+    ).run()
+    off = TimingSimulator(
+        config, trace, policy=policy, regs_per_thread=regs_per_thread,
+        dedup=False,
+    ).run()
+    diffs = []
+    for name in TIMING_INT_FIELDS:
+        a, b = getattr(on, name), getattr(off, name)
+        if a != b:
+            diffs.append(f"{name}: dedup={a} replay={b}")
+    for cache in ("l1", "l2"):
+        a, b = getattr(on, cache), getattr(off, cache)
+        if (a.accesses, a.hits) != (b.accesses, b.hits):
+            diffs.append(
+                f"{cache}: dedup=({a.accesses},{a.hits}) "
+                f"replay=({b.accesses},{b.hits})"
+            )
+    return diffs
+
+
+def check_spec(
+    spec: Dict,
+    config: Optional[GPUConfig] = None,
+    max_violations: int = 8,
+) -> OracleReport:
+    """Run every oracle check over one spec."""
+    config = config or tiny()
+    report = OracleReport(name=spec.get("name", "<anon>"))
+    vio = report.violations
+
+    # --- build + validate ---------------------------------------------
+    try:
+        kernel = build_kernel(spec)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        vio.append(Violation("spec-build-crash", f"{type(exc).__name__}: {exc}"))
+        return report
+    errors = collect_errors(kernel)
+    if errors:
+        vio.append(Violation("invalid-kernel", "; ".join(errors)))
+        return report
+
+    launch_geom = dict(
+        grid=Dim3(*spec["grid"]), block=Dim3(*spec["block"])
+    )
+
+    # --- analyze + static invariants ----------------------------------
+    try:
+        analysis = analyze_kernel(kernel)
+    except Exception as exc:  # noqa: BLE001
+        vio.append(Violation("analyzer-crash", f"{type(exc).__name__}: {exc}"))
+        return report
+    report.removable_pcs = sum(
+        1 for pc in analysis.vec_by_pc
+    ) + len(analysis.uniform_updates)
+    vio.extend(check_static(kernel, analysis))
+
+    # --- probe-run the original ---------------------------------------
+    dev_a, args_a, buffers_a = _prepare_device(spec, config)
+    launch_a = LaunchConfig(args=args_a, **launch_geom)
+    try:
+        ex_a = ProbeExecutor(kernel, launch_a, dev_a.memory)
+        trace_a = ex_a.run()
+    except Exception as exc:  # noqa: BLE001
+        vio.append(
+            Violation("original-run-crash", f"{type(exc).__name__}: {exc}")
+        )
+        return report
+    vio.extend(
+        check_dynamic(
+            kernel, analysis, launch_a, ex_a.probes,
+            max_violations=max_violations,
+        )
+    )
+
+    # --- transform + differential run ---------------------------------
+    try:
+        rkernel = r2d2_transform(kernel)
+    except Exception as exc:  # noqa: BLE001
+        vio.append(
+            Violation("transform-crash", f"{type(exc).__name__}: {exc}")
+        )
+        return report
+    report.plan_empty = rkernel.plan.is_empty()
+
+    if not report.plan_empty:
+        dev_b, args_b, buffers_b = _prepare_device(spec, config)
+        launch_b = LaunchConfig(args=args_b, **launch_geom)
+        try:
+            values = R2D2Values(rkernel.plan, launch_b)
+        except Exception as exc:  # noqa: BLE001
+            vio.append(
+                Violation(
+                    "launch-values-crash",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            return report
+        try:
+            ex_b = ProbeExecutor(
+                rkernel.transformed, launch_b, dev_b.memory,
+                linear_values=values,
+            )
+            trace_b = ex_b.run()
+        except Exception as exc:  # noqa: BLE001
+            vio.append(
+                Violation(
+                    "transformed-run-crash",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            return report
+
+        # memory outputs must be bit-identical
+        for (name, addr_a, elems, np_dt), (_, addr_b, _, _) in zip(
+            buffers_a, buffers_b
+        ):
+            out_a = dev_a.download(addr_a, elems, np_dt)
+            out_b = dev_b.download(addr_b, elems, np_dt)
+            if not np.array_equal(out_a, out_b):
+                bad = np.nonzero(out_a != out_b)[0]
+                i = int(bad[0])
+                vio.append(
+                    Violation(
+                        "memory-mismatch",
+                        f"buffer {name!r} differs at {len(bad)} "
+                        f"element(s); first at [{i}]: original="
+                        f"{out_a[i]} transformed={out_b[i]}",
+                    )
+                )
+            report.stores_checked += elems
+
+        # per-warp data-address streams must be identical
+        for key in sorted(set(ex_a.probes) | set(ex_b.probes)):
+            stream_a = ex_a.probes[key].stream if key in ex_a.probes else []
+            stream_b = ex_b.probes[key].stream if key in ex_b.probes else []
+            if stream_a != stream_b:
+                vio.append(
+                    Violation(
+                        "address-stream-mismatch",
+                        f"warp {key}: original issued "
+                        f"{len(stream_a)} memory writes, transformed "
+                        f"{len(stream_b)}; first divergence at index "
+                        f"{_first_divergence(stream_a, stream_b)}",
+                    )
+                )
+
+        # dedup on/off timing equality on the transformed trace
+        counts = R2D2Arch().linear_phase_counts(rkernel, launch_b, config)
+        policy = _R2D2Policy(rkernel, counts, config)
+        for diff in _timing_dedup_diffs(
+            config, trace_b, policy=policy,
+            regs_per_thread=rkernel.register_usage.original_regs_per_thread,
+        ):
+            vio.append(Violation("timing-dedup-mismatch", f"r2d2 {diff}"))
+
+    # dedup on/off timing equality on the original trace
+    for diff in _timing_dedup_diffs(config, trace_a):
+        vio.append(Violation("timing-dedup-mismatch", f"baseline {diff}"))
+
+    return report
+
+
+def _first_divergence(a: List, b: List) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return min(len(a), len(b))

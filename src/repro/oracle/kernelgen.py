@@ -1,0 +1,831 @@
+"""Seeded random kernel generator for the differential-testing oracle.
+
+Kernels are described by a JSON-serializable *spec* so failing cases can
+be shrunk and committed to ``tests/corpus/`` verbatim.  The spec is a
+tiny op grammar interpreted onto :class:`~repro.isa.builder.KernelBuilder`
+by :func:`build_kernel`; :class:`KernelGen` draws random specs that mix
+the paper's interesting shapes:
+
+- linear address chains (``add``/``sub``/``mul``/``shl``/``mad`` over
+  tids, ctaids, parameters, and launch dimensions);
+- multi-write registers (guarded ``mov``, if-branch merges, loop
+  self-updates — Section 3.1.2 of the paper);
+- predicated paths, including the predicated ``ld.param`` shape;
+- near-overflow s32/u32/s64 arithmetic (narrowing ``cvt``, products of
+  parameters beside 2**31 and 2**63);
+- random launch geometry with partial warps.
+
+The generator tracks a concrete value interval per spec value (launch
+geometry and parameter values are chosen first), so every generated
+store/load is provably in-bounds while indices still come from real
+address chains.  Everything a generated value *computes* may overflow;
+only addresses are constrained.
+
+Spec grammar (each value-producing op appends one entry to the value
+list; ``ref`` is ``{"v": index}`` or ``{"imm": int}``)::
+
+    {"op": "special", "sreg": "tid_x"}                    -> value
+    {"op": "param", "index": i}                           -> value
+    {"op": "pred_param", "index": i, "pred": vid,
+     "negated": bool}                                     -> value
+    {"op": "nopval"}                                      -> value (mov 0)
+    {"op": "bin", "fn": "add|sub|mul|mad|shl|shr|and|or|
+                         xor|min|max", "a": ref, "b": ref,
+     ["c": ref,] "dtype": "s32|s64"}                      -> value
+    {"op": "cvt", "src": vid, "dtype": "s32|u32|s64"}     -> value
+    {"op": "setp", "cmp": "lt|le|gt|ge|eq|ne",
+     "a": ref, "b": ref}                                  -> pred value
+    {"op": "selp", "a": ref, "b": ref, "pred": vid}       -> value
+    {"op": "load", "buf": i, "index": ref, "scale": n,
+     "disp": n, "dtype": "s32|s64"}                       -> value
+    {"op": "guard_mov", "dst": vid, "src": ref,
+     "pred": vid, "negated": bool}
+    {"op": "mov_to", "dst": vid, "src": ref}
+    {"op": "if", "pred": vid, "negated": bool,
+     "body": [ops]}        (body: mov_to/store only)
+    {"op": "loop", "trips": n, "body": [ops]}             -> counter value
+    {"op": "update", "dst": vid, "fn": "add|sub",
+     "delta": ref}         (inside loop bodies)
+    {"op": "store", "buf": i, "index": ref, "scale": n,
+     "disp": n, "data": ref, "dtype": "s32|s64"}
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.builder import KernelBuilder
+from ..isa.instruction import Instruction
+from ..isa.kernel import Kernel, Param
+from ..isa.opcodes import CmpOp, DType, Opcode
+from ..isa.operands import ParamRef, Reg, SpecialReg
+
+SPEC_SCHEMA = 1
+
+_DTYPES = {"s32": DType.S32, "u32": DType.U32, "s64": DType.S64}
+
+_SREGS = {
+    "tid_x": SpecialReg.TID_X,
+    "tid_y": SpecialReg.TID_Y,
+    "ctaid_x": SpecialReg.CTAID_X,
+    "ctaid_y": SpecialReg.CTAID_Y,
+    "ntid_x": SpecialReg.NTID_X,
+    "ntid_y": SpecialReg.NTID_Y,
+    "nctaid_x": SpecialReg.NCTAID_X,
+}
+
+_CMPS = {
+    "lt": CmpOp.LT,
+    "le": CmpOp.LE,
+    "gt": CmpOp.GT,
+    "ge": CmpOp.GE,
+    "eq": CmpOp.EQ,
+    "ne": CmpOp.NE,
+}
+
+_I64_MIN, _I64_MAX = -(2 ** 63), 2 ** 63 - 1
+
+
+# ======================================================================
+# Spec -> Kernel interpretation
+# ======================================================================
+def _coerced(b: KernelBuilder, value, dtype: DType):
+    """Imitate the builder's operand coercion without touching privates:
+    registers of a different width go through an explicit cvt."""
+    if isinstance(value, Reg) and value.dtype is not dtype:
+        return b.cvt(value, dtype)
+    return value
+
+
+def _ref(values: List[Reg], r) -> object:
+    if "imm" in r:
+        return int(r["imm"])
+    return values[int(r["v"])]
+
+
+def build_kernel(spec: Dict) -> Kernel:
+    """Interpret a spec into a :class:`Kernel` (deterministically)."""
+    params = []
+    for p in spec["params"]:
+        if p["kind"] == "ptr":
+            params.append(Param(p["name"], DType.S64, is_pointer=True))
+        else:
+            params.append(
+                Param(p["name"], _DTYPES[p.get("dtype", "s64")], False)
+            )
+    b = KernelBuilder(spec["name"], params=params)
+    values: List[Reg] = []
+    # Pointer bases load in the prologue: a lazily placed ld.param inside
+    # a divergent region would leave base 0 in lanes that skipped it.
+    bases: Dict[int, Reg] = {
+        i: b.param(i)
+        for i, p in enumerate(spec["params"])
+        if p["kind"] == "ptr"
+    }
+    _emit_ops(b, spec["ops"], values, bases)
+    return b.build()
+
+
+def _buf_base(b: KernelBuilder, bases: Dict[int, Reg], index: int) -> Reg:
+    reg = bases.get(index)
+    if reg is None:
+        reg = b.param(index)
+        bases[index] = reg
+    return reg
+
+
+def _emit_ops(b, ops, values, bases) -> None:
+    for op in ops:
+        _emit_op(b, op, values, bases)
+
+
+def _emit_op(b: KernelBuilder, op: Dict, values: List[Reg], bases) -> None:
+    kind = op["op"]
+    if kind == "special":
+        values.append(b.special(_SREGS[op["sreg"]]))
+    elif kind == "param":
+        values.append(b.param(int(op["index"])))
+    elif kind == "pred_param":
+        p = b.params[int(op["index"])]
+        dtype = DType.S64 if p.is_pointer else p.dtype
+        dst = b.new_reg(dtype)
+        b.emit(
+            Instruction(
+                Opcode.LD_PARAM,
+                dtype=dtype,
+                dst=dst,
+                srcs=(ParamRef(int(op["index"])),),
+                pred=values[int(op["pred"])],
+                pred_negated=bool(op.get("negated", False)),
+            )
+        )
+        values.append(dst)
+    elif kind == "nopval":
+        values.append(b.mov(0, dtype=DType.S32))
+    elif kind == "bin":
+        fn = op["fn"]
+        dt = _DTYPES[op.get("dtype", "s32")]
+        a = _ref(values, op["a"])
+        c = _ref(values, op["b"])
+        if fn == "mad":
+            values.append(b.mad(a, c, _ref(values, op["c"]), dtype=dt))
+        else:
+            method = {
+                "add": b.add, "sub": b.sub, "mul": b.mul, "shl": b.shl,
+                "shr": b.shr, "and": b.and_, "or": b.or_, "xor": b.xor,
+                "min": b.min_, "max": b.max_, "div": b.div, "rem": b.rem,
+            }[fn]
+            values.append(method(a, c, dtype=dt))
+    elif kind == "cvt":
+        values.append(b.cvt(values[int(op["src"])], _DTYPES[op["dtype"]]))
+    elif kind == "setp":
+        values.append(
+            b.setp(
+                _CMPS[op["cmp"]], _ref(values, op["a"]), _ref(values, op["b"])
+            )
+        )
+    elif kind == "selp":
+        values.append(
+            b.selp(
+                _ref(values, op["a"]),
+                _ref(values, op["b"]),
+                values[int(op["pred"])],
+            )
+        )
+    elif kind == "guard_mov":
+        dst = values[int(op["dst"])]
+        src = _coerced(b, _ref(values, op["src"]), dst.dtype)
+        b.emit(
+            Instruction(
+                Opcode.MOV,
+                dtype=dst.dtype,
+                dst=dst,
+                srcs=(b._as_operand(src, dst.dtype),),
+                pred=values[int(op["pred"])],
+                pred_negated=bool(op.get("negated", False)),
+            )
+        )
+    elif kind == "mov_to":
+        dst = values[int(op["dst"])]
+        b.mov_to(dst, _coerced(b, _ref(values, op["src"]), dst.dtype))
+    elif kind == "if":
+        with b.if_then(
+            values[int(op["pred"])], negated=bool(op.get("negated", False))
+        ):
+            _emit_ops(b, op["body"], values, bases)
+    elif kind == "loop":
+        with b.for_range(0, int(op["trips"])) as counter:
+            values.append(counter)
+            _emit_ops(b, op["body"], values, bases)
+    elif kind == "update":
+        dst = values[int(op["dst"])]
+        delta = _ref(values, op["delta"])
+        if op.get("fn", "add") == "add":
+            b.add_to(dst, dst, delta)
+        else:
+            b.emit(
+                Instruction(
+                    Opcode.SUB,
+                    dtype=dst.dtype,
+                    dst=dst,
+                    srcs=(
+                        dst,
+                        b._as_operand(
+                            _coerced(b, delta, dst.dtype), dst.dtype
+                        ),
+                    ),
+                )
+            )
+    elif kind in ("store", "load"):
+        base = _buf_base(b, bases, int(op["buf"]))
+        addr = b.addr(
+            base,
+            _ref(values, op["index"]),
+            int(op["scale"]),
+            int(op.get("disp", 0)),
+        )
+        dt = _DTYPES[op.get("dtype", "s32")]
+        if kind == "store":
+            b.st_global(addr, _ref(values, op["data"]), dtype=dt)
+        else:
+            values.append(b.ld_global(addr, dtype=dt))
+    else:
+        raise ValueError(f"unknown spec op {kind!r}")
+
+
+def count_stores(ops: List[Dict]) -> int:
+    n = 0
+    for op in ops:
+        if op["op"] == "store":
+            n += 1
+        elif op["op"] in ("if", "loop"):
+            n += count_stores(op["body"])
+    return n
+
+
+# ======================================================================
+# Random generation
+# ======================================================================
+class _Val:
+    """Generation-time metadata for one spec value."""
+
+    __slots__ = ("dtype", "lo", "hi", "is_pred", "tainted", "in_scope")
+
+    def __init__(self, dtype, lo, hi, is_pred=False, tainted=False):
+        self.dtype = dtype
+        self.lo = lo
+        self.hi = hi
+        self.is_pred = is_pred
+        #: tainted = interval not trustworthy for addressing (loads,
+        #: wrapped arithmetic); tainted values are still fine as data.
+        self.tainted = tainted
+        self.in_scope = True
+
+    def clamp(self) -> "_Val":
+        if self.lo < _I64_MIN or self.hi > _I64_MAX:
+            self.lo = max(self.lo, _I64_MIN)
+            self.hi = min(self.hi, _I64_MAX)
+            self.tainted = True
+        return self
+
+
+class KernelGen:
+    """Draws random kernel specs from a :class:`random.Random` stream."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    def generate(self, name: str) -> Dict:
+        rng = self.rng
+        self.vals: List[_Val] = []
+        self.ops: List[Dict] = []
+        self._stack: List[List[Dict]] = [self.ops]
+        self.preds: List[int] = []
+
+        bx = rng.choice([8, 16, 32, 33, 48, 64])
+        by = rng.choice([1, 1, 1, 2])
+        gx = rng.choice([1, 2, 3])
+        gy = rng.choice([1, 1, 2])
+        self.block = (bx, by, 1)
+        self.grid = (gx, gy, 1)
+        self.stress = rng.random() < 0.6
+
+        self.params: List[Dict] = [
+            {
+                "kind": "ptr", "name": "out", "elems": 4096, "esize": 8,
+                "fill": rng.randrange(2 ** 16),
+            }
+        ]
+        self.out_bytes = 4096 * 8
+        self.in_buf: Optional[int] = None
+        if rng.random() < 0.5:
+            self.in_buf = len(self.params)
+            self.params.append(
+                {
+                    "kind": "ptr", "name": "inp", "elems": 1024,
+                    "esize": 4, "fill": rng.randrange(2 ** 16),
+                }
+            )
+        self.scalar_params: List[int] = []
+        for i in range(rng.randrange(1, 4)):
+            self.scalar_params.append(len(self.params))
+            self.params.append(
+                {
+                    "kind": "scalar", "name": f"p{i}", "dtype": "s64",
+                    "value": self._scalar_value(),
+                }
+            )
+
+        # Prologue: the canonical global-tid chain plus parameter loads.
+        tid = self._special("tid_x")
+        cta = self._special("ctaid_x")
+        ntid = self._special("ntid_x")
+        self.gtid = self._bin_op(
+            "mad", {"v": cta}, {"v": ntid}, "s32", c={"v": tid}
+        )
+        self.tid = tid
+        for pi in self.scalar_params:
+            self._param(pi)
+
+        for _ in range(rng.randrange(4, 16)):
+            self._random_feature()
+
+        # Every kernel observes at least two values through memory.
+        while count_stores(self.ops) < 2:
+            self._emit_store(force=True)
+
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": name,
+            "grid": list(self.grid),
+            "block": list(self.block),
+            "params": self.params,
+            "ops": self.ops,
+        }
+
+    # ------------------------------------------------------------------
+    # Emission plumbing (keeps value indices in lockstep with build_kernel)
+    # ------------------------------------------------------------------
+    def _push_op(self, op: Dict) -> None:
+        self._stack[-1].append(op)
+
+    def _push_val(self, op: Dict, val: _Val) -> int:
+        self._push_op(op)
+        self.vals.append(val.clamp())
+        return len(self.vals) - 1
+
+    def _scalar_value(self) -> int:
+        rng = self.rng
+        if self.stress and rng.random() < 0.5:
+            return rng.choice(
+                [
+                    2 ** 31 - 1,
+                    2 ** 31,
+                    2 ** 31 + rng.randrange(1, 5000),
+                    -(2 ** 31) - rng.randrange(0, 5000),
+                    2 ** 62 + rng.randrange(0, 9999),
+                    3037000500,  # squares to just past 2**63
+                    2 ** 63 - rng.randrange(1, 10 ** 6),
+                ]
+            )
+        return rng.randrange(0, 4096)
+
+    def _special(self, sreg: str) -> int:
+        bx, by, _ = self.block
+        gx, gy, _ = self.grid
+        ranges = {
+            "tid_x": (0, bx - 1),
+            "tid_y": (0, by - 1),
+            "ctaid_x": (0, gx - 1),
+            "ctaid_y": (0, gy - 1),
+            "ntid_x": (bx, bx),
+            "ntid_y": (by, by),
+            "nctaid_x": (gx, gx),
+        }
+        lo, hi = ranges[sreg]
+        return self._push_val(
+            {"op": "special", "sreg": sreg}, _Val(DType.S32, lo, hi)
+        )
+
+    def _param(self, index: int) -> int:
+        v = int(self.params[index]["value"])
+        return self._push_val(
+            {"op": "param", "index": index}, _Val(DType.S64, v, v)
+        )
+
+    # ------------------------------------------------------------------
+    # Interval arithmetic
+    # ------------------------------------------------------------------
+    def _meta(self, ref) -> Tuple[int, int, bool]:
+        if "imm" in ref:
+            v = int(ref["imm"])
+            return v, v, False
+        m = self.vals[int(ref["v"])]
+        return m.lo, m.hi, m.tainted
+
+    def _bin_interval(self, fn, a, b, c=None) -> Tuple[int, int, bool]:
+        alo, ahi, at = self._meta(a)
+        blo, bhi, bt = self._meta(b)
+        taint = at or bt
+        if fn == "add":
+            return alo + blo, ahi + bhi, taint
+        if fn == "sub":
+            return alo - bhi, ahi - blo, taint
+        if fn in ("mul", "mad"):
+            corners = [alo * blo, alo * bhi, ahi * blo, ahi * bhi]
+            lo, hi = min(corners), max(corners)
+            if fn == "mad":
+                clo, chi, ct = self._meta(c)
+                lo, hi, taint = lo + clo, hi + chi, taint or ct
+            return lo, hi, taint
+        if fn == "shl":
+            bits = max(0, min(blo, 63))
+            return alo << bits, ahi << bits, taint
+        if fn == "shr":
+            bits = max(0, min(blo, 63))
+            return alo >> bits, ahi >> bits, taint
+        if fn == "and":
+            # generator only ANDs with non-negative immediate masks
+            return 0, bhi, taint or alo < 0
+        if fn in ("or", "xor"):
+            if alo >= 0 and blo >= 0:
+                width = max(ahi, bhi).bit_length()
+                return 0, (1 << width) - 1, taint
+            return _I64_MIN, _I64_MAX, True
+        if fn == "min":
+            return min(alo, blo), min(ahi, bhi), taint
+        if fn == "max":
+            return max(alo, blo), max(ahi, bhi), taint
+        return _I64_MIN, _I64_MAX, True
+
+    def _bin_op(self, fn, a, b, dtype, c=None) -> int:
+        lo, hi, taint = self._bin_interval(fn, a, b, c)
+        op = {"op": "bin", "fn": fn, "a": a, "b": b, "dtype": dtype}
+        if c is not None:
+            op["c"] = c
+        if dtype == "s32":
+            # the executor computes in int64 regardless of dtype; the
+            # interval is unaffected, only register naming changes
+            dt = DType.S32
+        else:
+            dt = DType.S64
+        return self._push_val(op, _Val(dt, lo, hi, tainted=taint))
+
+    # ------------------------------------------------------------------
+    # Value selection
+    # ------------------------------------------------------------------
+    def _int_values(self) -> List[int]:
+        return [
+            i
+            for i, v in enumerate(self.vals)
+            if v.in_scope and not v.is_pred
+        ]
+
+    def _mutable_ints(self) -> List[int]:
+        """Values eligible as multi-write targets.  The prologue chain
+        (tid/ctaid/ntid/gtid) and parameter loads stay single-write so a
+        provably in-bounds store index always exists."""
+        first = 4 + len(self.scalar_params)
+        return [i for i in self._int_values() if i >= first]
+
+    def _index_values(self, scale: int, disp: int, esize: int,
+                      nbytes: int) -> List[int]:
+        out = []
+        for i, v in enumerate(self.vals):
+            if not v.in_scope or v.is_pred or v.tainted or v.lo < 0:
+                continue
+            if v.hi * scale + disp + esize <= nbytes:
+                out.append(i)
+        return out
+
+    def _pick_int(self) -> int:
+        return self.rng.choice(self._int_values())
+
+    def _ref_of(self, vid: int) -> Dict:
+        return {"v": vid}
+
+    # ------------------------------------------------------------------
+    # Features
+    # ------------------------------------------------------------------
+    def _random_feature(self) -> None:
+        rng = self.rng
+        feature = rng.choice(
+            ["arith"] * 6
+            + ["cvt"] * 2
+            + ["guard"] * 3
+            + ["if"] * 2
+            + ["loop"] * 2
+            + ["store"] * 3
+            + ["load"] * 2
+            + ["selp"]
+        )
+        if feature == "arith":
+            self._emit_arith()
+        elif feature == "cvt":
+            self._emit_cvt()
+        elif feature == "guard":
+            self._emit_guard()
+        elif feature == "if":
+            self._emit_if()
+        elif feature == "loop":
+            self._emit_loop()
+        elif feature == "store":
+            self._emit_store()
+        elif feature == "load":
+            self._emit_load()
+        elif feature == "selp":
+            self._emit_selp()
+
+    def _emit_arith(self) -> None:
+        rng = self.rng
+        fn = rng.choice(
+            ["add"] * 4 + ["sub"] * 2 + ["mul"] * 3 + ["mad"] * 2
+            + ["shl"] * 2 + ["shr"] + ["and"] * 2 + ["or"] + ["xor"]
+            + ["min"] + ["max"]
+        )
+        a = self._ref_of(self._pick_int())
+        if fn in ("shl", "shr"):
+            bits = rng.choice([1, 2, 3, 4, 8, 12, 35])
+            b = {"imm": bits}
+        elif fn == "and":
+            b = {"imm": (1 << rng.randrange(3, 10)) - 1}
+            if self.vals[int(a["v"])].lo < 0:
+                # keep AND intervals meaningful: mask non-negatives only
+                a = self._ref_of(self.gtid)
+        elif rng.random() < 0.4:
+            b = {"imm": rng.randrange(-64, 256)}
+        else:
+            b = self._ref_of(self._pick_int())
+        c = None
+        if fn == "mad":
+            c = (
+                {"imm": rng.randrange(0, 128)}
+                if rng.random() < 0.5
+                else self._ref_of(self._pick_int())
+            )
+        dtype = rng.choice(["s32", "s64", "s64"])
+        self._bin_op(fn, a, b, dtype, c=c)
+
+    def _emit_cvt(self) -> None:
+        rng = self.rng
+        src = self._pick_int()
+        dtype = rng.choice(["s32", "s32", "u32", "s64"])
+        lo, hi = self.vals[src].lo, self.vals[src].hi
+        taint = self.vals[src].tainted
+        if dtype == "s32":
+            if not (-(2 ** 31) <= lo and hi < 2 ** 31):
+                lo, hi = -(2 ** 31), 2 ** 31 - 1
+        elif dtype == "u32":
+            if not (0 <= lo and hi < 2 ** 32):
+                lo, hi = 0, 2 ** 32 - 1
+        self._push_val(
+            {"op": "cvt", "src": src, "dtype": dtype},
+            _Val(_DTYPES[dtype], lo, hi, tainted=taint),
+        )
+
+    def _emit_setp(self) -> int:
+        rng = self.rng
+        # bias comparisons toward lane-varying values so guards diverge
+        a = self.tid if rng.random() < 0.5 else self._pick_int()
+        meta = self.vals[a]
+        lo, hi = meta.lo, meta.hi
+        if hi > lo and abs(hi) < 2 ** 40:
+            pivot = rng.randrange(lo, hi + 1)
+        else:
+            pivot = lo
+        vid = self._push_val(
+            {
+                "op": "setp",
+                "cmp": rng.choice(["lt", "le", "gt", "ge", "eq", "ne"]),
+                "a": self._ref_of(a),
+                "b": {"imm": pivot},
+            },
+            _Val(DType.PRED, 0, 1, is_pred=True),
+        )
+        self.preds.append(vid)
+        return vid
+
+    def _a_pred(self) -> int:
+        usable = [p for p in self.preds if self.vals[p].in_scope]
+        if usable and self.rng.random() < 0.6:
+            return self.rng.choice(usable)
+        return self._emit_setp()
+
+    def _emit_guard(self) -> None:
+        rng = self.rng
+        pred = self._a_pred()
+        roll = rng.random()
+        mutable = self._mutable_ints()
+        if (roll < 0.4 or not mutable) and self.scalar_params:
+            # the predicated ld.param shape (historically mis-classified)
+            index = rng.choice(self.scalar_params)
+            v = int(self.params[index]["value"])
+            self._push_val(
+                {
+                    "op": "pred_param",
+                    "index": index,
+                    "pred": pred,
+                    "negated": rng.random() < 0.3,
+                },
+                _Val(DType.S64, min(0, v), max(0, v)),
+            )
+        else:
+            dst = rng.choice(mutable)
+            src = (
+                {"imm": rng.randrange(-128, 1024)}
+                if rng.random() < 0.5
+                else self._ref_of(self._pick_int())
+            )
+            slo, shi, st = self._meta(src)
+            meta = self.vals[dst]
+            meta.lo = min(meta.lo, slo)
+            meta.hi = max(meta.hi, shi)
+            meta.tainted = meta.tainted or st
+            meta.clamp()
+            self._push_op(
+                {
+                    "op": "guard_mov",
+                    "dst": dst,
+                    "src": src,
+                    "pred": pred,
+                    "negated": rng.random() < 0.3,
+                }
+            )
+
+    def _emit_if(self) -> None:
+        rng = self.rng
+        pred = self._a_pred()
+        body: List[Dict] = []
+        op = {
+            "op": "if",
+            "pred": pred,
+            "negated": rng.random() < 0.3,
+            "body": body,
+        }
+        self._push_op(op)
+        self._stack.append(body)
+        mutable = self._mutable_ints()
+        for _ in range(rng.randrange(1, 3)):
+            if mutable and rng.random() < 0.5:
+                dst = rng.choice(mutable)
+                src = (
+                    {"imm": rng.randrange(0, 512)}
+                    if rng.random() < 0.5
+                    else self._ref_of(self._pick_int())
+                )
+                slo, shi, st = self._meta(src)
+                meta = self.vals[dst]
+                meta.lo = min(meta.lo, slo)
+                meta.hi = max(meta.hi, shi)
+                meta.tainted = meta.tainted or st
+                meta.clamp()
+                self._push_op({"op": "mov_to", "dst": dst, "src": src})
+            else:
+                self._emit_store()
+        self._stack.pop()
+
+    def _emit_loop(self) -> None:
+        rng = self.rng
+        trips = rng.randrange(2, 5)
+        body: List[Dict] = []
+        self._push_op({"op": "loop", "trips": trips, "body": body})
+        counter = len(self.vals)
+        self.vals.append(_Val(DType.S32, 0, trips))
+        self._stack.append(body)
+
+        candidates = [i for i in self._mutable_ints() if i != counter]
+        # Self-updates come first so their interval widening is applied
+        # before any body store picks an index — a store textually later
+        # in the body still sees post-update values on trips 2..n, and a
+        # store textually *earlier* sees them on the next iteration.
+        n_updates = rng.choice([0, 1, 1, 2]) if candidates else 0
+        for _ in range(n_updates):
+            # loop self-update: the paper's moving-window pattern
+            dst = rng.choice(candidates)
+            if rng.random() < 0.6:
+                delta = {"imm": rng.choice([1, 4, 8, 64, 1024])}
+            elif self.scalar_params and rng.random() < 0.5:
+                # symbolic-but-uniform delta (still promotable);
+                # parameter values sit right after the 4-value
+                # prologue (tid, ctaid, ntid, gtid)
+                delta = self._ref_of(
+                    4 + rng.randrange(len(self.scalar_params))
+                )
+            else:
+                delta = self._ref_of(self.tid)  # non-uniform delta
+            fn = rng.choice(["add", "add", "add", "sub"])
+            dlo, dhi, dt = self._meta(delta)
+            meta = self.vals[dst]
+            if fn == "add":
+                meta.lo += trips * min(0, dlo)
+                meta.hi += trips * max(0, dhi)
+            else:
+                meta.lo -= trips * max(0, dhi)
+                meta.hi -= trips * min(0, dlo)
+            meta.tainted = meta.tainted or dt
+            meta.clamp()
+            self._push_op(
+                {"op": "update", "dst": dst, "fn": fn, "delta": delta}
+            )
+        scoped: List[int] = []
+        for _ in range(rng.randrange(1, 3)):
+            if rng.random() < 0.6:
+                before = len(self.vals)
+                self._emit_arith()
+                scoped.extend(range(before, len(self.vals)))
+            else:
+                self._emit_store(counter=counter)
+        self._stack.pop()
+        for vid in scoped:
+            self.vals[vid].in_scope = False
+
+    def _emit_store(self, force: bool = False,
+                    counter: Optional[int] = None) -> None:
+        rng = self.rng
+        dtype = rng.choice(["s64", "s64", "s32"])
+        esize = 8 if dtype == "s64" else 4
+        # scale and disp must keep the accesses esize-aligned
+        scale = esize * rng.choice([1, 1, 2])
+        disp = esize * rng.choice([0, 0, 1, 8])
+        pool = self._index_values(scale, disp, esize, self.out_bytes)
+        if counter is not None and counter in pool and rng.random() < 0.5:
+            index = counter
+        elif pool:
+            index = rng.choice(pool)
+        else:
+            index = self.gtid
+            scale, disp = 8, 0
+        data = self._ref_of(self._pick_int())
+        if force:
+            # observe the most recently computed values
+            ints = self._int_values()
+            data = self._ref_of(ints[-1] if ints else self.gtid)
+        self._push_op(
+            {
+                "op": "store",
+                "buf": 0,
+                "index": self._ref_of(index),
+                "scale": scale,
+                "disp": disp,
+                "data": data,
+                "dtype": dtype,
+            }
+        )
+
+    def _emit_load(self) -> None:
+        rng = self.rng
+        buf = self.in_buf if self.in_buf is not None else 0
+        meta = self.params[buf]
+        nbytes = meta["elems"] * meta["esize"]
+        dtype = "s32" if meta["esize"] == 4 else "s64"
+        esize = meta["esize"]
+        scale = esize
+        pool = self._index_values(scale, 0, esize, nbytes)
+        if not pool:
+            return
+        index = rng.choice(pool)
+        if buf == 0:
+            # "out" may hold anything previously stored
+            lo, hi, taint = _I64_MIN, _I64_MAX, True
+        else:
+            lo, hi, taint = 0, 99, True  # fill range; still no addressing
+        self._push_val(
+            {
+                "op": "load",
+                "buf": buf,
+                "index": self._ref_of(index),
+                "scale": scale,
+                "disp": 0,
+                "dtype": dtype,
+            },
+            _Val(_DTYPES[dtype], lo, hi, tainted=taint),
+        )
+
+    def _emit_selp(self) -> None:
+        rng = self.rng
+        pred = self._a_pred()
+        a = self._ref_of(self._pick_int())
+        b = (
+            {"imm": rng.randrange(0, 256)}
+            if rng.random() < 0.5
+            else self._ref_of(self._pick_int())
+        )
+        alo, ahi, at = self._meta(a)
+        blo, bhi, bt = self._meta(b)
+        self._push_val(
+            {"op": "selp", "a": a, "b": b, "pred": pred},
+            _Val(
+                DType.S32,
+                min(alo, blo),
+                max(ahi, bhi),
+                tainted=at or bt,
+            ),
+        )
+
+
+def generate_spec(seed: int, index: int) -> Dict:
+    """One deterministic spec for (seed, index)."""
+    rng = random.Random(f"r2d2-oracle:{seed}:{index}")
+    return KernelGen(rng).generate(f"fz{seed}_{index}")

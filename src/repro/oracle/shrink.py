@@ -1,0 +1,144 @@
+"""Greedy spec minimizer for failing oracle cases.
+
+Value indices in a spec are positional (every value-producing op appends
+one slot), so ops that produce values are never deleted — they are
+*neutralized* to ``nopval`` (``mov 0``), which keeps every later index
+stable.  Ops that produce nothing (stores, guarded movs, ifs) can be
+deleted outright.  Each simplification is kept only while the oracle
+still reports a violation of one of the original kinds, so a shrink
+never wanders onto a different bug.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Set
+
+#: Ops that append a value slot when interpreted.
+VALUE_OPS = frozenset(
+    {"special", "param", "pred_param", "nopval", "bin", "cvt", "setp",
+     "selp", "load"}
+)
+
+#: Ops a value-producing slot may be neutralized to (anything but preds;
+#: a pred slot must stay a pred, so setp survives shrinking).
+_NEUTRALIZABLE = VALUE_OPS - {"setp", "nopval"}
+
+
+def _walk(ops: List[Dict], path=()):
+    """Yield (container, index, op, path) depth-first."""
+    for i, op in enumerate(ops):
+        yield ops, i, op, path + (i,)
+        if op["op"] in ("if", "loop"):
+            yield from _walk(op["body"], path + (i, "body"))
+
+
+def _candidates(spec: Dict) -> List[Dict]:
+    """All single-step simplifications of ``spec``, most aggressive
+    first.  Each candidate is a deep-copied spec."""
+    out: List[Dict] = []
+
+    # 1. delete non-value ops / hollow out control bodies
+    for ops, i, op, _path in _walk(spec["ops"]):
+        kind = op["op"]
+        if kind in ("store", "guard_mov", "mov_to", "update", "if"):
+            cand = copy.deepcopy(spec)
+            # find the same container in the copy by re-walking
+            for c_ops, c_i, c_op, c_path in _walk(cand["ops"]):
+                if c_path == _path:
+                    if kind == "if" and any(
+                        o["op"] in VALUE_OPS for o in c_op["body"]
+                    ):
+                        break  # would shift value indices
+                    del c_ops[c_i]
+                    out.append(cand)
+                    break
+
+    # 2. neutralize value-producing ops to nopval
+    for _ops, _i, op, _path in _walk(spec["ops"]):
+        if op["op"] in _NEUTRALIZABLE:
+            cand = copy.deepcopy(spec)
+            for c_ops, c_i, c_op, c_path in _walk(cand["ops"]):
+                if c_path == _path:
+                    c_ops[c_i] = {"op": "nopval"}
+                    out.append(cand)
+                    break
+
+    # 3. reduce loop trip counts
+    for _ops, _i, op, _path in _walk(spec["ops"]):
+        if op["op"] == "loop" and int(op["trips"]) > 1:
+            cand = copy.deepcopy(spec)
+            for c_ops, c_i, c_op, c_path in _walk(cand["ops"]):
+                if c_path == _path:
+                    c_op["trips"] = int(c_op["trips"]) // 2 or 1
+                    out.append(cand)
+                    break
+
+    # 4. shrink immediates toward zero
+    def _imm_sites(ops, path=()):
+        for i, op in enumerate(ops):
+            for key in ("a", "b", "c", "src", "delta", "data", "index"):
+                ref = op.get(key)
+                if isinstance(ref, dict) and "imm" in ref:
+                    if abs(int(ref["imm"])) > 1:
+                        yield path + (i,), key
+            if op.get("op") in ("if", "loop"):
+                yield from _imm_sites(op["body"], path + (i, "body"))
+
+    for site_path, key in _imm_sites(spec["ops"]):
+        cand = copy.deepcopy(spec)
+        for c_ops, c_i, c_op, c_path in _walk(cand["ops"]):
+            if c_path == site_path:
+                c_op[key] = {"imm": int(c_op[key]["imm"]) // 2}
+                out.append(cand)
+                break
+
+    # 5. shrink launch geometry (never below one warp's worth of shape)
+    for dim, floor in (("grid", 1), ("block", 1)):
+        for axis in range(3):
+            if spec[dim][axis] > floor:
+                cand = copy.deepcopy(spec)
+                cand[dim][axis] = max(floor, spec[dim][axis] // 2)
+                out.append(cand)
+
+    return out
+
+
+def shrink_spec(
+    spec: Dict,
+    is_failing: Callable[[Dict], bool],
+    max_rounds: int = 20,
+) -> Dict:
+    """Greedily minimize ``spec`` while ``is_failing`` stays true.
+
+    ``is_failing`` must treat build/validation errors as *not* failing
+    (a malformed shrink candidate is useless as a repro case).
+    """
+    current = copy.deepcopy(spec)
+    for _ in range(max_rounds):
+        improved = False
+        for cand in _candidates(current):
+            try:
+                failing = is_failing(cand)
+            except Exception:  # noqa: BLE001 - malformed candidate
+                failing = False
+            if failing:
+                current = cand
+                improved = True
+                break
+        if not improved:
+            return current
+    return current
+
+
+def failing_kinds_checker(
+    check: Callable[[Dict], "object"], kinds: Set[str]
+) -> Callable[[Dict], bool]:
+    """An ``is_failing`` that requires a violation of one of ``kinds``
+    (the kinds the unshrunk spec originally produced)."""
+
+    def _is_failing(cand: Dict) -> bool:
+        report = check(cand)
+        return any(v.kind in kinds for v in report.violations)
+
+    return _is_failing

@@ -14,37 +14,47 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..isa.kernel import LaunchConfig
-from ..isa.opcodes import Opcode
+from ..isa.opcodes import DType, Opcode
+from ..linear.coeffvec import wrap_i64, wrap_to_dtype
 from ..linear.symbols import launch_env
 from ..linear.tables import DecouplePlan
 from ..sim.executor import WarpContext
 
 
-def _apply_scalar_op(opcode: Opcode, args) -> int:
-    """Integer semantics matching the functional executor exactly
-    (64-bit two's complement, truncating division)."""
-    a = [int(np.int64(x)) for x in args]
-    if opcode in (Opcode.MOV, Opcode.CVT):
+def _apply_scalar_op(
+    opcode: Opcode, args, dtype: DType = DType.S64
+) -> int:
+    """Integer semantics matching the functional executor exactly:
+    operands and results live in 64-bit two's complement lanes, division
+    truncates, and ``cvt`` narrows to ``dtype`` the way ``_convert``
+    does.  Inputs wrap (not raise) when a symbolic evaluation overflows
+    int64 — the executor's lanes would have wrapped at every step."""
+    a = [wrap_i64(int(x)) for x in args]
+    if opcode is Opcode.MOV:
         return a[0]
+    if opcode is Opcode.CVT:
+        return wrap_to_dtype(a[0], dtype)
     if opcode is Opcode.ADD:
-        return a[0] + a[1]
+        return wrap_i64(a[0] + a[1])
     if opcode is Opcode.SUB:
-        return a[0] - a[1]
+        return wrap_i64(a[0] - a[1])
     if opcode is Opcode.MUL:
-        return a[0] * a[1]
+        return wrap_i64(a[0] * a[1])
     if opcode is Opcode.MAD:
-        return a[0] * a[1] + a[2]
+        return wrap_i64(a[0] * a[1] + a[2])
     if opcode is Opcode.SHL:
-        return a[0] << max(0, min(a[1], 63))
+        return wrap_i64(a[0] << max(0, min(a[1], 63)))
     if opcode is Opcode.SHR:
         return a[0] >> max(0, min(a[1], 63))
     if opcode is Opcode.DIV:
         if a[1] == 0:
             return 0
         q = abs(a[0]) // abs(a[1])
-        return q * (1 if (a[0] >= 0) == (a[1] >= 0) else -1)
+        return wrap_i64(q * (1 if (a[0] >= 0) == (a[1] >= 0) else -1))
     if opcode is Opcode.REM:
-        return a[0] - _apply_scalar_op(Opcode.DIV, a) * a[1]
+        return wrap_i64(
+            a[0] - _apply_scalar_op(Opcode.DIV, a) * a[1]
+        )
     if opcode is Opcode.MIN:
         return min(a[0], a[1])
     if opcode is Opcode.MAX:
@@ -58,9 +68,9 @@ def _apply_scalar_op(opcode: Opcode, args) -> int:
     if opcode is Opcode.NOT:
         return ~a[0]
     if opcode is Opcode.ABS:
-        return abs(a[0])
+        return wrap_i64(abs(a[0]))
     if opcode is Opcode.NEG:
-        return -a[0]
+        return wrap_i64(-a[0])
     raise ValueError(f"no scalar semantics for {opcode}")
 
 
@@ -82,29 +92,35 @@ class R2D2Values:
         # earlier symbols).
         for name, recipe in plan.scalar_recipes.items():
             args = [expr.evaluate(self.env) for expr in recipe.sources]
-            self.env[name] = _apply_scalar_op(recipe.opcode, args)
-        # Concrete coefficient values.
+            self.env[name] = _apply_scalar_op(
+                recipe.opcode, args, getattr(recipe, "dtype", DType.S64)
+            )
+        # Concrete coefficient values, wrapped to the executor's int64
+        # register width (an unwrapped Python int above 2**63 would both
+        # diverge from the SIMT lanes and crash numpy broadcasting).
         self._thread_coeffs = [
             tuple(
-                0 if c.is_zero else c.evaluate(self.env) for c in part
+                0 if c.is_zero else wrap_i64(c.evaluate(self.env))
+                for c in part
             )
             for part in plan.thread_parts
         ]
         self._block_coeffs = [
             tuple(
-                0 if c.is_zero else c.evaluate(self.env)
+                0 if c.is_zero else wrap_i64(c.evaluate(self.env))
                 for c in e.block_part
             )
             for e in plan.entries
         ]
         self._block_consts = [
-            e.block_const.evaluate(self.env) for e in plan.entries
+            wrap_i64(e.block_const.evaluate(self.env))
+            for e in plan.entries
         ]
         self._cr: Dict[int, int] = {}
         for entry in plan.scalars:
-            self._cr[entry.cr_id] = entry.expr.evaluate(self.env)
+            self._cr[entry.cr_id] = wrap_i64(entry.expr.evaluate(self.env))
         for cr_id, delta in plan.delta_exprs.items():
-            self._cr[cr_id] = delta.evaluate(self.env)
+            self._cr[cr_id] = wrap_i64(delta.evaluate(self.env))
 
         self._tr_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self._br_cache: Dict[Tuple[int, Tuple[int, int, int]], int] = {}
@@ -131,7 +147,9 @@ class R2D2Values:
             return cached
         cx, cy, cz = self._block_coeffs[lr_id]
         bx, by, bz = block_xyz
-        value = self._block_consts[lr_id] + cx * bx + cy * by + cz * bz
+        value = wrap_i64(
+            self._block_consts[lr_id] + cx * bx + cy * by + cz * bz
+        )
         self._br_cache[key] = value
         return value
 

@@ -1,6 +1,15 @@
 """Tests for the R2D2 code analyzer (Algorithm 1)."""
 
-from repro.isa import CmpOp, DType, KernelBuilder, Param, SpecialReg
+from repro.isa import (
+    CmpOp,
+    DType,
+    Instruction,
+    KernelBuilder,
+    Opcode,
+    Param,
+    ParamRef,
+    SpecialReg,
+)
 from repro.linear import CoeffVec, LinExpr, LinearKind, analyze_kernel
 
 
@@ -94,6 +103,83 @@ class TestBasicTracking:
         b.shl(t, 4)
         result = analyze_kernel(b.build())
         assert result.vec_by_pc[1].thread_part[0] == 16
+
+    def test_s32_shift_past_register_width_is_nonlinear(self):
+        """A 32-bit shl by >=32 clears the register; treating it as a
+        scale by 2**bits mispredicts every lane."""
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        b.shl(t, 35, dtype=DType.S32)
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[1] is LinearKind.NONLINEAR
+
+    def test_s64_shift_under_width_stays_linear(self):
+        b = KernelBuilder("k")
+        t = b.cvt(b.tid_x(), DType.S64)
+        b.shl(t, 35, dtype=DType.S64)
+        result = analyze_kernel(b.build())
+        assert result.vec_by_pc[2].thread_part[0] == 1 << 35
+
+
+class TestPredicatedLdParam:
+    def test_unpredicated_ld_param_is_scalar(self):
+        b = KernelBuilder("k", params=[Param("n", DType.S64)])
+        b.param(0)
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[0] is LinearKind.SCALAR
+
+    def test_predicated_ld_param_is_nonlinear(self):
+        """Under a guard, inactive lanes keep their old register value,
+        so the destination is not uniformly the parameter: the analyzer
+        must not classify the load as removable."""
+        b = KernelBuilder("k", params=[Param("n", DType.S64)])
+        pred = b.setp(CmpOp.LT, b.tid_x(), 4)
+        dst = b.new_reg(DType.S64)
+        b.emit(
+            Instruction(
+                Opcode.LD_PARAM,
+                dtype=DType.S64,
+                dst=dst,
+                srcs=(ParamRef(0),),
+                pred=pred,
+            )
+        )
+        kernel = b.build()
+        result = analyze_kernel(kernel)
+        pc = next(
+            pc
+            for pc, i in enumerate(kernel.instructions)
+            if i.opcode is Opcode.LD_PARAM and i.pred is not None
+        )
+        assert result.kind_by_pc[pc] is LinearKind.NONLINEAR
+        assert pc not in result.vec_by_pc
+
+
+class TestNarrowingCvt:
+    def test_widening_cvt_stays_linear(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        b.cvt(t, DType.S64)
+        result = analyze_kernel(b.build())
+        assert result.kind_by_pc[1] is LinearKind.THREAD
+
+    def test_narrowing_cvt_leaves_linear_domain(self):
+        """cvt.s32 truncates to the low 32 bits; no coefficient vector
+        expresses that, so a near-2**31 sum must not stay classified
+        (regression: the transform used to store the unwrapped value)."""
+        b = KernelBuilder("k", params=[Param("n", DType.S64)])
+        n = b.param(0)
+        s = b.add(n, b.cvt(b.tid_x(), DType.S64), dtype=DType.S64)
+        b.cvt(s, DType.S32)
+        kernel = b.build()
+        result = analyze_kernel(kernel)
+        pc = max(
+            pc
+            for pc, i in enumerate(kernel.instructions)
+            if i.opcode is Opcode.CVT and i.dtype is DType.S32
+        )
+        assert result.kind_by_pc[pc] is LinearKind.NONLINEAR
+        assert pc not in result.vec_by_pc
 
 
 class TestPaperExample:

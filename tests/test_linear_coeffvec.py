@@ -3,8 +3,8 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.isa import SpecialReg
-from repro.linear import CoeffVec, LinExpr
+from repro.isa import DType, SpecialReg
+from repro.linear import CoeffVec, LinExpr, wrap_i64, wrap_to_dtype
 
 
 def vec_strategy():
@@ -199,3 +199,57 @@ class TestGroupingKeys:
         a = CoeffVec.special(SpecialReg.TID_X)
         b = a.scaled(CoeffVec.constant(2))
         assert a.thread_key() != b.thread_key()
+
+
+class TestWidthExactEvaluation:
+    """Symbolic evaluation must wrap exactly like the executor's int64
+    lanes (regression: unwrapped Python ints near 2**63 both diverged
+    from SIMT results and crashed numpy conversion at launch time)."""
+
+    def test_evaluate_wraps_past_int63(self):
+        big = 3037000500  # squares to just past 2**63
+        vec = CoeffVec.constant(big * big)
+        value = vec.evaluate(env(), (0, 0, 0), (0, 0, 0))
+        assert value == wrap_i64(big * big)
+        assert -(2 ** 63) <= value < 2 ** 63
+
+    def test_evaluate_narrows_to_dtype(self):
+        near = 2 ** 31 + 12345
+        vec = CoeffVec.constant(near) + CoeffVec.special(SpecialReg.TID_X)
+        tid = (7, 0, 0)
+        assert vec.evaluate(env(), tid, (0, 0, 0), dtype=DType.S32) == (
+            near + 7 - 2 ** 32
+        )
+        assert vec.evaluate(env(), tid, (0, 0, 0), dtype=DType.U32) == (
+            (near + 7) % 2 ** 32
+        )
+
+    def test_thread_and_block_parts_wrap(self):
+        big = 2 ** 62
+        vec = CoeffVec.constant(big).mad(
+            CoeffVec.constant(4), CoeffVec.special(SpecialReg.TID_X).scaled(
+                CoeffVec.constant(big)
+            )
+        )
+        assert vec is not None
+        tid = (3, 0, 0)
+        t = vec.thread_value(env(), tid)
+        c = vec.block_value(env(), (0, 0, 0))
+        assert t == wrap_i64(big * 3)
+        assert c == wrap_i64(big * 4)
+        # re-adding the wrapped parts reproduces the full wrapped value
+        assert wrap_i64(t + c) == vec.evaluate(env(), tid, (0, 0, 0))
+
+    def test_wrap_helpers(self):
+        assert wrap_i64(2 ** 63) == -(2 ** 63)
+        assert wrap_i64(-(2 ** 63) - 1) == 2 ** 63 - 1
+        assert wrap_to_dtype(2 ** 31, DType.S32) == -(2 ** 31)
+        assert wrap_to_dtype(-1, DType.U32) == 2 ** 32 - 1
+        assert wrap_to_dtype(5, DType.S64) == 5
+
+    def test_shifted_left_refuses_past_width(self):
+        a = CoeffVec.special(SpecialReg.TID_X)
+        assert a.shifted_left(CoeffVec.constant(35), width=32) is None
+        assert a.shifted_left(CoeffVec.constant(31), width=32) is not None
+        assert a.shifted_left(CoeffVec.constant(35)) is not None
+        assert a.shifted_left(CoeffVec.constant(64)) is None

@@ -129,3 +129,133 @@ class TestDivergentDefCorrectness:
             if k is LinearKind.MOV_REPLACED
         ]
         assert len(movs) == 2
+
+
+class TestGuardedBaseDemotion:
+    """Regression: a predicated write to a register with a loop
+    self-update leaves per-lane state that the (per-thread base +
+    warp-uniform offset) decomposition cannot describe — no update of
+    that register may be promoted, wherever the guard sits."""
+
+    @staticmethod
+    def _guarded_mov(b, dst, src, pred):
+        from repro.isa import Instruction, Opcode
+        b.emit(
+            Instruction(
+                Opcode.MOV,
+                dtype=dst.dtype,
+                dst=dst,
+                srcs=(src,),
+                pred=pred,
+            )
+        )
+
+    def _updates_of(self, analysis, reg):
+        return [
+            pc
+            for pc in analysis.uniform_updates
+            if analysis.kernel.instructions[pc].dst.name == reg.name
+        ]
+
+    def test_guarded_write_before_update_blocks_promotion(self):
+        b = KernelBuilder("k", params=[ptr("out")])
+        out = b.param(0)
+        a = b.addr(out, b.global_tid_x(), 4)
+        alt = b.addr(out, b.tid_x(), 8)
+        pred = b.setp(CmpOp.LT, b.tid_x(), 8)
+        with b.for_range(0, 4):
+            self._guarded_mov(b, a, alt, pred)
+            b.st_global(a, 1, DType.S32)
+            b.add_to(a, a, 4)
+        analysis = analyze_kernel(b.build())
+        assert not self._updates_of(analysis, a)
+
+    def test_guarded_write_after_update_retracts_promotion(self):
+        """The clobber sits textually after the update but re-executes
+        before it on the next loop iteration."""
+        b = KernelBuilder("k", params=[ptr("out")])
+        out = b.param(0)
+        a = b.addr(out, b.global_tid_x(), 4)
+        alt = b.addr(out, b.tid_x(), 8)
+        pred = b.setp(CmpOp.LT, b.tid_x(), 8)
+        with b.for_range(0, 4):
+            b.st_global(a, 1, DType.S32)
+            b.add_to(a, a, 4)
+            self._guarded_mov(b, a, alt, pred)
+        analysis = analyze_kernel(b.build())
+        assert not self._updates_of(analysis, a)
+
+    def test_guarded_self_update_not_promoted(self):
+        from repro.isa import Instruction, Opcode
+        b = KernelBuilder("k", params=[ptr("out")])
+        out = b.param(0)
+        a = b.addr(out, b.global_tid_x(), 4)
+        pred = b.setp(CmpOp.LT, b.tid_x(), 8)
+        with b.for_range(0, 4):
+            b.st_global(a, 1, DType.S32)
+            b.emit(
+                Instruction(
+                    Opcode.ADD,
+                    dtype=a.dtype,
+                    dst=a,
+                    srcs=(a, b.mov(4, DType.S64)),
+                    pred=pred,
+                )
+            )
+        analysis = analyze_kernel(b.build())
+        assert not self._updates_of(analysis, a)
+
+    def test_unguarded_update_still_promoted(self):
+        """The demotion must not over-trigger: the plain moving-window
+        pattern keeps its promotion."""
+        b = KernelBuilder("k", params=[ptr("out")])
+        out = b.param(0)
+        a = b.addr(out, b.global_tid_x(), 4)
+        with b.for_range(0, 4):
+            b.st_global(a, 1, DType.S32)
+            b.add_to(a, a, 4)
+        analysis = analyze_kernel(b.build())
+        assert self._updates_of(analysis, a)
+
+    def test_guarded_window_bit_exact_under_transform(self):
+        """End-to-end: the guarded-clobber kernel must stay bit-exact
+        through the R2D2 transform (pre-fix it promoted the update and
+        replayed a uniform offset over diverged lanes)."""
+        from repro.isa import Dim3, Instruction, LaunchConfig, Opcode
+        from repro.transform import R2D2Values
+
+        def build():
+            b = KernelBuilder("k", params=[ptr("out")])
+            out = b.param(0)
+            a = b.addr(out, b.global_tid_x(), 4)
+            alt = b.addr(out, b.tid_x(), 8)
+            pred = b.setp(CmpOp.LT, b.tid_x(), 8)
+            with b.for_range(0, 3):
+                b.st_global(a, 7, DType.S32)
+                b.add_to(a, a, 4)
+                b.emit(
+                    Instruction(
+                        Opcode.MOV,
+                        dtype=a.dtype,
+                        dst=a,
+                        srcs=(alt,),
+                        pred=pred,
+                    )
+                )
+            return b.build()
+
+        kernel = build()
+        dev1 = Device(tiny())
+        d1 = dev1.alloc(4 * 128)
+        dev1.launch(kernel, 2, 32, (d1,))
+
+        rk = r2d2_transform(kernel)
+        dev2 = Device(tiny())
+        d2 = dev2.alloc(4 * 128)
+        launch = LaunchConfig(Dim3(2), Dim3(32), args=(d2,))
+        dev2.launch(rk.transformed, 2, 32, (d2,),
+                    linear_values=R2D2Values(rk.plan, launch))
+        assert np.array_equal(
+            dev1.download(d1, 128, np.int32),
+            dev2.download(d2, 128, np.int32),
+        )

@@ -1,0 +1,216 @@
+"""Tests for the differential-testing oracle (repro.oracle)."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cli import main as repro_main
+from repro.isa import CmpOp, DType, Dim3, KernelBuilder, LaunchConfig, Param
+from repro.isa.validate import collect_errors
+from repro.linear import LinearKind, analyze_kernel
+from repro.oracle import (
+    KernelGen,
+    OracleReport,
+    Violation,
+    build_kernel,
+    check_spec,
+    generate_spec,
+    shrink_spec,
+)
+from repro.oracle.invariants import check_dynamic, check_static
+from repro.oracle.shrink import failing_kinds_checker
+from repro.sim import Device, tiny
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+class TestKernelGen:
+    def test_deterministic_for_seed(self):
+        a = generate_spec(3, 5)
+        b = generate_spec(3, 5)
+        assert a == b
+
+    def test_different_indices_differ(self):
+        assert generate_spec(3, 5) != generate_spec(3, 6)
+
+    def test_specs_build_to_valid_kernels(self):
+        for i in range(25):
+            spec = generate_spec(11, i)
+            kernel = build_kernel(spec)
+            assert collect_errors(kernel) == [], spec["name"]
+
+    def test_specs_round_trip_through_json(self):
+        spec = generate_spec(0, 0)
+        again = json.loads(json.dumps(spec))
+        a = build_kernel(spec)
+        b = build_kernel(again)
+        assert [str(i) for i in a.instructions] == [
+            str(i) for i in b.instructions
+        ]
+
+    def test_generated_kernels_are_in_bounds(self):
+        """The interval tracking must make every access provably safe:
+        running the original kernel never faults."""
+        for i in range(15):
+            spec = generate_spec(23, i)
+            report = check_spec(spec)
+            assert not any(
+                v.kind == "original-run-crash" for v in report.violations
+            ), f"{spec['name']}: {[str(v) for v in report.violations]}"
+
+
+class TestOracleClean:
+    def test_small_fuzz_is_clean(self):
+        """The fixed tree must produce zero violations."""
+        for i in range(20):
+            spec = generate_spec(0, i)
+            report = check_spec(spec)
+            assert report.ok, (
+                f"{spec['name']}: {[str(v) for v in report.violations]}"
+            )
+
+    def test_corpus_replays_clean(self):
+        cases = sorted(CORPUS.glob("*.json"))
+        assert len(cases) >= 3, "committed counterexamples missing"
+        for path in cases:
+            case = json.loads(path.read_text())
+            report = check_spec(case["spec"])
+            assert report.ok, (
+                f"{path.name}: {[str(v) for v in report.violations]}"
+            )
+
+
+class TestDetection:
+    """The oracle must actually catch unsound classifications — feed it
+    a doctored analysis and require violations."""
+
+    def _linear_kernel(self):
+        b = KernelBuilder("k", params=[Param("out", is_pointer=True)])
+        out = b.param(0)
+        t = b.global_tid_x()
+        addr = b.addr(out, t, 4)
+        b.st_global(addr, t, DType.S32)
+        return b.build()
+
+    def test_static_flags_predicated_removable(self):
+        from repro.isa import Instruction, Opcode, ParamRef
+
+        b = KernelBuilder("k", params=[Param("n", DType.S64)])
+        pred = b.setp(CmpOp.LT, b.tid_x(), 4)
+        dst = b.new_reg(DType.S64)
+        b.emit(
+            Instruction(
+                Opcode.LD_PARAM,
+                dtype=DType.S64,
+                dst=dst,
+                srcs=(ParamRef(0),),
+                pred=pred,
+            )
+        )
+        kernel = b.build()
+        analysis = analyze_kernel(kernel)
+        pc = next(
+            pc for pc, i in enumerate(kernel.instructions)
+            if i.opcode is Opcode.LD_PARAM and i.pred is not None
+        )
+        # doctor: pretend the analyzer classified the predicated pc SCALAR
+        analysis.kind_by_pc[pc] = LinearKind.SCALAR
+        violations = check_static(kernel, analysis)
+        assert any(v.kind == "predicated-linear" for v in violations)
+
+    def test_dynamic_flags_wrong_coefficients(self):
+        from repro.oracle.invariants import ProbeExecutor
+
+        kernel = self._linear_kernel()
+        analysis = analyze_kernel(kernel)
+        # doctor: shift a classified vector's constant by one
+        pc, vec = next(iter(sorted(analysis.vec_by_pc.items())))
+        from repro.linear import CoeffVec
+        analysis.vec_by_pc[pc] = vec + CoeffVec.constant(1)
+        dev = Device(tiny())
+        addr = dev.alloc(4 * 64)
+        launch = LaunchConfig(Dim3(2), Dim3(32), args=(addr,))
+        ex = ProbeExecutor(kernel, launch, dev.memory)
+        ex.run()
+        violations = check_dynamic(kernel, analysis, launch, ex.probes)
+        assert any(
+            v.kind == "classification-mismatch" for v in violations
+        )
+
+    def test_spec_level_crash_reported_not_raised(self):
+        report = check_spec({"schema": 1, "name": "broken", "grid": [1],
+                             "block": [1], "params": [],
+                             "ops": [{"op": "no-such-op"}]})
+        assert not report.ok
+        assert report.violations[0].kind == "spec-build-crash"
+
+
+class TestShrinker:
+    def _spec(self):
+        return generate_spec(0, 1)
+
+    def test_shrink_preserves_failure(self):
+        spec = self._spec()
+        # synthetic failure: "fails" while it still has >=2 stores
+        from repro.oracle.kernelgen import count_stores
+
+        def is_failing(cand):
+            return count_stores(cand["ops"]) >= 2
+
+        small = shrink_spec(spec, is_failing)
+        assert is_failing(small)
+        assert len(json.dumps(small)) <= len(json.dumps(spec))
+
+    def test_shrink_keeps_specs_buildable(self):
+        spec = self._spec()
+
+        def is_failing(cand):
+            kernel = build_kernel(cand)   # raises on broken candidates
+            return not collect_errors(kernel) and len(cand["ops"]) > 3
+
+        small = shrink_spec(spec, is_failing)
+        assert collect_errors(build_kernel(small)) == []
+
+    def test_kinds_checker_filters_other_failures(self):
+        calls = []
+
+        def fake_check(spec):
+            calls.append(spec)
+            return OracleReport(
+                name="x",
+                violations=[Violation("other-kind", "detail")],
+            )
+
+        checker = failing_kinds_checker(fake_check, {"memory-mismatch"})
+        assert checker({}) is False
+        assert calls
+
+
+class TestCli:
+    def test_fuzz_smoke(self, capsys):
+        rc = repro_main([
+            "oracle", "fuzz", "--seed", "0", "--budget", "3",
+            "--save-dir", "", "--no-shrink",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "3 spec(s) checked" in out
+
+    def test_corpus_replay(self, capsys):
+        rc = repro_main(["oracle", "corpus", "--dir", str(CORPUS)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 failing" in out
+
+    def test_replay_single_file(self, capsys, tmp_path):
+        spec = generate_spec(0, 0)
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps(spec))
+        rc = repro_main(["oracle", "replay", str(path)])
+        assert rc == 0
+
+    def test_corpus_empty_dir_ok(self, tmp_path, capsys):
+        rc = repro_main(["oracle", "corpus", "--dir", str(tmp_path)])
+        assert rc == 0
