@@ -23,6 +23,15 @@ Two independent checks, both of which must pass:
    faster.  This is a same-machine, same-run ratio, so it is meaningful
    on any hardware and enforces the repo's headline acceptance
    criterion.
+3. **Extrapolation speedup** — every ``test_<stem>_extrapolate_on`` /
+   ``_off`` pair in the current run must show at least
+   ``--min-extrapolate-speedup`` (default 5.0,
+   ``$BENCH_MIN_EXTRAPOLATE_SPEEDUP`` overrides) batched-vs-serial
+   speedup, and must not fall below 85%% of the speedup committed in
+   ``benchmarks/baseline/BENCH_extrapolate.json`` (the >=15%%
+   regression gate).  ``--extrapolate-out PATH`` merge-updates that
+   artifact with the measured ``cold_s`` / ``extrapolated_s`` /
+   ``speedup`` per workload stem.
 
 Exit status 0 on pass, 1 on regression, 2 on usage/IO errors.
 """
@@ -37,6 +46,10 @@ from typing import Dict, Optional
 
 DEDUP_BENCH = "test_timing_replay_throughput"
 REFERENCE_BENCH = "test_timing_replay_reference_throughput"
+EXTRAPOLATE_ON_SUFFIX = "_extrapolate_on"
+EXTRAPOLATE_OFF_SUFFIX = "_extrapolate_off"
+#: Fraction of the committed speedup the current run must retain.
+EXTRAPOLATE_RETAIN = 0.85
 
 
 def load_means(path: str) -> Dict[str, float]:
@@ -46,6 +59,26 @@ def load_means(path: str) -> Dict[str, float]:
     for bench in data.get("benchmarks", []):
         means[bench["name"]] = float(bench["stats"]["mean"])
     return means
+
+
+def extrapolate_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """``{stem: {cold_s, extrapolated_s, speedup}}`` for every complete
+    ``test_<stem>_extrapolate_on/_off`` pair in a benchmark run."""
+    pairs: Dict[str, Dict[str, float]] = {}
+    for name, on_mean in means.items():
+        if not name.endswith(EXTRAPOLATE_ON_SUFFIX):
+            continue
+        stem = name[len("test_"):-len(EXTRAPOLATE_ON_SUFFIX)]
+        off_name = f"test_{stem}{EXTRAPOLATE_OFF_SUFFIX}"
+        if off_name not in means:
+            continue
+        cold = means[off_name]
+        pairs[stem] = {
+            "cold_s": cold,
+            "extrapolated_s": on_mean,
+            "speedup": round(cold / on_mean, 2),
+        }
+    return pairs
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -65,6 +98,27 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--min-dedup-speedup", type=float, default=3.0,
         help="required dedup-vs-reference replay speedup (default: 3.0)",
+    )
+    parser.add_argument(
+        "--min-extrapolate-speedup",
+        type=float,
+        default=float(
+            os.environ.get("BENCH_MIN_EXTRAPOLATE_SPEEDUP", "5.0")
+        ),
+        help="required batched-vs-serial extrapolation speedup per "
+             "workload pair (default: 5.0; "
+             "$BENCH_MIN_EXTRAPOLATE_SPEEDUP overrides)",
+    )
+    parser.add_argument(
+        "--extrapolate-baseline",
+        default="benchmarks/baseline/BENCH_extrapolate.json",
+        help="committed extrapolation-speedup artifact "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--extrapolate-out", metavar="PATH", default=None,
+        help="merge-update PATH with the measured extrapolation "
+             "speedups from the current run",
     )
     parser.add_argument(
         "--allow-missing-baseline", action="store_true",
@@ -123,6 +177,53 @@ def main(argv: Optional[list] = None) -> int:
             f" {speedup:.2f}x (required >= {args.min_dedup_speedup:.1f}x)"
         )
         failed = failed or not ok
+
+    # -- check 3: extrapolation speedup (ratio + committed gate) --------
+    pairs = extrapolate_pairs(current)
+    committed: Dict[str, Dict[str, float]] = {}
+    if pairs:
+        try:
+            with open(args.extrapolate_baseline) as fh:
+                committed = json.load(fh)
+        except OSError:
+            committed = {}  # first run: nothing committed yet
+        except ValueError as exc:
+            print(
+                f"error: malformed {args.extrapolate_baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    for stem in sorted(pairs):
+        cur = pairs[stem]
+        ok = cur["speedup"] >= args.min_extrapolate_speedup
+        detail = (
+            f"extrapolate {stem}: {cur['speedup']:.2f}x"
+            f" ({cur['cold_s'] * 1e3:.1f} ms cold ->"
+            f" {cur['extrapolated_s'] * 1e3:.1f} ms)"
+            f" (required >= {args.min_extrapolate_speedup:.1f}x"
+        )
+        old = committed.get(stem, {}).get("speedup")
+        if old is not None:
+            floor = old * EXTRAPOLATE_RETAIN
+            ok = ok and cur["speedup"] >= floor
+            detail += f", committed {old:.2f}x -> floor {floor:.2f}x"
+        detail += ")"
+        print(f"{'ok' if ok else 'REGRESSION':>10}  {detail}")
+        failed = failed or not ok
+
+    if args.extrapolate_out and pairs:
+        merged: Dict[str, Dict[str, float]] = {}
+        try:
+            with open(args.extrapolate_out) as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+        merged.update(pairs)
+        with open(args.extrapolate_out, "w") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"{'wrote':>10}  {args.extrapolate_out}"
+              f" ({len(pairs)} pair(s) updated)")
 
     return 1 if failed else 0
 

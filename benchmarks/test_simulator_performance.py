@@ -10,7 +10,9 @@ docs/PERFORMANCE.md)."""
 import numpy as np
 
 from repro.isa import CmpOp, DType, KernelBuilder, Param
+from repro.isa.kernel import Dim3, LaunchConfig
 from repro.sim import Device, TimingSimulator, tiny
+from repro.sim.executor import FunctionalExecutor
 from repro.transform import r2d2_transform
 from repro.linear import analyze_kernel
 
@@ -101,3 +103,126 @@ def test_transform_throughput(benchmark):
     kernel = _vadd_kernel()
     rk = benchmark(lambda: r2d2_transform(kernel))
     assert rk.removed_static > 0
+
+
+# ---------------------------------------------------------------------------
+# Block-trace extrapolation (R2D2_EXTRAPOLATE): cold serial execution vs
+# the batched engine, on regular workloads at the largest configured
+# grid.  ``compare.py`` pairs ``test_<stem>_extrapolate_on/_off``,
+# enforces the >=5x speedup, and records the trajectory in
+# BENCH_extrapolate.json.
+# ---------------------------------------------------------------------------
+
+X_BLOCKS = 256
+X_THREADS = 256
+X_N = X_BLOCKS * X_THREADS
+
+
+def _saxpy_kernel():
+    b = KernelBuilder(
+        "saxpy",
+        params=[Param("x", is_pointer=True), Param("y", is_pointer=True),
+                Param("n", DType.S32)],
+    )
+    x_p, y_p, n_p = b.param(0), b.param(1), b.param(2)
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n_p)
+    with b.if_then(ok):
+        vx = b.ld_global(b.addr(x_p, i, 4), DType.F32)
+        vy = b.ld_global(b.addr(y_p, i, 4), DType.F32)
+        b.st_global(b.addr(y_p, i, 4), b.mad(vx, 2.5, vy, DType.F32),
+                    DType.F32)
+    return b.build()
+
+
+def _smem_shift_kernel():
+    """Stage through shared memory with a reversed (still affine) read
+    after a block-wide barrier — exercises the batched shared arena."""
+    b = KernelBuilder(
+        "smem_shift",
+        params=[Param("x", is_pointer=True), Param("o", is_pointer=True),
+                Param("n", DType.S32)],
+        shared_mem_bytes=4 * X_THREADS,
+    )
+    x_p, o_p, n_p = b.param(0), b.param(1), b.param(2)
+    i = b.global_tid_x()
+    t = b.tid_x()
+    ok = b.setp(CmpOp.LT, i, n_p)
+    with b.if_then(ok):
+        v = b.ld_global(b.addr(x_p, i, 4), DType.F32)
+        b.st_shared(b.shl(t, 2, DType.S64), v, DType.F32)
+    b.bar()
+    with b.if_then(ok):
+        rev = b.shl(b.sub(X_THREADS - 1, t, DType.S64), 2, DType.S64)
+        w = b.ld_shared(rev, DType.F32)
+        b.st_global(b.addr(o_p, i, 4), w, DType.F32)
+    return b.build()
+
+
+def _extrapolate_bench(benchmark, kernel, mode):
+    def setup():
+        dev = Device(tiny())
+        p0 = dev.upload(np.ones(X_N, dtype=np.float32))
+        p1 = dev.alloc(4 * X_N)
+        return (dev, p0, p1), {}
+
+    def run(dev, p0, p1):
+        launch = LaunchConfig(
+            grid=Dim3(X_BLOCKS), block=Dim3(X_THREADS),
+            args=(p0, p1, X_N),
+        )
+        return FunctionalExecutor(
+            kernel, launch, dev.memory, extrapolate=mode
+        ).run()
+
+    trace = benchmark.pedantic(run, setup=setup, rounds=3)
+    assert trace.warp_instruction_count() > 0
+    return trace
+
+
+def test_vscale_extrapolate_on(benchmark):
+    trace = _extrapolate_bench(benchmark, _vadd_kernel(), "1")
+    assert trace.extrapolation.blocks_extrapolated == X_BLOCKS
+
+
+def test_vscale_extrapolate_off(benchmark):
+    _extrapolate_bench(benchmark, _vadd_kernel(), "0")
+
+
+def test_saxpy_extrapolate_on(benchmark):
+    trace = _extrapolate_bench(benchmark, _saxpy_kernel(), "1")
+    assert trace.extrapolation.blocks_extrapolated == X_BLOCKS
+
+
+def test_saxpy_extrapolate_off(benchmark):
+    _extrapolate_bench(benchmark, _saxpy_kernel(), "0")
+
+
+def test_smem_shift_extrapolate_on(benchmark):
+    trace = _extrapolate_bench(benchmark, _smem_shift_kernel(), "1")
+    assert trace.extrapolation.blocks_extrapolated == X_BLOCKS
+
+
+def test_smem_shift_extrapolate_off(benchmark):
+    _extrapolate_bench(benchmark, _smem_shift_kernel(), "0")
+
+
+def test_extrapolate_engines_agree():
+    """Not a timing benchmark: on each benchmarked workload the batched
+    engine must leave memory bit-identical to serial execution."""
+    for kernel_fn in (_vadd_kernel, _saxpy_kernel, _smem_shift_kernel):
+        outs = {}
+        for mode in ("0", "1"):
+            dev = Device(tiny())
+            rng = np.random.default_rng(7)
+            p0 = dev.upload(rng.standard_normal(X_N).astype(np.float32))
+            p1 = dev.alloc(4 * X_N)
+            launch = LaunchConfig(
+                grid=Dim3(X_BLOCKS), block=Dim3(X_THREADS),
+                args=(p0, p1, X_N),
+            )
+            FunctionalExecutor(
+                kernel_fn(), launch, dev.memory, extrapolate=mode
+            ).run()
+            outs[mode] = dev.memory.buf.copy()
+        assert np.array_equal(outs["0"], outs["1"])

@@ -88,6 +88,11 @@ class WorkloadResult:
     stats: Dict[str, ArchStats] = field(default_factory=dict)
     verified: bool = False
     outputs_identical: bool = False
+    #: Per-launch block-trace extrapolation outcomes (dicts from
+    #: ``ExtrapolationReport.to_dict``): machine-readable speedup/skip
+    #: reasons for the run report.  Empty for results deserialized from
+    #: caches written before extrapolation existed.
+    extrapolation: List[dict] = field(default_factory=list)
 
     def __getitem__(self, arch: str) -> ArchStats:
         return self.stats[arch]
@@ -168,6 +173,11 @@ def run_workload(
 
     result = WorkloadResult(abbr=workload.abbr, scale=workload.scale)
     result.verified = verify
+    for trace in traces:
+        # getattr: cached traces may predate the extrapolation field.
+        report = getattr(trace, "extrapolation", None)
+        if report is not None:
+            result.extrapolation.append(report.to_dict())
 
     trace_arches = [n for n in arch_names if n != "r2d2"]
     stats_by_name = _trace_arch_stats(traces, config, trace_arches, jobs)

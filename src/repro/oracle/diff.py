@@ -32,6 +32,8 @@ from ..isa.kernel import Dim3, Kernel, LaunchConfig
 from ..isa.validate import collect_errors
 from ..linear.analyzer import analyze_kernel
 from ..sim.config import GPUConfig, tiny
+from ..sim.executor import FunctionalExecutor
+from ..sim.extrapolate import ExtrapolationMismatch
 from ..sim.gpu import Device
 from ..sim.timing import TimingResult, TimingSimulator
 from ..transform.decouple import r2d2_transform
@@ -184,6 +186,56 @@ def check_spec(
             max_violations=max_violations,
         )
     )
+
+    # --- block-trace extrapolation ------------------------------------
+    # verify mode: batched execution must be bit-identical to serial
+    # (trace records + memory); then the committing path ("1") must
+    # leave the same memory as the serial run above, and its synthesized
+    # trace must replay identically through dedup on/off.
+    dev_x, args_x, _ = _prepare_device(spec, config)
+    launch_x = LaunchConfig(args=args_x, **launch_geom)
+    try:
+        FunctionalExecutor(
+            kernel, launch_x, dev_x.memory, extrapolate="verify"
+        ).run()
+    except ExtrapolationMismatch as exc:
+        vio.append(Violation("extrapolate-mismatch", str(exc)))
+    except Exception as exc:  # noqa: BLE001
+        vio.append(
+            Violation(
+                "extrapolate-run-crash", f"{type(exc).__name__}: {exc}"
+            )
+        )
+    else:
+        dev_y, args_y, _ = _prepare_device(spec, config)
+        launch_y = LaunchConfig(args=args_y, **launch_geom)
+        try:
+            trace_x = FunctionalExecutor(
+                kernel, launch_y, dev_y.memory, extrapolate="1"
+            ).run()
+        except Exception as exc:  # noqa: BLE001
+            vio.append(
+                Violation(
+                    "extrapolate-run-crash",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            if not np.array_equal(dev_y.memory.buf, dev_a.memory.buf):
+                bad = np.flatnonzero(dev_y.memory.buf != dev_a.memory.buf)
+                vio.append(
+                    Violation(
+                        "extrapolate-commit-mismatch",
+                        f"memory differs at {bad.size} byte(s), first "
+                        f"at address {int(bad[0])}",
+                    )
+                )
+            for diff in _timing_dedup_diffs(config, trace_x):
+                vio.append(
+                    Violation(
+                        "timing-dedup-mismatch", f"extrapolated {diff}"
+                    )
+                )
 
     # --- transform + differential run ---------------------------------
     try:

@@ -17,6 +17,12 @@ from .executor import (
     WarpContext,
     WARP_SIZE,
 )
+from .extrapolate import (
+    ExtrapolationMismatch,
+    ExtrapolationReport,
+    check_eligibility,
+    extrapolation_mode,
+)
 from .gpu import Device, as_dim3
 from .memory import ByteSpace, GlobalMemory, MemoryError_, SharedMemory
 from .timing import (
@@ -46,6 +52,8 @@ __all__ = [
     "EnergyBreakdown",
     "EnergyConfig",
     "ExecutionError",
+    "ExtrapolationMismatch",
+    "ExtrapolationReport",
     "FunctionalExecutor",
     "GlobalMemory",
     "GPUConfig",
@@ -66,7 +74,9 @@ __all__ = [
     "WARP_SIZE",
     "as_dim3",
     "bank_conflict_degree",
+    "check_eligibility",
     "coalesce",
+    "extrapolation_mode",
     "small",
     "tiny",
     "titan_v",

@@ -230,6 +230,10 @@ class _Prep:
         self.block_sig: Dict[int, tuple] = {}
         self.any_scalar = False
         policy = sim.policy
+        # Extrapolated traces carry an interned tuple of
+        # static_issue_key()s per warp (WarpTrace.sig_base); warps that
+        # share the interned object skip the per-record key walk.
+        simd_sigs: Dict[int, tuple] = {}
         for block in sim.trace.blocks:
             bprologue = policy.block_prologue_cycles(block)
             groups: List[_SigGroup] = []
@@ -237,10 +241,19 @@ class _Prep:
             for warp in block.warps:
                 plan = policy.plan_warp(block, warp)
                 if plan.modes is None and plan.extra_latency is None:
-                    sig = tuple(
-                        r.static_issue_key() + (IssueMode.SIMD, 0)
-                        for r in warp.records
-                    )
+                    base = getattr(warp, "sig_base", None)
+                    if base is not None:
+                        sig = simd_sigs.get(id(base))
+                        if sig is None:
+                            sig = tuple(
+                                key + (IssueMode.SIMD, 0) for key in base
+                            )
+                            simd_sigs[id(base)] = sig
+                    else:
+                        sig = tuple(
+                            r.static_issue_key() + (IssueMode.SIMD, 0)
+                            for r in warp.records
+                        )
                 else:
                     sig = tuple(
                         r.static_issue_key()

@@ -69,6 +69,46 @@ class _StackEntry:
     pc: int
 
 
+class _RegFile:
+    """Dict-compatible register file backed by an index-slotted list.
+
+    Register names resolve to integer slots through a map shared by
+    every warp of a launch (built once per kernel by the executor), so
+    the hot ``read``/``write`` path replaces a string hash per access
+    with a list index.  The map may keep growing after a warp's file was
+    created — ``get`` treats out-of-range slots as unwritten.
+    """
+
+    __slots__ = ("_slot_map", "_slots")
+
+    def __init__(self, slot_map: Dict[str, int]) -> None:
+        self._slot_map = slot_map
+        self._slots: List[Optional[np.ndarray]] = [None] * len(slot_map)
+
+    def get(self, name: str, default=None):
+        i = self._slot_map.get(name)
+        if i is None or i >= len(self._slots):
+            return default
+        values = self._slots[i]
+        return default if values is None else values
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        values = self.get(name)
+        if values is None:
+            raise KeyError(name)
+        return values
+
+    def __setitem__(self, name: str, values) -> None:
+        i = self._slot_map.setdefault(name, len(self._slot_map))
+        slots = self._slots
+        if i >= len(slots):
+            slots.extend([None] * (i + 1 - len(slots)))
+        slots[i] = values
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+
 class WarpContext:
     """Register state and lane geometry for one warp."""
 
@@ -84,6 +124,7 @@ class WarpContext:
         "exited",
         "done",
         "at_barrier",
+        "zero_pool",
     )
 
     def __init__(
@@ -92,16 +133,26 @@ class WarpContext:
         block_xyz: Tuple[int, int, int],
         block_dim: Tuple[int, int, int],
         n_instructions: int,
+        slot_map: Optional[Dict[str, int]] = None,
+        geometry: Optional[Tuple[np.ndarray, ...]] = None,
+        zero_pool: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         self.warp_in_block = warp_in_block
         self.block_xyz = block_xyz
-        bx, by, bz = block_dim
-        flat = warp_in_block * WARP_SIZE + _LANES
-        self.tid_x = flat % bx
-        self.tid_y = (flat // bx) % by
-        self.tid_z = flat // (bx * by)
-        self.base_mask = flat < (bx * by * bz)
-        self.regs: Dict[str, np.ndarray] = {}
+        if geometry is not None:
+            # Hoisted by the executor: lane ids depend only on
+            # warp_in_block, not the block, so they are shared (frozen)
+            # across all blocks of a launch.
+            self.tid_x, self.tid_y, self.tid_z, self.base_mask = geometry
+        else:
+            bx, by, bz = block_dim
+            flat = warp_in_block * WARP_SIZE + _LANES
+            self.tid_x = flat % bx
+            self.tid_y = (flat // bx) % by
+            self.tid_z = flat // (bx * by)
+            self.base_mask = flat < (bx * by * bz)
+        self.zero_pool = zero_pool
+        self.regs = _RegFile(slot_map if slot_map is not None else {})
         self.stack: List[_StackEntry] = [
             _StackEntry(n_instructions, self.base_mask.copy(), 0)
         ]
@@ -114,12 +165,21 @@ class WarpContext:
         if values is None:
             # Reading a never-written register: deliver zeros (real
             # hardware would deliver garbage; zeros keep runs repeatable).
+            # The pooled arrays are frozen; every consumer copies or
+            # builds a new array before writing lanes.
+            pool = self.zero_pool
             if reg.dtype.is_float:
-                values = np.zeros(WARP_SIZE, dtype=np.float64)
+                values = pool["f"] if pool is not None else np.zeros(
+                    WARP_SIZE, dtype=np.float64
+                )
             elif reg.dtype is DType.PRED:
-                values = np.zeros(WARP_SIZE, dtype=bool)
+                values = pool["p"] if pool is not None else np.zeros(
+                    WARP_SIZE, dtype=bool
+                )
             else:
-                values = np.zeros(WARP_SIZE, dtype=np.int64)
+                values = pool["i"] if pool is not None else np.zeros(
+                    WARP_SIZE, dtype=np.int64
+                )
             self.regs[reg.name] = values
         return values
 
@@ -140,6 +200,7 @@ class FunctionalExecutor:
         collect_trace: bool = True,
         max_warp_instructions: int = 20_000_000,
         line_bytes: int = 128,
+        extrapolate: Optional[str] = None,
     ) -> None:
         self.kernel = kernel
         self.launch = launch
@@ -155,6 +216,27 @@ class FunctionalExecutor:
                 f"kernel {kernel.name} takes {len(kernel.params)} args, "
                 f"got {len(launch.args)}"
             )
+        from .extrapolate import extrapolation_mode
+
+        self.extrapolate = extrapolation_mode(extrapolate)
+        self._pending_verify: Optional[tuple] = None
+        # Register-name -> slot map shared by every warp of the launch
+        # (the register file is index-slotted; see _RegFile).
+        self._slot_map: Dict[str, int] = {}
+        for instr in kernel.instructions:
+            for reg in instr.dest_regs() + instr.source_regs():
+                self._slot_map.setdefault(reg.name, len(self._slot_map))
+        # Lane geometry per warp_in_block (block-independent) and frozen
+        # zero-fill arrays, both shared across all blocks of the launch.
+        self._warp_geometry: Dict[int, Tuple[np.ndarray, ...]] = {}
+        self._zero_pool: Dict[str, np.ndarray] = {}
+        for key, arr in (
+            ("f", np.zeros(WARP_SIZE, dtype=np.float64)),
+            ("p", np.zeros(WARP_SIZE, dtype=bool)),
+            ("i", np.zeros(WARP_SIZE, dtype=np.int64)),
+        ):
+            arr.setflags(write=False)
+            self._zero_pool[key] = arr
 
     # ------------------------------------------------------------------
     def run(self) -> KernelTrace:
@@ -164,25 +246,66 @@ class FunctionalExecutor:
         # overflow or divide by zero without affecting any visible state.
         with np.errstate(over="ignore", invalid="ignore",
                          divide="ignore"):
-            for block_id in range(grid.count):
+            start = self._maybe_extrapolate(trace)
+            for block_id in range(start, grid.count):
                 block_xyz = grid.linear_to_xyz(block_id)
                 block_trace = self._run_block(block_id, block_xyz)
                 trace.blocks.append(block_trace)
+            if self.extrapolate == "verify":
+                self._verify_extrapolation(trace)
         return trace
+
+    def _maybe_extrapolate(self, trace: KernelTrace) -> int:
+        """Try block-trace extrapolation; returns how many leading
+        blocks it covered (0 when ineligible/disabled/bailed).  Gated to
+        exactly this class: subclasses (probes, tests) override pieces
+        of the interpreter the batched engine would bypass."""
+        if type(self) is not FunctionalExecutor:
+            return 0
+        from .extrapolate import attempt_extrapolation
+
+        return attempt_extrapolation(self, trace)
+
+    def _verify_extrapolation(self, trace: KernelTrace) -> None:
+        if type(self) is not FunctionalExecutor:
+            return
+        from .extrapolate import verify_against
+
+        verify_against(self, trace)
+
+    # ------------------------------------------------------------------
+    def _make_warp(
+        self, warp_in_block: int, block_xyz: Tuple[int, int, int]
+    ) -> WarpContext:
+        geometry = self._warp_geometry.get(warp_in_block)
+        warp = WarpContext(
+            warp_in_block,
+            block_xyz,
+            tuple(self.launch.block),
+            len(self.kernel.instructions),
+            slot_map=self._slot_map,
+            geometry=geometry,
+            zero_pool=self._zero_pool,
+        )
+        if geometry is None:
+            for arr in (warp.tid_x, warp.tid_y, warp.tid_z,
+                        warp.base_mask):
+                arr.setflags(write=False)
+            self._warp_geometry[warp_in_block] = (
+                warp.tid_x, warp.tid_y, warp.tid_z, warp.base_mask
+            )
+        return warp
 
     # ------------------------------------------------------------------
     def _run_block(
         self, block_id: int, block_xyz: Tuple[int, int, int]
     ) -> BlockTrace:
-        block_dim = tuple(self.launch.block)
         n_threads = self.launch.threads_per_block
         n_warps = (n_threads + WARP_SIZE - 1) // WARP_SIZE
-        n_instr = len(self.kernel.instructions)
         shared = SharedMemory(self.kernel.shared_mem_bytes)
 
         warps = [
-            WarpContext(w, block_xyz, block_dim, n_instr)
-            for w in range(n_warps)
+            self._make_warp(w, block_xyz) for w in range(n_warps)
         ]
         traces = [WarpTrace(block_id, w) for w in range(n_warps)]
 

@@ -45,6 +45,22 @@ class ByteSpace:
             self._views[dtype] = view
         return view
 
+    def fork(self) -> "ByteSpace":
+        """An independent copy sharing geometry but not contents.
+
+        The dtype view cache starts empty — cached views alias ``buf``
+        and must never leak across the fork boundary.  Speculative
+        execution (block-trace extrapolation) runs against a fork and
+        either commits it back with ``buf[:] = fork.buf`` (in place, so
+        the original's views stay valid) or discards it.
+        """
+        twin = ByteSpace.__new__(ByteSpace)
+        twin.size = self.size
+        twin.base = self.base
+        twin.buf = self.buf.copy()
+        twin._views = {}
+        return twin
+
     # ------------------------------------------------------------------
     def _check(self, addrs: np.ndarray, itemsize: int) -> None:
         if addrs.size == 0:

@@ -105,6 +105,12 @@ class WarpTrace:
     block_linear_id: int
     warp_in_block: int
     records: List[TraceRecord] = field(default_factory=list)
+    #: Interned tuple of ``static_issue_key()``s, set by the block-trace
+    #: extrapolator; lets the warp-dedup engine group warps by identity
+    #: comparison instead of re-walking every record.
+    sig_base: Optional[Tuple] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self.records)
@@ -132,6 +138,10 @@ class KernelTrace:
     #: Set by the R2D2 transform: decoupled linear-phase instruction
     #: streams (see repro.arch.r2d2).
     linear_phase: Optional[object] = None
+    #: Outcome of the block-trace extrapolation attempt for this launch
+    #: (an ``ExtrapolationReport``); ``None`` for traces produced before
+    #: the extrapolator existed (old cache pickles).
+    extrapolation: Optional[object] = None
 
     # ------------------------------------------------------------------
     def warp_instruction_count(self) -> int:
