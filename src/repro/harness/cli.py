@@ -6,6 +6,8 @@ Usage::
     python -m repro fig13 --apps BP NN    # restrict the suite
     python -m repro all --scale tiny      # everything, quickly
     python -m repro fig12 --jobs 4        # parallel suite run
+    python -m repro fig12 --metrics-out run.json   # export run metrics
+    python -m repro profile BP            # per-phase/per-kernel profile
     python -m repro cache stats           # persistent-cache usage
     python -m repro cache clear           # drop every cached result
     python -m repro oracle fuzz           # analyzer soundness fuzzing
@@ -16,6 +18,12 @@ Figure/table runs use the persistent result cache by default (reruns of
 the same configuration are nearly free); pass ``--no-cache`` to force
 recomputation.  The library default is cache-off, so tests and
 programmatic users are unaffected.
+
+Observability: every run records phase timings and fast-path counters
+into :mod:`repro.obs`; ``--metrics-out run.json`` exports them,
+``R2D2_TRACE_LOG=events.jsonl`` appends JSON-lines events, and
+``python -m repro profile <workload>`` prints the per-phase /
+per-kernel breakdown (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -28,8 +36,12 @@ import time
 from typing import Optional, Sequence
 
 from . import experiments
+from .. import obs
 from ..perf import TraceCache, cache_from_env
+from ..workloads import all_abbrs, factory
 from .experiments import SuiteResults, bench_config, run_suite
+from .report import obs_summary
+from .runner import ALL_ARCHES, run_workload
 
 #: figure name -> (needs shared suite?, callable)
 SUITE_FIGURES = {
@@ -98,7 +110,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the persistent result cache for this run",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="export run counters/timings as JSON to PATH "
+             "(see docs/OBSERVABILITY.md)",
+    )
     return parser
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run one workload and print the per-phase / "
+                    "per-kernel observability breakdown.",
+    )
+    parser.add_argument(
+        "abbr", choices=all_abbrs(),
+        help="Table 2 workload abbreviation",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=("tiny", "small"),
+        help="workload scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--sms", type=int, default=4,
+        help="number of SMs in the benchmark GPU (default: 4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan per-arch cells out to N worker processes",
+    )
+    parser.add_argument(
+        "--arches", nargs="*", default=None, choices=ALL_ARCHES,
+        help="restrict the run to these architectures",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="also write the same snapshot as JSON to PATH",
+    )
+    return parser
+
+
+def profile_main(argv: Sequence[str]) -> int:
+    args = build_profile_parser().parse_args(list(argv))
+    config = bench_config(args.sms)
+    arches = tuple(args.arches) if args.arches else ALL_ARCHES
+
+    # Profiling wants live numbers, so the result cache stays off — a
+    # cache hit would skip the very phases being measured.
+    obs.reset()
+    t0 = time.time()
+    run_workload(
+        factory(args.abbr, args.scale), config=config,
+        arch_names=arches, jobs=args.jobs, cache=False,
+    )
+    wall = time.time() - t0
+
+    snapshot = obs.snapshot()
+    meta = {
+        "command": "profile",
+        "abbr": args.abbr,
+        "scale": args.scale,
+        "sms": args.sms,
+        "arches": list(arches),
+        "jobs": args.jobs,
+        "wall_s": round(wall, 3),
+    }
+    print(f"profile: {args.abbr} scale={args.scale} sms={args.sms} "
+          f"arches={len(arches)} wall={wall:.2f}s")
+    print()
+    print(obs_summary(snapshot))
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out, meta=meta)
+        print()
+        print(f"metrics written to {args.metrics_out}")
+    return 0
 
 
 def _cache_command(op: str) -> int:
@@ -154,6 +240,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         return oracle_main(argv[1:])
 
+    # Profiling has its own positional arguments; dispatch like oracle.
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+
     args = build_parser().parse_args(argv)
 
     if args.artifact == "list":
@@ -161,6 +251,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("standalone     :", ", ".join(STANDALONE_FIGURES))
         print("maintenance    : cache [stats|clear]")
         print("testing        : oracle [fuzz|replay|corpus]")
+        print("observability  : profile <abbr> [--metrics-out run.json]")
         return 0
 
     if args.artifact == "cache":
@@ -173,6 +264,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     env = {"R2D2_CACHE": "1" if use_cache else "0"}
     if args.jobs is not None:
         env["R2D2_JOBS"] = str(args.jobs)
+    if args.metrics_out:
+        obs.reset()
     with _scoped_env(**env):
         suite: Optional[SuiteResults] = None
         if any(n in SUITE_FIGURES for n in names):
@@ -197,4 +290,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 table = STANDALONE_FIGURES[name](config, args.scale)
             print()
             print(table.render())
+
+    if args.metrics_out:
+        obs.write_metrics(
+            args.metrics_out,
+            meta={
+                "command": "figures",
+                "artifacts": names,
+                "scale": args.scale,
+                "sms": args.sms,
+                "apps": args.apps,
+                "jobs": args.jobs,
+                "cache": use_cache,
+            },
+        )
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0

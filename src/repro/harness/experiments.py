@@ -12,8 +12,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..perf import (
-    PARALLEL_FALLBACK_ERRORS,
+    PoolSetupError,
+    is_parallel_fallback,
+    make_pool,
+    record_demotion,
     resolve_cache,
     resolve_jobs,
     task_timeout,
@@ -78,19 +82,21 @@ def run_suite(
     tcache = resolve_cache(cache)
     suite = SuiteResults(config=config, scale=scale)
 
-    done: Dict[str, WorkloadResult] = {}
-    if jobs > 1 and len(abbrs) > 1:
-        done = _run_suite_parallel(
-            abbrs, scale, config, tuple(arch_names), verify, tcache, jobs
-        )
-    for abbr in abbrs:
-        res = done.get(abbr)
-        if res is None:  # serial run, or a cell that fell back
-            res = run_workload(
-                factory(abbr, scale), config=config,
-                arch_names=arch_names, verify=verify, cache=tcache,
+    with obs.span("suite"):
+        done: Dict[str, WorkloadResult] = {}
+        if jobs > 1 and len(abbrs) > 1:
+            done = _run_suite_parallel(
+                abbrs, scale, config, tuple(arch_names), verify, tcache,
+                jobs,
             )
-        suite.results[abbr] = res
+        for abbr in abbrs:
+            res = done.get(abbr)
+            if res is None:  # serial run, or a cell that fell back
+                res = run_workload(
+                    factory(abbr, scale), config=config,
+                    arch_names=arch_names, verify=verify, cache=tcache,
+                )
+            suite.results[abbr] = res
     return suite
 
 
@@ -111,6 +117,23 @@ def _suite_cell(
     )
 
 
+def _suite_cell_task(
+    abbr: str,
+    scale: str,
+    config: GPUConfig,
+    arch_names: Tuple[str, ...],
+    verify: bool,
+    cache,
+) -> Tuple[WorkloadResult, dict]:
+    """Worker wrapper around :func:`_suite_cell`: reset the (possibly
+    fork-inherited) observability state, run the cell, and ship the
+    metric/span deltas back with the result so the parent's totals match
+    a serial run exactly."""
+    obs.reset()
+    result = _suite_cell(abbr, scale, config, arch_names, verify, cache)
+    return result, obs.snapshot_and_reset()
+
+
 def _run_suite_parallel(
     abbrs: Sequence[str],
     scale: str,
@@ -122,27 +145,36 @@ def _run_suite_parallel(
 ) -> Dict[str, WorkloadResult]:
     """Fan cells out; any cell missing from the returned dict (pool
     breakage, pickling failure, per-task timeout) is recomputed serially
-    by the caller."""
-    from concurrent.futures import ProcessPoolExecutor
-
+    by the caller.  A genuine bug raised inside a worker propagates
+    unchanged — no serial retry."""
     done: Dict[str, WorkloadResult] = {}
     timeout = task_timeout()
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(abbrs)))
+    try:
+        pool = make_pool(min(jobs, len(abbrs)))
+    except PoolSetupError as exc:
+        record_demotion("suite", exc)
+        return done
     try:
         futures = {
             abbr: pool.submit(
-                _suite_cell, abbr, scale, config, arch_names, verify,
-                tcache,
+                _suite_cell_task, abbr, scale, config, arch_names,
+                verify, tcache,
             )
             for abbr in abbrs
         }
         for abbr in abbrs:
             try:
-                done[abbr] = futures[abbr].result(timeout=timeout)
-            except TimeoutError:
+                result, blob = futures[abbr].result(timeout=timeout)
+            except TimeoutError as exc:
                 futures[abbr].cancel()
-    except PARALLEL_FALLBACK_ERRORS:
-        pass  # remaining cells run serially in the caller
+                record_demotion("suite-cell", exc, abbr=abbr)
+                continue
+            obs.merge(blob)
+            done[abbr] = result
+    except Exception as exc:
+        if not is_parallel_fallback(exc):
+            raise
+        record_demotion("suite", exc)  # rest runs serially in caller
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return done
@@ -169,7 +201,7 @@ def fig4_ideal_machines(suite: SuiteResults) -> Table:
             sums[arch].append(red)
             cells.append(percent(red))
         table.add_row(abbr, *cells)
-    table.add_row(
+    table.set_summary(
         "AVG", *[percent(mean(sums[a])) for a in IDEAL_ARCHES]
     )
     return table
@@ -193,7 +225,7 @@ def fig12_instruction_reduction(suite: SuiteResults) -> Table:
             sums[arch].append(red)
             cells.append(percent(red))
         table.add_row(abbr, *cells)
-    table.add_row(
+    table.set_summary(
         "AVG", *[percent(mean(sums[a])) for a in COMPARISON_ARCHES]
     )
     return table
@@ -217,7 +249,7 @@ def fig13_speedup(suite: SuiteResults) -> Table:
             sums[arch].append(s)
             cells.append(f"{s:.3f}x")
         table.add_row(abbr, *cells)
-    table.add_row(
+    table.set_summary(
         "GEOMEAN", *[f"{geomean(sums[a]):.3f}x" for a in COMPARISON_ARCHES]
     )
     return table
@@ -250,7 +282,7 @@ def fig14_instruction_breakdown(suite: SuiteResults) -> Table:
             f"{r.linear_block_instructions / base:.4f}",
             percent(frac),
         )
-    table.add_row("AVG", "", "", "", "", percent(mean(fracs)))
+    table.set_summary("AVG", "", "", "", "", percent(mean(fracs)))
     return table
 
 
@@ -275,7 +307,7 @@ def fig15_cycle_breakdown(suite: SuiteResults) -> Table:
         table.add_row(
             abbr, r.cycles, round(per_sm_linear), percent(frac)
         )
-    table.add_row("AVG", "", "", percent(mean(fracs)))
+    table.set_summary("AVG", "", "", percent(mean(fracs)))
     return table
 
 
@@ -297,7 +329,7 @@ def fig16_energy(suite: SuiteResults) -> Table:
             sums[arch].append(red)
             cells.append(percent(red))
         table.add_row(abbr, *cells)
-    table.add_row(
+    table.set_summary(
         "AVG", *[percent(mean(sums[a])) for a in COMPARISON_ARCHES]
     )
     return table

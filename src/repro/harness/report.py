@@ -7,35 +7,68 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def geomean(values: Iterable[float]) -> float:
-    vals = [max(v, 1e-12) for v in values]
+    """Geometric mean.
+
+    Negative inputs raise (a negative speedup/ratio is always an
+    upstream bug — clamping it to a tiny positive number would mask it
+    as a plausible-looking result); an empty sequence returns ``NaN``
+    (rendered ``n/a`` by :class:`Table`), never a fake ``0.0``; any
+    exact zero makes the mean zero.
+    """
+    vals = list(values)
     if not vals:
+        return math.nan
+    for v in vals:
+        if v < 0:
+            raise ValueError(
+                f"geomean of a negative value ({v!r}); inputs must be "
+                ">= 0"
+            )
+    if any(v == 0 for v in vals):
         return 0.0
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 def mean(values: Iterable[float]) -> float:
     vals = list(values)
-    return sum(vals) / len(vals) if vals else 0.0
+    return sum(vals) / len(vals) if vals else math.nan
 
 
 class Table:
-    """A simple aligned-column table with an optional summary row."""
+    """A simple aligned-column table with an optional summary row.
+
+    The summary row (:meth:`set_summary`) renders below a second
+    separator — the suite figures put their AVG/GEOMEAN rows there so
+    per-app rows and the aggregate are visually and programmatically
+    distinct (``table.rows`` holds only the per-app rows).
+    """
 
     def __init__(self, title: str, columns: Sequence[str]) -> None:
         self.title = title
         self.columns = list(columns)
         self.rows: List[List[str]] = []
+        self.summary: Optional[List[str]] = None
 
     def add_row(self, *cells: object) -> None:
+        self.rows.append(self._cells(cells))
+
+    def set_summary(self, *cells: object) -> None:
+        """Set the summary row (same arity as the data rows)."""
+        self.summary = self._cells(cells)
+
+    def _cells(self, cells: Sequence[object]) -> List[str]:
         if len(cells) != len(self.columns):
             raise ValueError(
                 f"expected {len(self.columns)} cells, got {len(cells)}"
             )
-        self.rows.append([_fmt(c) for c in cells])
+        return [_fmt(c) for c in cells]
 
     def render(self) -> str:
+        all_rows = self.rows + (
+            [self.summary] if self.summary is not None else []
+        )
         widths = [len(c) for c in self.columns]
-        for row in self.rows:
+        for row in all_rows:
             for i, cell in enumerate(row):
                 widths[i] = max(widths[i], len(cell))
         lines = [self.title, "=" * len(self.title)]
@@ -44,11 +77,18 @@ class Table:
         )
         lines.append(header)
         lines.append("-" * len(header))
-        for row in self.rows:
-            lines.append(
-                "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
-                          for i, cell in enumerate(row))
+
+        def fmt_row(row: List[str]) -> str:
+            return "  ".join(
+                cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
             )
+
+        for row in self.rows:
+            lines.append(fmt_row(row))
+        if self.summary is not None:
+            lines.append("-" * len(header))
+            lines.append(fmt_row(self.summary))
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
@@ -57,9 +97,117 @@ class Table:
 
 def _fmt(value: object) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
         return f"{value:.3f}"
     return str(value)
 
 
 def percent(value: float) -> str:
+    if math.isnan(value):
+        return "n/a"
     return f"{100.0 * value:.1f}%"
+
+
+# ----------------------------------------------------------------------
+# Observability summary (``python -m repro profile`` / ``--metrics-out``)
+# ----------------------------------------------------------------------
+def obs_phase_table(snapshot: Dict[str, object]) -> Table:
+    """Per-phase wall-time table from a snapshot's span trees.
+
+    Nested phases indent under their parent; ``share`` is each node's
+    share of the total wall-time of all top-level spans.
+    """
+    spans: List[dict] = list(snapshot.get("spans") or [])
+    total = sum(float(s.get("total_s", 0.0)) for s in spans) or math.nan
+    table = Table(
+        "Phase profile", ["phase", "count", "total_s", "share"]
+    )
+
+    def walk(node: dict, depth: int) -> None:
+        t = float(node.get("total_s", 0.0))
+        table.add_row(
+            "  " * depth + str(node.get("name", "?")),
+            int(node.get("count", 0)),
+            f"{t:.4f}",
+            percent(t / total),
+        )
+        for child in node.get("children") or ():
+            walk(child, depth + 1)
+
+    for span in spans:
+        walk(span, 0)
+    return table
+
+
+def obs_kernel_table(snapshot: Dict[str, object]) -> Table:
+    """Per-kernel fast-path counters (dedup replay, block-trace
+    extrapolation) from a snapshot's flattened counter keys."""
+    from ..obs import parse_key
+
+    counters: Dict[str, float] = dict(snapshot.get("counters") or {})
+    per_kernel: Dict[str, Dict[str, float]] = {}
+    reasons: Dict[str, str] = {}
+    for flat, value in counters.items():
+        name, labels = parse_key(flat)
+        kernel = labels.get("kernel")
+        if kernel is None:
+            continue
+        bucket = per_kernel.setdefault(kernel, {})
+        bucket[name] = bucket.get(name, 0) + value
+        if name in ("extrapolate.ineligible", "extrapolate.bailed"):
+            reasons[kernel] = labels.get("reason", reasons.get(kernel, ""))
+
+    table = Table(
+        "Per-kernel fast-path counters",
+        ["kernel", "dedup_sms", "cloned", "xblocks", "xtotal",
+         "fallback"],
+    )
+    for kernel in sorted(per_kernel):
+        c = per_kernel[kernel]
+        table.add_row(
+            kernel[:28],
+            int(c.get("dedup.sms.simulated", 0)),
+            int(c.get("dedup.sms.cloned", 0)),
+            int(c.get("extrapolate.blocks_extrapolated", 0)),
+            int(c.get("extrapolate.blocks_total", 0)),
+            reasons.get(kernel, ""),
+        )
+    return table
+
+
+#: Headline totals surfaced under the tables; (label, counter name).
+_HEADLINE_COUNTERS = (
+    ("trace-cache hits", "cache.hit"),
+    ("trace-cache misses", "cache.miss"),
+    ("trace-cache bytes read", "cache.bytes_read"),
+    ("trace-cache bytes written", "cache.bytes_written"),
+    ("parallel demotions", "parallel.demotions"),
+    ("invalid R2D2_JOBS values", "parallel.invalid_jobs"),
+    ("oracle violations", "oracle.violations"),
+)
+
+
+def obs_summary(snapshot: Dict[str, object]) -> str:
+    """The full observability summary section: phase profile, per-kernel
+    counters, and headline totals."""
+    from ..obs import parse_key
+
+    counters: Dict[str, float] = dict(snapshot.get("counters") or {})
+    totals: Dict[str, float] = {}
+    for flat, value in counters.items():
+        name, _ = parse_key(flat)
+        totals[name] = totals.get(name, 0) + value
+
+    parts = [obs_phase_table(snapshot).render(), ""]
+    kernels = obs_kernel_table(snapshot)
+    if kernels.rows:
+        parts += [kernels.render(), ""]
+    lines = [
+        f"  {label:<26}: {int(totals[name])}"
+        for label, name in _HEADLINE_COUNTERS
+        if name in totals
+    ]
+    if lines:
+        parts += ["Run counters", "------------"] + lines
+    return "\n".join(parts).rstrip()

@@ -15,7 +15,7 @@ For one workload the runner
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,8 +30,11 @@ from ..arch import (
     IdealWP,
     R2D2Arch,
 )
+from .. import obs
 from ..perf import (
-    PARALLEL_FALLBACK_ERRORS,
+    is_parallel_fallback,
+    make_pool,
+    record_demotion,
     resolve_cache,
     resolve_jobs,
     task_timeout,
@@ -136,10 +139,35 @@ def run_workload(
     jobs = resolve_jobs(jobs)
     tcache = resolve_cache(cache)
 
+    with obs.span("workload"):
+        result = _run_workload_phases(
+            factory, config, arch_names, r2d2_kwargs, verify, jobs,
+            tcache,
+        )
+    obs.event(
+        "workload.done",
+        abbr=result.abbr,
+        scale=result.scale,
+        arches=list(result.stats),
+        verified=result.verified,
+    )
+    return result
+
+
+def _run_workload_phases(
+    factory: WorkloadFactory,
+    config: GPUConfig,
+    arch_names: Sequence[str],
+    r2d2_kwargs: dict,
+    verify: bool,
+    jobs: int,
+    tcache,
+) -> WorkloadResult:
     # ------------------------------------------------------------ 1+2
-    workload = factory()
-    device = Device(config)
-    launches = workload.prepare(device)
+    with obs.span("prepare"):
+        workload = factory()
+        device = Device(config)
+        launches = workload.prepare(device)
 
     result_key = trace_key = None
     if tcache is not None:
@@ -150,6 +178,7 @@ def run_workload(
             )
             trace_key = functional_trace_key(workload, launches, config)
         except UnhashableKeyPart:
+            obs.inc("cache.unhashable", abbr=workload.abbr)
             tcache = None
         else:
             hit = tcache.get("result", result_key)
@@ -162,14 +191,18 @@ def run_workload(
         # functional execution cannot be skipped for them.
         traces = tcache.get("trace", trace_key)
     if traces is None:
-        traces = [
-            device.launch(spec.kernel, spec.grid, spec.block, spec.args)
-            for spec in launches
-        ]
+        with obs.span("execute"):
+            traces = [
+                device.launch(
+                    spec.kernel, spec.grid, spec.block, spec.args
+                )
+                for spec in launches
+            ]
         if tcache is not None:
             tcache.put("trace", trace_key, traces)
     if verify:
-        workload.check(device)
+        with obs.span("verify"):
+            workload.check(device)
 
     result = WorkloadResult(abbr=workload.abbr, scale=workload.scale)
     result.verified = verify
@@ -180,41 +213,46 @@ def run_workload(
             result.extrapolation.append(report.to_dict())
 
     trace_arches = [n for n in arch_names if n != "r2d2"]
-    stats_by_name = _trace_arch_stats(traces, config, trace_arches, jobs)
+    with obs.span("analyze"):
+        stats_by_name = _trace_arch_stats(
+            traces, config, trace_arches, jobs
+        )
     for name in trace_arches:
         result.stats[name] = stats_by_name[name]
 
     # ------------------------------------------------------------ 3
     if "r2d2" in arch_names:
-        r2d2 = make_architecture("r2d2", **r2d2_kwargs)
-        workload2 = factory()
-        device2 = Device(config)
-        launches2 = workload2.prepare(device2)
-        stats = r2d2.make_stats()
-        l2 = Cache(config.l2)
-        for spec in launches2:
-            r2d2.execute_launch(
-                device2,
-                spec.kernel,
-                spec.grid,
-                spec.block,
-                spec.args,
-                config,
-                stats,
-                l2=l2,
-            )
-        if verify:
-            result.outputs_identical = _outputs_match(
-                workload, device, workload2, device2
-            )
-            # The baseline outputs already passed the numpy reference
-            # check in step 1, so bit-identical R2D2 outputs are correct
-            # by transitivity and the second (expensive) reference check
-            # only runs to diagnose an actual mismatch.
-            if not (result.outputs_identical
-                    and workload2.output_buffers()):
-                workload2.check(device2)
-        result.stats["r2d2"] = stats
+        with obs.span("r2d2"):
+            r2d2 = make_architecture("r2d2", **r2d2_kwargs)
+            workload2 = factory()
+            device2 = Device(config)
+            launches2 = workload2.prepare(device2)
+            stats = r2d2.make_stats()
+            l2 = Cache(config.l2)
+            for spec in launches2:
+                r2d2.execute_launch(
+                    device2,
+                    spec.kernel,
+                    spec.grid,
+                    spec.block,
+                    spec.args,
+                    config,
+                    stats,
+                    l2=l2,
+                )
+            if verify:
+                result.outputs_identical = _outputs_match(
+                    workload, device, workload2, device2
+                )
+                # The baseline outputs already passed the numpy
+                # reference check in step 1, so bit-identical R2D2
+                # outputs are correct by transitivity and the second
+                # (expensive) reference check only runs to diagnose an
+                # actual mismatch.
+                if not (result.outputs_identical
+                        and workload2.output_buffers()):
+                    workload2.check(device2)
+            result.stats["r2d2"] = stats
 
     if tcache is not None and result_key is not None:
         tcache.put("result", result_key, result)
@@ -232,33 +270,52 @@ def _trace_arch_cell(traces, config: GPUConfig, name: str) -> ArchStats:
     return stats
 
 
+def _trace_arch_cell_task(
+    traces, config: GPUConfig, name: str
+) -> Tuple[ArchStats, dict]:
+    """Worker wrapper: compute one cell and ship the worker's metric
+    deltas (dedup counters etc.) back for the parent to merge.  The
+    reset drops any state inherited over ``fork`` so nothing is counted
+    twice."""
+    obs.reset()
+    stats = _trace_arch_cell(traces, config, name)
+    return stats, obs.snapshot_and_reset()
+
+
 def _trace_arch_stats(
     traces, config: GPUConfig, names: Sequence[str], jobs: int
 ) -> Dict[str, ArchStats]:
     if jobs > 1 and len(names) > 1:
         try:
             return _trace_arch_stats_parallel(traces, config, names, jobs)
-        except PARALLEL_FALLBACK_ERRORS:
-            pass  # recompute serially; real worker bugs re-raise below
+        except Exception as exc:
+            # Only pool-infrastructure failures demote to the serial
+            # recompute below; a real worker bug re-raises immediately
+            # instead of doubling wall time on a doomed retry.
+            if not is_parallel_fallback(exc):
+                raise
+            record_demotion("trace-arch", exc)
     return {name: _trace_arch_cell(traces, config, name) for name in names}
 
 
 def _trace_arch_stats_parallel(
     traces, config: GPUConfig, names: Sequence[str], jobs: int
 ) -> Dict[str, ArchStats]:
-    from concurrent.futures import ProcessPoolExecutor
-
     timeout = task_timeout()
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(names)))
+    pool = make_pool(min(jobs, len(names)))
     try:
         futures = {
-            name: pool.submit(_trace_arch_cell, traces, config, name)
+            name: pool.submit(_trace_arch_cell_task, traces, config, name)
             for name in names
         }
         # Collect in submission order: the merge is deterministic no
         # matter which worker finishes first.
-        return {name: futures[name].result(timeout=timeout)
-                for name in names}
+        out: Dict[str, ArchStats] = {}
+        for name in names:
+            stats, blob = futures[name].result(timeout=timeout)
+            obs.merge(blob)
+            out[name] = stats
+        return out
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 

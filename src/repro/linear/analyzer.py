@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from collections import OrderedDict
 
+from .. import obs
 from ..isa.cfg import ControlFlowGraph
 from ..isa.instruction import Instruction
 from ..isa.kernel import Kernel
@@ -186,6 +187,16 @@ def analyze_kernel(kernel: Kernel) -> AnalysisResult:
 
     _retract_demoted_promotions(result)
     _collect_boundary_uses(result, pc_in_loop)
+
+    obs.inc("analyzer.kernels", kernel=kernel.name)
+    obs.inc(
+        "analyzer.linear_pcs", len(result.vec_by_pc),
+        kernel=kernel.name,
+    )
+    obs.inc(
+        "analyzer.uniform_updates", len(result.uniform_updates),
+        kernel=kernel.name,
+    )
     return result
 
 

@@ -1,0 +1,121 @@
+"""Run-level observability: phase profiler, metric registry, exporters.
+
+A zero-dependency (stdlib-only) subsystem the rest of the pipeline
+reports into.  Three pieces:
+
+- **Spans** (:mod:`repro.obs.profiler`) — ``with obs.span("analyze"):``
+  times hierarchical phases; repeated entries aggregate, so the tree
+  stays small over thousands of launches.
+- **Counters/gauges** (:mod:`repro.obs.registry`) —
+  ``obs.inc("dedup.sms.cloned", 3, kernel=name)`` records typed,
+  labelled metrics (dedup replay ratios, extrapolation fallback
+  reasons, trace-cache hits, parallel-runner demotions, ...).
+- **Exporters** (:mod:`repro.obs.export`) — ``R2D2_TRACE_LOG`` appends
+  JSON-lines events; :func:`write_metrics` backs the harness
+  ``--metrics-out run.json`` flag; ``python -m repro profile`` renders
+  the same snapshot as tables.
+
+Process-pool boundary: worker tasks call :func:`reset` on entry, do
+their work, and ship :func:`snapshot_and_reset` back with their result;
+the parent calls :func:`merge`.  Counters sum, gauges last-write-win,
+and span trees graft in at the parent's current span — so a parallel
+run reports the same counter totals (and the same profile shape) as a
+serial one.
+
+The module-level registry is intentionally global: observability is a
+property of the *run*, and threading a handle through every subsystem
+would recreate the plumbing this module exists to avoid.  Callers that
+need isolation (tests, the profile CLI) bracket their work with
+``reset()`` / ``snapshot()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .export import (
+    ENV_TRACE_LOG,
+    EXPORT_SCHEMA,
+    event,
+    load_metrics,
+    trace_log_path,
+)
+from .export import write_metrics as _write_metrics
+from .profiler import SpanNode, SpanProfiler
+from .registry import MetricsRegistry, flatten_key, parse_key
+
+#: The process-wide registry and profiler every subsystem reports into.
+METRICS = MetricsRegistry()
+PROFILER = SpanProfiler()
+
+# -- convenience facade over the globals --------------------------------
+inc = METRICS.inc
+gauge_set = METRICS.gauge_set
+counter_value = METRICS.counter_value
+counter_total = METRICS.counter_total
+span = PROFILER.span
+
+
+def snapshot() -> Dict[str, object]:
+    """The current counters, gauges, and span trees (JSON-ready)."""
+    return {
+        "counters": METRICS.counters(),
+        "gauges": METRICS.gauges(),
+        "spans": PROFILER.tree(),
+    }
+
+
+def snapshot_and_reset() -> Dict[str, object]:
+    """Snapshot then clear — worker tasks ship the result back with
+    their payload so the parent can :func:`merge` it."""
+    blob = snapshot()
+    reset()
+    return blob
+
+
+def merge(blob: Optional[Dict[str, object]]) -> None:
+    """Fold a snapshot from another process into this one."""
+    if not blob:
+        return
+    METRICS.merge_flat(
+        blob.get("counters") or {}, blob.get("gauges") or {}
+    )
+    PROFILER.merge_tree(blob.get("spans") or [])
+
+
+def reset() -> None:
+    """Clear every counter, gauge, and span (between runs, not
+    mid-span)."""
+    METRICS.reset()
+    PROFILER.reset()
+
+
+def write_metrics(path, meta: Optional[Dict[str, object]] = None) -> None:
+    """Export the current snapshot as a ``run.json`` document."""
+    _write_metrics(path, snapshot(), meta=meta)
+
+
+__all__ = [
+    "ENV_TRACE_LOG",
+    "EXPORT_SCHEMA",
+    "METRICS",
+    "MetricsRegistry",
+    "PROFILER",
+    "SpanNode",
+    "SpanProfiler",
+    "counter_total",
+    "counter_value",
+    "event",
+    "flatten_key",
+    "gauge_set",
+    "inc",
+    "load_metrics",
+    "merge",
+    "parse_key",
+    "reset",
+    "snapshot",
+    "snapshot_and_reset",
+    "span",
+    "trace_log_path",
+    "write_metrics",
+]

@@ -1,0 +1,103 @@
+"""Exporters: the JSON-lines event log and the metrics JSON file.
+
+Event log — set ``R2D2_TRACE_LOG=/path/to/log.jsonl`` and every
+:func:`event` call appends one JSON object per line (``ts``/``pid``/
+``event`` plus the caller's fields).  Writes go through an ``O_APPEND``
+file descriptor with one ``os.write`` per event, so concurrent
+``--jobs`` workers (which inherit the env var) can safely share a log
+file.  Unset, :func:`event` is a no-op costing one dict lookup.
+Observability must never break the run: I/O errors are swallowed.
+
+Metrics JSON — :func:`write_metrics` dumps a snapshot (counters, gauges,
+span trees, plus caller metadata) as one JSON document; this backs the
+harness ``--metrics-out run.json`` flag.  :func:`load_metrics` is the
+inverse.  See docs/OBSERVABILITY.md for both formats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+ENV_TRACE_LOG = "R2D2_TRACE_LOG"
+
+#: Version of the ``run.json`` / event-log shapes.
+EXPORT_SCHEMA = 1
+
+_fd: Optional[int] = None
+_fd_path: Optional[str] = None
+_fd_pid: Optional[int] = None
+
+
+def _event_fd(path: str) -> Optional[int]:
+    """A cached append-mode fd for ``path``; reopened after fork or when
+    the target path changes."""
+    global _fd, _fd_path, _fd_pid
+    pid = os.getpid()
+    if _fd is not None and _fd_path == path and _fd_pid == pid:
+        return _fd
+    if _fd is not None and _fd_pid == pid:
+        try:
+            os.close(_fd)
+        except OSError:
+            pass
+    try:
+        _fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    except OSError:
+        _fd = None
+    _fd_path = path
+    _fd_pid = pid
+    return _fd
+
+
+def trace_log_path() -> Optional[str]:
+    path = os.environ.get(ENV_TRACE_LOG, "").strip()
+    return path or None
+
+
+def event(name: str, **fields: object) -> None:
+    """Append one event to the ``R2D2_TRACE_LOG`` file (no-op when the
+    env var is unset)."""
+    path = trace_log_path()
+    if path is None:
+        return
+    record = {"ts": time.time(), "pid": os.getpid(), "event": name}
+    record.update(fields)
+    try:
+        line = json.dumps(record, default=str) + "\n"
+    except (TypeError, ValueError):
+        return
+    fd = _event_fd(path)
+    if fd is None:
+        return
+    try:
+        os.write(fd, line.encode("utf-8"))
+    except OSError:
+        pass
+
+
+def write_metrics(
+    path: os.PathLike,
+    snapshot: Dict[str, object],
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a metrics snapshot as a single JSON document."""
+    doc = {
+        "schema": EXPORT_SCHEMA,
+        "generated_at": time.time(),
+        "meta": dict(meta or {}),
+        "counters": snapshot.get("counters", {}),
+        "gauges": snapshot.get("gauges", {}),
+        "spans": snapshot.get("spans", []),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False, default=str)
+        fh.write("\n")
+
+
+def load_metrics(path: os.PathLike) -> Dict[str, object]:
+    """Read a document written by :func:`write_metrics`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,111 @@
+"""Hierarchical phase profiler.
+
+``span("analyze")`` opens a named phase; spans nest, and repeated
+entries of the same name under the same parent accumulate into one node
+(count + total seconds), so the tree stays bounded no matter how many
+launches a run replays.  Each thread keeps its own cursor into a shared
+tree; worker processes serialize their trees (:meth:`SpanProfiler.tree`)
+and the parent grafts them back in at its current cursor position
+(:meth:`SpanProfiler.merge_tree`), so a parallel run's profile has the
+same shape as a serial one — only the wall-times differ.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class SpanNode:
+    """One aggregated phase: entry count, total seconds, children."""
+
+    __slots__ = ("name", "count", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "children": [
+                c.to_dict() for c in self.children.values()
+            ],
+        }
+
+    def merge_dict(self, blob: dict) -> None:
+        """Fold a serialized node of the same name into this one."""
+        self.count += int(blob.get("count", 0))
+        self.total_s += float(blob.get("total_s", 0.0))
+        for cblob in blob.get("children", ()):
+            self.child(str(cblob["name"])).merge_dict(cblob)
+
+
+class SpanProfiler:
+    """Shared span tree with per-thread cursors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._root = SpanNode("<root>")
+        self._local = threading.local()
+
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [self._root]
+        return stack
+
+    @contextmanager
+    def span(self, name: str):
+        stack = self._stack()
+        with self._lock:
+            node = stack[-1].child(name)
+        stack.append(node)
+        t0 = time.perf_counter()
+        try:
+            yield node
+        finally:
+            dt = time.perf_counter() - t0
+            stack.pop()
+            with self._lock:
+                node.count += 1
+                node.total_s += dt
+
+    def current(self) -> SpanNode:
+        """The calling thread's innermost open span (or the root)."""
+        return self._stack()[-1]
+
+    # -- snapshot / merge ----------------------------------------------
+    def tree(self) -> List[dict]:
+        """Serialized top-level spans (children of the root)."""
+        with self._lock:
+            return [c.to_dict() for c in self._root.children.values()]
+
+    def merge_tree(
+        self, trees: List[dict], at: Optional[SpanNode] = None
+    ) -> None:
+        """Graft serialized spans in under ``at`` (default: the calling
+        thread's current span), summing into same-named nodes."""
+        anchor = at if at is not None else self.current()
+        with self._lock:
+            for blob in trees or ():
+                anchor.child(str(blob["name"])).merge_dict(blob)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._root = SpanNode("<root>")
+        # Every thread's cursor must restart at the new root; dropping
+        # the whole thread-local namespace does that lazily.
+        self._local = threading.local()

@@ -1,0 +1,126 @@
+"""Typed counter/gauge registry.
+
+Metrics are identified by a name plus an optional set of string labels
+(``inc("dedup.sms.cloned", 3, kernel="bp_adjust")``).  Counters are
+monotonically non-decreasing and merge across processes by summation;
+gauges record the last value set and merge last-write-wins.  Flattened
+keys use a Prometheus-like form — ``name{k=v,k2=v2}`` with labels sorted
+by key — so snapshots round-trip through JSON without a nested schema.
+
+Everything here is stdlib-only and thread-safe; the registry is cheap
+enough to update from per-launch (not per-instruction) code paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple, Union
+
+Number = Union[int, float]
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def flatten_key(
+    name: str, labels: Union[LabelKey, Dict[str, object]]
+) -> str:
+    """``("a", (("k","v"),))`` or ``("a", {"k": "v"})`` -> ``a{k=v}``."""
+    if isinstance(labels, dict):
+        labels = _label_key(labels)
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(flat: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`flatten_key` (labels as a plain dict)."""
+    if not flat.endswith("}") or "{" not in flat:
+        return flat, {}
+    name, _, inner = flat[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner.split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+class MetricsRegistry:
+    """Thread-safe counters and gauges, mergeable across processes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelKey], Number] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Number] = {}
+
+    # -- writes ---------------------------------------------------------
+    def inc(self, name: str, value: Number = 1, **labels: object) -> None:
+        """Add ``value`` (>= 0) to a counter, creating it at 0."""
+        if value < 0:
+            raise ValueError(
+                f"counter {name!r} increment must be >= 0, got {value}"
+            )
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge_set(self, name: str, value: Number, **labels: object) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = value
+
+    # -- reads ----------------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> Number:
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0)
+
+    def counter_total(self, name: str) -> Number:
+        """Sum of a counter over every label combination."""
+        with self._lock:
+            return sum(
+                v for (n, _), v in self._counters.items() if n == name
+            )
+
+    def counters(self) -> Dict[str, Number]:
+        """Flat-key snapshot, deterministically ordered."""
+        with self._lock:
+            items = [
+                (flatten_key(n, ls), v)
+                for (n, ls), v in self._counters.items()
+            ]
+        return dict(sorted(items))
+
+    def gauges(self) -> Dict[str, Number]:
+        with self._lock:
+            items = [
+                (flatten_key(n, ls), v)
+                for (n, ls), v in self._gauges.items()
+            ]
+        return dict(sorted(items))
+
+    # -- lifecycle ------------------------------------------------------
+    def merge_flat(
+        self,
+        counters: Dict[str, Number],
+        gauges: Dict[str, Number],
+    ) -> None:
+        """Fold a flat-key snapshot (e.g. from a worker process) in:
+        counters sum, gauges last-write-wins."""
+        with self._lock:
+            for flat, value in counters.items():
+                name, labels = parse_key(flat)
+                key = (name, _label_key(labels))
+                self._counters[key] = self._counters.get(key, 0) + value
+            for flat, value in gauges.items():
+                name, labels = parse_key(flat)
+                self._gauges[(name, _label_key(labels))] = value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()

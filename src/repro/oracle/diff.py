@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..arch.r2d2 import R2D2Arch, _R2D2Policy
 from ..isa.kernel import Dim3, Kernel, LaunchConfig
 from ..isa.validate import collect_errors
@@ -138,7 +139,27 @@ def check_spec(
     config: Optional[GPUConfig] = None,
     max_violations: int = 8,
 ) -> OracleReport:
-    """Run every oracle check over one spec."""
+    """Run every oracle check over one spec, recording the outcome in
+    the observability registry (``oracle.specs`` / ``oracle.violations``
+    by kind) and event log."""
+    report = _check_spec(spec, config, max_violations)
+    obs.inc("oracle.specs")
+    for v in report.violations:
+        obs.inc("oracle.violations", kind=v.kind)
+        obs.event(
+            "oracle.violation",
+            spec=report.name,
+            kind=v.kind,
+            detail=v.detail,
+        )
+    return report
+
+
+def _check_spec(
+    spec: Dict,
+    config: Optional[GPUConfig],
+    max_violations: int,
+) -> OracleReport:
     config = config or tiny()
     report = OracleReport(name=spec.get("name", "<anon>"))
     vio = report.violations

@@ -11,7 +11,16 @@ toward the paper's TITAN-V configuration (see docs/PERFORMANCE.md):
   result cache (``R2D2_CACHE`` / ``R2D2_CACHE_DIR``).
 """
 
-from .parallel import PARALLEL_FALLBACK_ERRORS, resolve_jobs, task_timeout
+from .parallel import (
+    PARALLEL_FALLBACK_ERRORS,
+    PoolSetupError,
+    fallback_reason,
+    is_parallel_fallback,
+    make_pool,
+    record_demotion,
+    resolve_jobs,
+    task_timeout,
+)
 from .trace_cache import (
     SCHEMA_VERSION,
     TraceCache,
@@ -24,11 +33,16 @@ from .trace_cache import (
 
 __all__ = [
     "PARALLEL_FALLBACK_ERRORS",
+    "PoolSetupError",
     "SCHEMA_VERSION",
     "TraceCache",
     "cache_from_env",
     "default_cache_dir",
+    "fallback_reason",
     "functional_trace_key",
+    "is_parallel_fallback",
+    "make_pool",
+    "record_demotion",
     "resolve_cache",
     "resolve_jobs",
     "task_timeout",

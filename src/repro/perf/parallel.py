@@ -6,42 +6,143 @@ left ``None`` the ``R2D2_JOBS`` environment variable decides (the CLI
 execution, which is also the fallback whenever a process pool cannot be
 used — e.g. the workload factory closes over unpicklable state, or the
 pool dies — so CI on one core behaves identically to a parallel run.
+
+Demotion policy: only *pool-infrastructure* failures (pickling, pool
+breakage, per-task timeouts, pool start-up) may demote a parallel run to
+the serial path.  A genuine bug raised inside a worker — an
+``AttributeError`` from workload code, say — re-raises immediately
+instead of silently doubling the wall time with a serial re-run that
+hits the same bug.  Pickling failures surface as ``PicklingError`` but
+also as bare ``AttributeError``/``TypeError`` from the pickle machinery,
+so those two types are classified by message
+(:func:`is_parallel_fallback`); ``OSError`` is only a fallback when
+raised while *starting* the pool (:func:`make_pool` tags that case as
+:class:`PoolSetupError`).  Every demotion is recorded in the
+observability registry (``parallel.demotions``) and the event log.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional
+from typing import Optional, Set
 
-#: Errors that demote a parallel run to the serial path instead of
-#: aborting it.  Exceptions raised *inside* a worker that are not of
-#: these types (i.e. real workload/model bugs) re-raise unchanged when
-#: the serial retry hits them again.
+from .. import obs
+
+
+class PoolSetupError(RuntimeError):
+    """The process pool could not be started at all (fd/process limits,
+    missing /dev/shm, ...) — an infrastructure problem, so the run
+    demotes to serial instead of failing."""
+
+
+#: Pool-infrastructure errors that demote a parallel run to the serial
+#: path instead of aborting it.  Exceptions raised *inside* a worker
+#: that are not of these types (i.e. real workload/model bugs) re-raise
+#: unchanged, without a serial retry.  Bare ``AttributeError`` /
+#: ``TypeError`` are deliberately absent: use
+#: :func:`is_parallel_fallback`, which admits them only when the message
+#: identifies the pickle machinery.
 PARALLEL_FALLBACK_ERRORS = (
     pickle.PicklingError,
     BrokenProcessPool,
     TimeoutError,
-    AttributeError,
-    TypeError,
-    OSError,
+    PoolSetupError,
 )
+
+#: Message fragments that identify pickling failures surfaced as bare
+#: ``AttributeError``/``TypeError`` (CPython wording): local/lambda
+#: objects, unpicklable types, and worker-side lookup failures.
+_PICKLE_HINTS = ("pickle", "can't get attribute", "can't get local")
+
+
+def is_parallel_fallback(exc: BaseException) -> bool:
+    """True iff ``exc`` is a pool-infrastructure failure that should
+    demote the run to the serial path (rather than a real bug that must
+    propagate)."""
+    if isinstance(exc, PARALLEL_FALLBACK_ERRORS):
+        return True
+    if isinstance(exc, (AttributeError, TypeError)):
+        msg = str(exc).lower()
+        return any(hint in msg for hint in _PICKLE_HINTS)
+    return False
+
+
+def fallback_reason(exc: BaseException) -> str:
+    """Machine-readable slug for a demotion's cause."""
+    if isinstance(exc, PoolSetupError):
+        return "pool-setup"
+    if isinstance(exc, BrokenProcessPool):
+        return "broken-pool"
+    if isinstance(exc, TimeoutError):
+        return "task-timeout"
+    if isinstance(exc, pickle.PicklingError) or isinstance(
+        exc, (AttributeError, TypeError)
+    ):
+        return "unpicklable"
+    return type(exc).__name__.lower()
+
+
+def record_demotion(site: str, exc: BaseException, **fields: object) -> None:
+    """Count one parallel→serial demotion and log it to the event log."""
+    reason = fallback_reason(exc)
+    obs.inc("parallel.demotions", site=site, reason=reason)
+    obs.event(
+        "parallel.demotion",
+        site=site,
+        reason=reason,
+        error=f"{type(exc).__name__}: {exc}",
+        **fields,
+    )
+
+
+def make_pool(max_workers: int):
+    """A ``ProcessPoolExecutor``, with start-up failures tagged as
+    :class:`PoolSetupError` so callers can tell infrastructure from
+    worker bugs."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        return ProcessPoolExecutor(max_workers=max_workers)
+    except OSError as exc:
+        raise PoolSetupError(f"cannot start process pool: {exc}") from exc
+
+
+_warned_jobs: Set[str] = set()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Effective worker count: explicit argument, else ``R2D2_JOBS``,
-    else 1 (serial)."""
+    else 1 (serial).  An unparsable ``R2D2_JOBS`` degrades to serial
+    with a one-time warning (counted as ``parallel.invalid_jobs`` and
+    logged to the event log) instead of being silently swallowed."""
     if jobs is None:
         env = os.environ.get("R2D2_JOBS", "").strip()
         if env:
             try:
                 jobs = int(env)
             except ValueError:
+                _warn_invalid_jobs(env)
                 jobs = 1
         else:
             jobs = 1
     return max(1, int(jobs))
+
+
+def _warn_invalid_jobs(value: str) -> None:
+    if value in _warned_jobs:
+        return
+    _warned_jobs.add(value)
+    obs.inc("parallel.invalid_jobs")
+    obs.event("parallel.invalid-jobs", value=value, effective=1)
+    warnings.warn(
+        f"R2D2_JOBS={value!r} is not an integer; running serially "
+        "(jobs=1)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def task_timeout() -> Optional[float]:

@@ -41,6 +41,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from .. import obs
+
 #: Bump whenever the pickled payloads or the key recipe change shape.
 SCHEMA_VERSION = 1
 
@@ -215,18 +217,22 @@ class TraceCache:
         path = self._path(namespace, key)
         try:
             with open(path, "rb") as fh:
-                obj = pickle.load(fh)
+                payload = fh.read()
+            obj = pickle.loads(payload)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             # Missing, truncated, or written by an incompatible tree:
             # treat as a miss; a fresh put will overwrite it.
             self.session_misses += 1
+            obs.inc("cache.miss", ns=namespace)
             return None
         try:
             os.utime(path)  # mark recently used for LRU eviction
         except OSError:
             pass
         self.session_hits += 1
+        obs.inc("cache.hit", ns=namespace)
+        obs.inc("cache.bytes_read", len(payload), ns=namespace)
         return obj
 
     def put(self, namespace: str, key: str, obj: Any) -> bool:
@@ -252,6 +258,8 @@ class TraceCache:
                 raise
         except OSError:
             return False
+        obs.inc("cache.put", ns=namespace)
+        obs.inc("cache.bytes_written", len(payload), ns=namespace)
         self._evict()
         return True
 

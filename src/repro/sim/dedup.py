@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from .caches import Cache, MemoryHierarchy
 from .timing import IssueMode, TimingResult, _latency_of
 from .trace import BlockTrace
@@ -411,12 +412,16 @@ def run_dedup(sim) -> Optional[TimingResult]:
 
     seen: Dict[tuple, _SMRecord] = {}
     sm_cycles: List[int] = []
+    n_cloned = n_rejected = 0
     for sm_id in range(n_sms):
         sig = sm_sigs[sm_id]
         rec = seen.get(sig)
-        if rec is not None and _try_clone(sim, rec, per_sm[sm_id], result):
-            sm_cycles.append(rec.cycles)
-            continue
+        if rec is not None:
+            if _try_clone(sim, rec, per_sm[sm_id], result):
+                n_cloned += 1
+                sm_cycles.append(rec.cycles)
+                continue
+            n_rejected += 1
         record = sig_counts[sig] > 1
         cycles, smrec = _run_sm_fast(
             sim, prep, sm_id, per_sm[sm_id], result, record
@@ -424,6 +429,17 @@ def run_dedup(sim) -> Optional[TimingResult]:
         if smrec is not None:
             seen[sig] = smrec
         sm_cycles.append(cycles)
+
+    kname = sim.kernel.name
+    obs.inc("dedup.runs", kernel=kname)
+    obs.inc("dedup.sms.simulated", n_sms - n_cloned, kernel=kname)
+    if n_cloned:
+        obs.inc("dedup.sms.cloned", n_cloned, kernel=kname)
+    if n_rejected:
+        obs.inc("dedup.clone_rejects", n_rejected, kernel=kname)
+    obs.inc(
+        "dedup.signatures", len(set(sm_sigs)), kernel=kname
+    )
 
     result.cycles = max(sm_cycles) if sm_cycles else 0
     result.l2 = sim.l2.stats

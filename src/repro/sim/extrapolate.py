@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..isa.cfg import ControlFlowGraph
 from ..isa.kernel import Kernel, LaunchConfig
 from ..isa.opcodes import Opcode
@@ -799,17 +800,24 @@ def attempt_extrapolation(host: FunctionalExecutor,
         blocks_total=grid.count,
     )
     trace.extrapolation = report
+    obs.inc("extrapolate.launches", kernel=host.kernel.name)
+    obs.inc(
+        "extrapolate.blocks_total", grid.count, kernel=host.kernel.name
+    )
     if mode == "0":
         report.reason = "disabled"
+        _count_skip(report)
         return 0
     if host.linear_values is not None:
         report.reason = "transformed-kernel"
         report.detail = "R2D2-transformed launches replay %lr/%cr state"
+        _count_skip(report)
         return 0
     min_blocks = 2 if mode == "verify" else MIN_BLOCKS
     if grid.count < min_blocks:
         report.reason = "grid-too-small"
         report.detail = f"{grid.count} < {min_blocks} blocks"
+        _count_skip(report)
         return 0
     eligible, reason, detail = check_eligibility(
         host.kernel, host.launch, host.cfg
@@ -818,7 +826,9 @@ def attempt_extrapolation(host: FunctionalExecutor,
     report.reason = reason
     report.detail = detail
     if not eligible:
+        _count_skip(report)
         return 0
+    obs.inc("extrapolate.eligible", kernel=host.kernel.name)
 
     shared_stride = (max(host.kernel.shared_mem_bytes, 16) + 127) \
         // 128 * 128
@@ -853,6 +863,18 @@ def attempt_extrapolation(host: FunctionalExecutor,
             else "execution-error"
         )
         report.detail = str(exc)
+        obs.inc(
+            "extrapolate.bailed",
+            kernel=report.kernel,
+            reason=report.reason,
+        )
+        obs.event(
+            "extrapolate.fallback",
+            kernel=report.kernel,
+            reason=report.reason,
+            detail=report.detail,
+            bailed=True,
+        )
         return 0
 
     if mode == "verify":
@@ -864,7 +886,29 @@ def attempt_extrapolation(host: FunctionalExecutor,
     host.memory.buf[:] = fork.buf
     trace.blocks.extend(blocks)
     report.blocks_extrapolated = len(blocks)
+    obs.inc(
+        "extrapolate.blocks_extrapolated", len(blocks),
+        kernel=report.kernel,
+    )
     return grid.count
+
+
+def _count_skip(report: ExtrapolationReport) -> None:
+    """Record an ineligible/skipped launch in the metric registry and
+    the event log (fallback reasons are otherwise invisible outside the
+    per-launch report dicts)."""
+    obs.inc(
+        "extrapolate.ineligible",
+        kernel=report.kernel,
+        reason=report.reason,
+    )
+    obs.event(
+        "extrapolate.fallback",
+        kernel=report.kernel,
+        reason=report.reason,
+        detail=report.detail,
+        bailed=False,
+    )
 
 
 def verify_against(host: FunctionalExecutor, trace: KernelTrace) -> None:
@@ -891,6 +935,11 @@ def verify_against(host: FunctionalExecutor, trace: KernelTrace) -> None:
     report = trace.extrapolation
     report.verified = True
     report.blocks_extrapolated = len(blocks)
+    obs.inc("extrapolate.verified", kernel=host.kernel.name)
+    obs.inc(
+        "extrapolate.blocks_extrapolated", len(blocks),
+        kernel=host.kernel.name,
+    )
 
 
 _RECORD_FIELDS = (

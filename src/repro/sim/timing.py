@@ -23,6 +23,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..isa.instruction import Instruction
 from ..isa.kernel import Kernel
 from ..isa.opcodes import DType, Opcode, SFU_OPCODES
@@ -237,6 +238,13 @@ class TimingSimulator:
             result = run_dedup(self)
             if result is not None:
                 return result
+            # The dedup engine declined (exactness preconditions not
+            # met) — make the silent fallback visible.
+            obs.inc(
+                "dedup.fallback",
+                kernel=self.kernel.name,
+                reason=f"scheduler-{self.config.scheduler_policy}",
+            )
         return self.run_reference()
 
     # ------------------------------------------------------------------

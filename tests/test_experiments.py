@@ -51,8 +51,9 @@ FIGS = [
 def test_figure_tables_well_formed(suite, fig):
     table = fig(suite)
     text = table.render()
-    # one row per app plus the summary row
-    assert len(table.rows) == len(APPS) + 1
+    # one row per app; the AVG/GEOMEAN line lives in the summary slot
+    assert len(table.rows) == len(APPS)
+    assert table.summary is not None
     for abbr in APPS:
         assert abbr in text
     assert text.count("\n") >= len(APPS) + 3
@@ -65,7 +66,12 @@ def test_fig12_rows_match_stats(suite):
     assert row[-1] == f"{100 * expected:.1f}%"
 
 
-def test_fig13_geomean_row_last(suite):
+def test_fig13_geomean_in_summary(suite):
     table = fig13_speedup(suite)
-    assert table.rows[-1][0] == "GEOMEAN"
-    assert table.rows[-1][-1].endswith("x")
+    assert table.summary is not None
+    assert table.summary[0] == "GEOMEAN"
+    assert table.summary[-1].endswith("x")
+    # the summary row renders after a second separator, below the apps
+    lines = table.render().splitlines()
+    assert lines[-1].startswith("GEOMEAN")
+    assert set(lines[-2]) == {"-"}

@@ -1,5 +1,7 @@
 """Harness tests: runner plumbing, report formatting, experiment tables."""
 
+import math
+
 import pytest
 
 from repro.harness import (
@@ -20,8 +22,15 @@ class TestReport:
     def test_geomean(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
 
-    def test_geomean_empty(self):
-        assert geomean([]) == 0.0
+    def test_geomean_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+    def test_geomean_negative_raises(self):
+        with pytest.raises(ValueError):
+            geomean([2.0, -1.0])
+
+    def test_geomean_zero(self):
+        assert geomean([0.0, 4.0]) == 0.0
 
     def test_mean(self):
         assert mean([1.0, 2.0, 3.0]) == 2.0

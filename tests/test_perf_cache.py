@@ -8,6 +8,7 @@ import pytest
 
 from repro.harness.experiments import bench_config, run_suite
 from repro.harness.runner import run_workload
+from repro.perf import parallel
 from repro.perf import (
     TraceCache,
     cache_from_env,
@@ -113,7 +114,9 @@ class TestKnobs:
         monkeypatch.setenv("R2D2_JOBS", "3")
         assert resolve_jobs(None) == 3
         monkeypatch.setenv("R2D2_JOBS", "junk")
-        assert resolve_jobs(None) == 1
+        parallel._warned_jobs.discard("junk")
+        with pytest.warns(RuntimeWarning, match="R2D2_JOBS"):
+            assert resolve_jobs(None) == 1
 
     def test_task_timeout(self, monkeypatch):
         assert task_timeout() is None
