@@ -32,6 +32,13 @@ Two independent checks, both of which must pass:
    regression gate).  ``--extrapolate-out PATH`` merge-updates that
    artifact with the measured ``cold_s`` / ``extrapolated_s`` /
    ``speedup`` per workload stem.
+4. **Megawarp vectorization speedup** — the same contract for every
+   ``test_<stem>_vector_on`` / ``_off`` pair on divergent kernels:
+   at least ``--min-vector-speedup`` (default 5.0,
+   ``$BENCH_MIN_VECTOR_SPEEDUP`` overrides) megawarp-vs-serial, with
+   the 85%% retain gate against
+   ``benchmarks/baseline/BENCH_vector.json`` and ``--vector-out`` to
+   merge-update it.
 
 Exit status 0 on pass, 1 on regression, 2 on usage/IO errors.
 """
@@ -48,8 +55,10 @@ DEDUP_BENCH = "test_timing_replay_throughput"
 REFERENCE_BENCH = "test_timing_replay_reference_throughput"
 EXTRAPOLATE_ON_SUFFIX = "_extrapolate_on"
 EXTRAPOLATE_OFF_SUFFIX = "_extrapolate_off"
+VECTOR_ON_SUFFIX = "_vector_on"
+VECTOR_OFF_SUFFIX = "_vector_off"
 #: Fraction of the committed speedup the current run must retain.
-EXTRAPOLATE_RETAIN = 0.85
+SPEEDUP_RETAIN = 0.85
 
 
 def load_means(path: str) -> Dict[str, float]:
@@ -61,24 +70,94 @@ def load_means(path: str) -> Dict[str, float]:
     return means
 
 
-def extrapolate_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
-    """``{stem: {cold_s, extrapolated_s, speedup}}`` for every complete
-    ``test_<stem>_extrapolate_on/_off`` pair in a benchmark run."""
+def _on_off_pairs(
+    means: Dict[str, float], on_suffix: str, off_suffix: str,
+    off_key: str, on_key: str,
+) -> Dict[str, Dict[str, float]]:
+    """``{stem: {off_key, on_key, speedup}}`` for every complete
+    ``test_<stem><on_suffix>/<off_suffix>`` pair in a benchmark run."""
     pairs: Dict[str, Dict[str, float]] = {}
     for name, on_mean in means.items():
-        if not name.endswith(EXTRAPOLATE_ON_SUFFIX):
+        if not name.endswith(on_suffix):
             continue
-        stem = name[len("test_"):-len(EXTRAPOLATE_ON_SUFFIX)]
-        off_name = f"test_{stem}{EXTRAPOLATE_OFF_SUFFIX}"
+        stem = name[len("test_"):-len(on_suffix)]
+        off_name = f"test_{stem}{off_suffix}"
         if off_name not in means:
             continue
-        cold = means[off_name]
+        off_mean = means[off_name]
         pairs[stem] = {
-            "cold_s": cold,
-            "extrapolated_s": on_mean,
-            "speedup": round(cold / on_mean, 2),
+            off_key: off_mean,
+            on_key: on_mean,
+            "speedup": round(off_mean / on_mean, 2),
         }
     return pairs
+
+
+def extrapolate_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    return _on_off_pairs(
+        means, EXTRAPOLATE_ON_SUFFIX, EXTRAPOLATE_OFF_SUFFIX,
+        "cold_s", "extrapolated_s",
+    )
+
+
+def vector_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    return _on_off_pairs(
+        means, VECTOR_ON_SUFFIX, VECTOR_OFF_SUFFIX,
+        "serial_s", "vector_s",
+    )
+
+
+def _gate_pairs(
+    label: str,
+    pairs: Dict[str, Dict[str, float]],
+    off_key: str,
+    on_key: str,
+    min_speedup: float,
+    baseline_path: str,
+    out_path: Optional[str],
+) -> bool:
+    """Print and evaluate one speedup-pair family; returns True when
+    any pair fails the minimum or the committed retain gate."""
+    failed = False
+    committed: Dict[str, Dict[str, float]] = {}
+    if pairs:
+        try:
+            with open(baseline_path) as fh:
+                committed = json.load(fh)
+        except (OSError, ValueError):
+            committed = {}  # first run: nothing committed yet
+    for stem in sorted(pairs):
+        cur = pairs[stem]
+        ok = cur["speedup"] >= min_speedup
+        detail = (
+            f"{label} {stem}: {cur['speedup']:.2f}x"
+            f" ({cur[off_key] * 1e3:.1f} ms serial ->"
+            f" {cur[on_key] * 1e3:.1f} ms)"
+            f" (required >= {min_speedup:.1f}x"
+        )
+        old = committed.get(stem, {}).get("speedup")
+        if old is not None:
+            floor = old * SPEEDUP_RETAIN
+            ok = ok and cur["speedup"] >= floor
+            detail += f", committed {old:.2f}x -> floor {floor:.2f}x"
+        detail += ")"
+        print(f"{'ok' if ok else 'REGRESSION':>10}  {detail}")
+        failed = failed or not ok
+
+    if out_path and pairs:
+        merged: Dict[str, Dict[str, float]] = {}
+        try:
+            with open(out_path) as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+        merged.update(pairs)
+        with open(out_path, "w") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"{'wrote':>10}  {out_path}"
+              f" ({len(pairs)} pair(s) updated)")
+    return failed
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -118,6 +197,25 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--extrapolate-out", metavar="PATH", default=None,
         help="merge-update PATH with the measured extrapolation "
+             "speedups from the current run",
+    )
+    parser.add_argument(
+        "--min-vector-speedup",
+        type=float,
+        default=float(os.environ.get("BENCH_MIN_VECTOR_SPEEDUP", "5.0")),
+        help="required megawarp-vs-serial vectorization speedup per "
+             "kernel pair (default: 5.0; $BENCH_MIN_VECTOR_SPEEDUP "
+             "overrides)",
+    )
+    parser.add_argument(
+        "--vector-baseline",
+        default="benchmarks/baseline/BENCH_vector.json",
+        help="committed vectorization-speedup artifact "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--vector-out", metavar="PATH", default=None,
+        help="merge-update PATH with the measured vectorization "
              "speedups from the current run",
     )
     parser.add_argument(
@@ -179,51 +277,20 @@ def main(argv: Optional[list] = None) -> int:
         failed = failed or not ok
 
     # -- check 3: extrapolation speedup (ratio + committed gate) --------
-    pairs = extrapolate_pairs(current)
-    committed: Dict[str, Dict[str, float]] = {}
-    if pairs:
-        try:
-            with open(args.extrapolate_baseline) as fh:
-                committed = json.load(fh)
-        except OSError:
-            committed = {}  # first run: nothing committed yet
-        except ValueError as exc:
-            print(
-                f"error: malformed {args.extrapolate_baseline}: {exc}",
-                file=sys.stderr,
-            )
-            return 2
-    for stem in sorted(pairs):
-        cur = pairs[stem]
-        ok = cur["speedup"] >= args.min_extrapolate_speedup
-        detail = (
-            f"extrapolate {stem}: {cur['speedup']:.2f}x"
-            f" ({cur['cold_s'] * 1e3:.1f} ms cold ->"
-            f" {cur['extrapolated_s'] * 1e3:.1f} ms)"
-            f" (required >= {args.min_extrapolate_speedup:.1f}x"
-        )
-        old = committed.get(stem, {}).get("speedup")
-        if old is not None:
-            floor = old * EXTRAPOLATE_RETAIN
-            ok = ok and cur["speedup"] >= floor
-            detail += f", committed {old:.2f}x -> floor {floor:.2f}x"
-        detail += ")"
-        print(f"{'ok' if ok else 'REGRESSION':>10}  {detail}")
-        failed = failed or not ok
+    failed |= _gate_pairs(
+        "extrapolate", extrapolate_pairs(current),
+        "cold_s", "extrapolated_s",
+        args.min_extrapolate_speedup,
+        args.extrapolate_baseline, args.extrapolate_out,
+    )
 
-    if args.extrapolate_out and pairs:
-        merged: Dict[str, Dict[str, float]] = {}
-        try:
-            with open(args.extrapolate_out) as fh:
-                merged = json.load(fh)
-        except (OSError, ValueError):
-            merged = {}
-        merged.update(pairs)
-        with open(args.extrapolate_out, "w") as fh:
-            json.dump(merged, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"{'wrote':>10}  {args.extrapolate_out}"
-              f" ({len(pairs)} pair(s) updated)")
+    # -- check 4: megawarp vectorization speedup ------------------------
+    failed |= _gate_pairs(
+        "vector", vector_pairs(current),
+        "serial_s", "vector_s",
+        args.min_vector_speedup,
+        args.vector_baseline, args.vector_out,
+    )
 
     return 1 if failed else 0
 

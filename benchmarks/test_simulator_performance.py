@@ -44,23 +44,65 @@ def _vadd_trace():
     return dev.launch(kernel, N // 256, 256, (da, dc, N))
 
 
-def test_functional_execution_throughput(benchmark):
-    kernel = _vadd_kernel()
+def _collatz_kernel():
+    """Divergent reference kernel: per-lane data-dependent while loop
+    with an if/else inside — the serial interpreter's worst case and
+    the megawarp vector engine's target."""
+    b = KernelBuilder(
+        "collatz",
+        params=[Param("a", is_pointer=True), Param("c", is_pointer=True)],
+    )
+    a_p, c_p = b.param(0), b.param(1)
+    i = b.global_tid_x()
+    v = b.ld_global(b.addr(a_p, i, 4), DType.S32)
+    steps = b.mov(0)
+    with b.while_loop() as loop:
+        done = b.setp(CmpOp.LE, v, 1)
+        loop.break_if(done)
+        odd = b.setp(CmpOp.EQ, b.and_(v, 1), 1)
+        with b.if_else(odd) as (then, otherwise):
+            with then:
+                b.mov_to(v, b.add(b.mul(v, 3), 1))
+            with otherwise:
+                b.mov_to(v, b.shr(v, 1))
+        b.add_to(steps, steps, 1)
+    b.st_global(b.addr(c_p, i, 4), steps, DType.S32)
+    return b.build()
 
+
+def _functional_bench(benchmark, kernel, data, args_tail, rounds=5):
     # Device construction and input upload are setup, not workload: a
     # fresh device per round keeps launches independent while the timed
     # region isolates executor throughput.
     def setup():
         dev = Device(tiny())
-        da = dev.upload(np.ones(N, dtype=np.float32))
+        da = dev.upload(data)
         dc = dev.alloc(4 * N)
         return (dev, da, dc), {}
 
     def run(dev, da, dc):
-        return dev.launch(kernel, N // 256, 256, (da, dc, N))
+        return dev.launch(kernel, N // 256, 256, (da, dc) + args_tail)
 
-    trace = benchmark.pedantic(run, setup=setup, rounds=5)
+    trace = benchmark.pedantic(run, setup=setup, rounds=rounds)
     assert trace.warp_instruction_count() > 0
+
+
+def test_functional_execution_throughput_regular(benchmark):
+    """Uniform control flow (the historical functional benchmark)."""
+    _functional_bench(
+        benchmark, _vadd_kernel(), np.ones(N, dtype=np.float32), (N,)
+    )
+
+
+def test_functional_execution_throughput_divergent(benchmark):
+    """Data-dependent loops and branches: grouped separately so the
+    regression gate tracks divergent throughput on its own (the two
+    groups take entirely different engine paths)."""
+    rng = np.random.default_rng(11)
+    _functional_bench(
+        benchmark, _collatz_kernel(),
+        rng.integers(1, 40, N).astype(np.int32), (), rounds=3,
+    )
 
 
 def test_timing_replay_throughput(benchmark):
@@ -171,8 +213,12 @@ def _extrapolate_bench(benchmark, kernel, mode):
             grid=Dim3(X_BLOCKS), block=Dim3(X_THREADS),
             args=(p0, p1, X_N),
         )
+        # vector="0" pins the off side to the serial interpreter so the
+        # pair keeps measuring extrapolate-vs-serial (the committed
+        # cold_s baseline); without it the megawarp engine absorbs the
+        # "cold" run and the ratio measures two fast paths.
         return FunctionalExecutor(
-            kernel, launch, dev.memory, extrapolate=mode
+            kernel, launch, dev.memory, extrapolate=mode, vector="0"
         ).run()
 
     trace = benchmark.pedantic(run, setup=setup, rounds=3)
@@ -205,6 +251,94 @@ def test_smem_shift_extrapolate_on(benchmark):
 
 def test_smem_shift_extrapolate_off(benchmark):
     _extrapolate_bench(benchmark, _smem_shift_kernel(), "0")
+
+
+# ---------------------------------------------------------------------------
+# Megawarp vectorization (R2D2_VECTOR): serial interpretation vs the
+# masked megawarp engine on a divergent kernel extrapolation can never
+# take.  ``compare.py`` pairs ``test_<stem>_vector_on/_off``, enforces
+# the >=5x speedup, and records the trajectory in BENCH_vector.json.
+# The gated pair runs ``dyntrip`` — per-lane data-dependent trip
+# counts, the paper's "divergent loop" shape — sized so the serial
+# side stays a few seconds per round; collatz (unbounded while loop)
+# is covered by the bit-identity check below and by the divergent
+# functional-throughput benchmark above.
+# ---------------------------------------------------------------------------
+
+V_BLOCKS = 512
+V_THREADS = 128
+V_N = V_BLOCKS * V_THREADS
+
+
+def _dyntrip_kernel():
+    """Register-bound loop: each lane runs ``v & 7`` iterations."""
+    b = KernelBuilder(
+        "dyntrip",
+        params=[Param("a", is_pointer=True), Param("c", is_pointer=True)],
+    )
+    a_p, c_p = b.param(0), b.param(1)
+    i = b.global_tid_x()
+    v = b.ld_global(b.addr(a_p, i, 4), DType.S32)
+    n = b.and_(v, 7)
+    acc = b.mov(0)
+    with b.for_range(0, n) as counter:
+        b.add_to(acc, acc, counter)
+    b.st_global(b.addr(c_p, i, 4), acc, DType.S32)
+    return b.build()
+
+
+def _vector_bench(benchmark, kernel, mode, rounds=3):
+    def setup():
+        dev = Device(tiny())
+        rng = np.random.default_rng(11)
+        p0 = dev.upload(rng.integers(1, 64, V_N).astype(np.int32))
+        p1 = dev.alloc(4 * V_N)
+        return (dev, p0, p1), {}
+
+    def run(dev, p0, p1):
+        launch = LaunchConfig(
+            grid=Dim3(V_BLOCKS), block=Dim3(V_THREADS), args=(p0, p1)
+        )
+        return FunctionalExecutor(
+            kernel, launch, dev.memory, extrapolate="0", vector=mode
+        ).run()
+
+    trace = benchmark.pedantic(run, setup=setup, rounds=rounds)
+    assert trace.warp_instruction_count() > 0
+    return trace
+
+
+def test_dyntrip_vector_on(benchmark):
+    trace = _vector_bench(benchmark, _dyntrip_kernel(), "1")
+    report = trace.vector
+    assert report.engaged and not report.bailed
+    assert report.warps_vectorized == report.warps_total
+
+
+def test_dyntrip_vector_off(benchmark):
+    _vector_bench(benchmark, _dyntrip_kernel(), "0")
+
+
+def test_vector_engines_agree():
+    """Not a timing benchmark: on divergent workloads the megawarp must
+    leave memory bit-identical to serial execution."""
+    for kernel_fn, blocks in ((_dyntrip_kernel, 64), (_collatz_kernel, 16)):
+        outs = {}
+        n = blocks * V_THREADS
+        for mode in ("0", "1"):
+            dev = Device(tiny())
+            rng = np.random.default_rng(11)
+            p0 = dev.upload(rng.integers(1, 40, n).astype(np.int32))
+            p1 = dev.alloc(4 * n)
+            launch = LaunchConfig(
+                grid=Dim3(blocks), block=Dim3(V_THREADS), args=(p0, p1)
+            )
+            FunctionalExecutor(
+                kernel_fn(), launch, dev.memory,
+                extrapolate="0", vector=mode,
+            ).run()
+            outs[mode] = dev.memory.buf.copy()
+        assert np.array_equal(outs["0"], outs["1"])
 
 
 def test_extrapolate_engines_agree():

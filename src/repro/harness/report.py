@@ -142,12 +142,14 @@ def obs_phase_table(snapshot: Dict[str, object]) -> Table:
 
 def obs_kernel_table(snapshot: Dict[str, object]) -> Table:
     """Per-kernel fast-path counters (dedup replay, block-trace
-    extrapolation) from a snapshot's flattened counter keys."""
+    extrapolation, megawarp vectorization) from a snapshot's flattened
+    counter keys."""
     from ..obs import parse_key
 
     counters: Dict[str, float] = dict(snapshot.get("counters") or {})
     per_kernel: Dict[str, Dict[str, float]] = {}
     reasons: Dict[str, str] = {}
+    vreasons: Dict[str, Dict[str, int]] = {}
     for flat, value in counters.items():
         name, labels = parse_key(flat)
         kernel = labels.get("kernel")
@@ -157,11 +159,19 @@ def obs_kernel_table(snapshot: Dict[str, object]) -> Table:
         bucket[name] = bucket.get(name, 0) + value
         if name in ("extrapolate.ineligible", "extrapolate.bailed"):
             reasons[kernel] = labels.get("reason", reasons.get(kernel, ""))
+        if name in ("vector.ineligible", "vector.bailed"):
+            slug = labels.get("reason", "")
+            # "extrapolated" is not a demotion: the launch took the
+            # faster engine.  Everything else names why the megawarp
+            # could not (or declined to) take it.
+            if slug and slug != "extrapolated":
+                vbucket = vreasons.setdefault(kernel, {})
+                vbucket[slug] = vbucket.get(slug, 0) + int(value)
 
     table = Table(
         "Per-kernel fast-path counters",
         ["kernel", "dedup_sms", "cloned", "xblocks", "xtotal",
-         "fallback"],
+         "fallback", "vwarps", "vtotal", "vfallback"],
     )
     for kernel in sorted(per_kernel):
         c = per_kernel[kernel]
@@ -172,8 +182,22 @@ def obs_kernel_table(snapshot: Dict[str, object]) -> Table:
             int(c.get("extrapolate.blocks_extrapolated", 0)),
             int(c.get("extrapolate.blocks_total", 0)),
             reasons.get(kernel, ""),
+            int(c.get("vector.warps_vectorized", 0)),
+            int(c.get("vector.warps_total", 0)),
+            format_fallbacks(vreasons.get(kernel, {})),
         )
     return table
+
+
+def format_fallbacks(slugs: Dict[str, int]) -> str:
+    """Render fallback slug counts as ``slug x3, other`` (count omitted
+    when 1), most frequent first."""
+    parts = []
+    for slug, count in sorted(
+        slugs.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        parts.append(f"{slug} x{count}" if count > 1 else slug)
+    return ", ".join(parts)
 
 
 #: Headline totals surfaced under the tables; (label, counter name).

@@ -96,6 +96,9 @@ class WorkloadResult:
     #: reasons for the run report.  Empty for results deserialized from
     #: caches written before extrapolation existed.
     extrapolation: List[dict] = field(default_factory=list)
+    #: Per-launch megawarp vectorization outcomes (dicts from
+    #: ``VectorReport.to_dict``), same contract as ``extrapolation``.
+    vector: List[dict] = field(default_factory=list)
 
     def __getitem__(self, arch: str) -> ArchStats:
         return self.stats[arch]
@@ -211,6 +214,9 @@ def _run_workload_phases(
         report = getattr(trace, "extrapolation", None)
         if report is not None:
             result.extrapolation.append(report.to_dict())
+        vreport = getattr(trace, "vector", None)
+        if vreport is not None:
+            result.vector.append(vreport.to_dict())
 
     trace_arches = [n for n in arch_names if n != "r2d2"]
     with obs.span("analyze"):

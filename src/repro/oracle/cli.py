@@ -55,7 +55,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     for i in range(args.budget):
         if deadline is not None and time.monotonic() >= deadline:
             break
-        spec = generate_spec(args.seed, i)
+        spec = generate_spec(
+            args.seed, i, divergent_bias=args.divergent_bias
+        )
         report = check_spec(spec)
         checked += 1
         if not report.plan_empty:
@@ -143,6 +145,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz.add_argument(
         "--save-dir", default=str(DEFAULT_CORPUS),
         help="directory for shrunk failing cases ('' disables saving)",
+    )
+    fuzz.add_argument(
+        "--divergent-bias", type=float, default=None,
+        help="fraction of specs biased toward divergent shapes "
+             "(data-dependent branches, non-uniform trip-count loops); "
+             "default uses the generator's built-in bias",
     )
     fuzz.add_argument("--no-shrink", action="store_true")
     fuzz.add_argument(

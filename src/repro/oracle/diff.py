@@ -35,6 +35,7 @@ from ..linear.analyzer import analyze_kernel
 from ..sim.config import GPUConfig, tiny
 from ..sim.executor import FunctionalExecutor
 from ..sim.extrapolate import ExtrapolationMismatch
+from ..sim.vector import VectorMismatch
 from ..sim.gpu import Device
 from ..sim.timing import TimingResult, TimingSimulator
 from ..transform.decouple import r2d2_transform
@@ -255,6 +256,57 @@ def _check_spec(
                 vio.append(
                     Violation(
                         "timing-dedup-mismatch", f"extrapolated {diff}"
+                    )
+                )
+
+    # --- megawarp vectorization ---------------------------------------
+    # Same contract as extrapolation, for the universal engine: verify
+    # mode must be bit-identical to serial on every kernel (divergent
+    # ones included), and the committing path must leave serial memory
+    # and a dedup-replay-identical trace.  Extrapolation is forced off
+    # so the megawarp takes regular kernels too instead of skipping
+    # with "extrapolated".
+    dev_v, args_v, _ = _prepare_device(spec, config)
+    launch_v = LaunchConfig(args=args_v, **launch_geom)
+    try:
+        FunctionalExecutor(
+            kernel, launch_v, dev_v.memory, extrapolate="0",
+            vector="verify",
+        ).run()
+    except VectorMismatch as exc:
+        vio.append(Violation("vector-mismatch", str(exc)))
+    except Exception as exc:  # noqa: BLE001
+        vio.append(
+            Violation("vector-run-crash", f"{type(exc).__name__}: {exc}")
+        )
+    else:
+        dev_w, args_w, _ = _prepare_device(spec, config)
+        launch_w = LaunchConfig(args=args_w, **launch_geom)
+        try:
+            trace_v = FunctionalExecutor(
+                kernel, launch_w, dev_w.memory, extrapolate="0",
+                vector="1",
+            ).run()
+        except Exception as exc:  # noqa: BLE001
+            vio.append(
+                Violation(
+                    "vector-run-crash", f"{type(exc).__name__}: {exc}"
+                )
+            )
+        else:
+            if not np.array_equal(dev_w.memory.buf, dev_a.memory.buf):
+                bad = np.flatnonzero(dev_w.memory.buf != dev_a.memory.buf)
+                vio.append(
+                    Violation(
+                        "vector-commit-mismatch",
+                        f"memory differs at {bad.size} byte(s), first "
+                        f"at address {int(bad[0])}",
+                    )
+                )
+            for diff in _timing_dedup_diffs(config, trace_v):
+                vio.append(
+                    Violation(
+                        "timing-dedup-mismatch", f"vectorized {diff}"
                     )
                 )
 

@@ -13,7 +13,11 @@ the paper's interesting shapes:
 - predicated paths, including the predicated ``ld.param`` shape;
 - near-overflow s32/u32/s64 arithmetic (narrowing ``cvt``, products of
   parameters beside 2**31 and 2**63);
-- random launch geometry with partial warps.
+- random launch geometry with partial warps;
+- divergent shapes (a configurable fraction of specs): predicates over
+  loaded data instead of thread ids, and loops whose trip count is a
+  masked data value — non-uniform across lanes — so the masked paths of
+  the megawarp vector engine actually get exercised.
 
 The generator tracks a concrete value interval per spec value (launch
 geometry and parameter values are chosen first), so every generated
@@ -44,6 +48,7 @@ list; ``ref`` is ``{"v": index}`` or ``{"imm": int}``)::
     {"op": "if", "pred": vid, "negated": bool,
      "body": [ops]}        (body: mov_to/store only)
     {"op": "loop", "trips": n, "body": [ops]}             -> counter value
+    {"op": "dynloop", "bound": ref, "body": [ops]}        -> counter value
     {"op": "update", "dst": vid, "fn": "add|sub",
      "delta": ref}         (inside loop bodies)
     {"op": "store", "buf": i, "index": ref, "scale": n,
@@ -218,6 +223,11 @@ def _emit_op(b: KernelBuilder, op: Dict, values: List[Reg], bases) -> None:
         with b.for_range(0, int(op["trips"])) as counter:
             values.append(counter)
             _emit_ops(b, op["body"], values, bases)
+    elif kind == "dynloop":
+        # register-bound loop: trip counts may differ per lane
+        with b.for_range(0, _ref(values, op["bound"])) as counter:
+            values.append(counter)
+            _emit_ops(b, op["body"], values, bases)
     elif kind == "update":
         dst = values[int(op["dst"])]
         delta = _ref(values, op["delta"])
@@ -259,7 +269,7 @@ def count_stores(ops: List[Dict]) -> int:
     for op in ops:
         if op["op"] == "store":
             n += 1
-        elif op["op"] in ("if", "loop"):
+        elif op["op"] in ("if", "loop", "dynloop"):
             n += count_stores(op["body"])
     return n
 
@@ -290,11 +300,24 @@ class _Val:
         return self
 
 
-class KernelGen:
-    """Draws random kernel specs from a :class:`random.Random` stream."""
+#: Default fraction of generated specs biased toward divergent shapes.
+DIVERGENT_BIAS = 0.35
 
-    def __init__(self, rng: random.Random) -> None:
+
+class KernelGen:
+    """Draws random kernel specs from a :class:`random.Random` stream.
+
+    ``divergent_bias`` is the fraction of specs steered toward divergent
+    control flow: those specs always get an input buffer, weight their
+    feature mix toward data-dependent branches, loads, and non-uniform
+    trip-count loops, and prefer loaded data over thread ids as setp
+    operands.
+    """
+
+    def __init__(self, rng: random.Random,
+                 divergent_bias: float = DIVERGENT_BIAS) -> None:
         self.rng = rng
+        self.divergent_bias = divergent_bias
 
     # ------------------------------------------------------------------
     def generate(self, name: str) -> Dict:
@@ -311,6 +334,7 @@ class KernelGen:
         self.block = (bx, by, 1)
         self.grid = (gx, gy, 1)
         self.stress = rng.random() < 0.6
+        self.divergent = rng.random() < self.divergent_bias
 
         self.params: List[Dict] = [
             {
@@ -320,7 +344,9 @@ class KernelGen:
         ]
         self.out_bytes = 4096 * 8
         self.in_buf: Optional[int] = None
-        if rng.random() < 0.5:
+        # divergent specs need loadable data for their predicates and
+        # loop bounds to actually vary across lanes
+        if self.divergent or rng.random() < 0.5:
             self.in_buf = len(self.params)
             self.params.append(
                 {
@@ -511,7 +537,7 @@ class KernelGen:
     # ------------------------------------------------------------------
     def _random_feature(self) -> None:
         rng = self.rng
-        feature = rng.choice(
+        choices = (
             ["arith"] * 6
             + ["cvt"] * 2
             + ["guard"] * 3
@@ -521,6 +547,11 @@ class KernelGen:
             + ["load"] * 2
             + ["selp"]
         )
+        if self.divergent:
+            choices += (
+                ["if"] * 2 + ["dynloop"] * 3 + ["load"] * 2 + ["guard"]
+            )
+        feature = rng.choice(choices)
         if feature == "arith":
             self._emit_arith()
         elif feature == "cvt":
@@ -531,6 +562,8 @@ class KernelGen:
             self._emit_if()
         elif feature == "loop":
             self._emit_loop()
+        elif feature == "dynloop":
+            self._emit_dynloop()
         elif feature == "store":
             self._emit_store()
         elif feature == "load":
@@ -588,7 +621,22 @@ class KernelGen:
     def _emit_setp(self) -> int:
         rng = self.rng
         # bias comparisons toward lane-varying values so guards diverge
-        a = self.tid if rng.random() < 0.5 else self._pick_int()
+        a: Optional[int] = None
+        if self.divergent and rng.random() < 0.7:
+            # data-dependent predicate: compare loaded (or otherwise
+            # untracked) data whose interval is still tight enough for
+            # the pivot below to discriminate
+            data = [
+                i for i in self._int_values()
+                if self.vals[i].tainted
+                and self.vals[i].lo < self.vals[i].hi
+                and -(2 ** 20) < self.vals[i].lo
+                and self.vals[i].hi < 2 ** 20
+            ]
+            if data:
+                a = rng.choice(data)
+        if a is None:
+            a = self.tid if rng.random() < 0.5 else self._pick_int()
         meta = self.vals[a]
         lo, hi = meta.lo, meta.hi
         if hi > lo and abs(hi) < 2 ** 40:
@@ -741,6 +789,78 @@ class KernelGen:
         for vid in scoped:
             self.vals[vid].in_scope = False
 
+    def _emit_dynloop(self) -> None:
+        """Loop with a data-dependent trip count — lanes iterate
+        different numbers of times, so the reconvergence stack and the
+        masked paths of the vector engine get real work.
+
+        Termination and the counter interval are guaranteed by masking:
+        int64 AND with a small non-negative mask lands in ``[0, cap]``
+        no matter what the source value is (two's complement), so the
+        bound needs no interval proof and loaded data is a legal source.
+        """
+        rng = self.rng
+        cap = rng.choice([1, 3, 3, 7])
+        src = self._lane_varying_int()
+        bound = self._bin_op(
+            "and", self._ref_of(src), {"imm": cap}, "s32"
+        )
+        body: List[Dict] = []
+        self._push_op(
+            {"op": "dynloop", "bound": self._ref_of(bound), "body": body}
+        )
+        counter = len(self.vals)
+        # counter values stay in [0, cap] on every lane and trip
+        self.vals.append(_Val(DType.S32, 0, cap))
+        self._stack.append(body)
+
+        # the bound register is re-read every trip — a self-update on it
+        # could outrun the counter and never terminate
+        candidates = [
+            i for i in self._mutable_ints() if i not in (counter, bound)
+        ]
+        n_updates = rng.choice([0, 1, 1]) if candidates else 0
+        for _ in range(n_updates):
+            dst = rng.choice(candidates)
+            delta = {"imm": rng.choice([1, 4, 8, 64])}
+            fn = rng.choice(["add", "add", "sub"])
+            dlo, dhi, _dt = self._meta(delta)
+            meta = self.vals[dst]
+            # widen by the worst case: a lane may run 0..cap trips
+            if fn == "add":
+                meta.lo += cap * min(0, dlo)
+                meta.hi += cap * max(0, dhi)
+            else:
+                meta.lo -= cap * max(0, dhi)
+                meta.hi -= cap * min(0, dlo)
+            meta.clamp()
+            self._push_op(
+                {"op": "update", "dst": dst, "fn": fn, "delta": delta}
+            )
+        scoped: List[int] = []
+        for _ in range(rng.randrange(1, 3)):
+            if rng.random() < 0.5:
+                before = len(self.vals)
+                self._emit_arith()
+                scoped.extend(range(before, len(self.vals)))
+            else:
+                self._emit_store(counter=counter)
+        self._stack.pop()
+        # body values are undefined on lanes that took zero trips —
+        # nothing after the loop may reference them
+        for vid in scoped:
+            self.vals[vid].in_scope = False
+
+    def _lane_varying_int(self) -> int:
+        """A value likely to differ across lanes: loaded data when any
+        is live, else the thread id."""
+        loaded = [
+            i for i in self._int_values() if self.vals[i].tainted
+        ]
+        if loaded and self.rng.random() < 0.8:
+            return self.rng.choice(loaded)
+        return self.tid
+
     def _emit_store(self, force: bool = False,
                     counter: Optional[int] = None) -> None:
         rng = self.rng
@@ -825,7 +945,15 @@ class KernelGen:
         )
 
 
-def generate_spec(seed: int, index: int) -> Dict:
+def generate_spec(
+    seed: int, index: int, divergent_bias: Optional[float] = None
+) -> Dict:
     """One deterministic spec for (seed, index)."""
     rng = random.Random(f"r2d2-oracle:{seed}:{index}")
-    return KernelGen(rng).generate(f"fz{seed}_{index}")
+    gen = KernelGen(
+        rng,
+        divergent_bias=(
+            DIVERGENT_BIAS if divergent_bias is None else divergent_bias
+        ),
+    )
+    return gen.generate(f"fz{seed}_{index}")

@@ -29,7 +29,7 @@ def _walk(ops: List[Dict], path=()):
     """Yield (container, index, op, path) depth-first."""
     for i, op in enumerate(ops):
         yield ops, i, op, path + (i,)
-        if op["op"] in ("if", "loop"):
+        if op["op"] in ("if", "loop", "dynloop"):
             yield from _walk(op["body"], path + (i, "body"))
 
 
@@ -82,7 +82,7 @@ def _candidates(spec: Dict) -> List[Dict]:
                 if isinstance(ref, dict) and "imm" in ref:
                     if abs(int(ref["imm"])) > 1:
                         yield path + (i,), key
-            if op.get("op") in ("if", "loop"):
+            if op.get("op") in ("if", "loop", "dynloop"):
                 yield from _imm_sites(op["body"], path + (i, "body"))
 
     for site_path, key in _imm_sites(spec["ops"]):

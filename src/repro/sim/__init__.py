@@ -33,6 +33,11 @@ from .timing import (
     TimingSimulator,
     WarpIssuePlan,
 )
+from .vector import (
+    VectorMismatch,
+    VectorReport,
+    vector_mode,
+)
 from .trace import (
     BlockTrace,
     KernelTrace,
@@ -68,6 +73,8 @@ __all__ = [
     "TimingResult",
     "TimingSimulator",
     "TraceRecord",
+    "VectorMismatch",
+    "VectorReport",
     "WarpContext",
     "WarpIssuePlan",
     "WarpTrace",
@@ -77,6 +84,7 @@ __all__ = [
     "check_eligibility",
     "coalesce",
     "extrapolation_mode",
+    "vector_mode",
     "small",
     "tiny",
     "titan_v",

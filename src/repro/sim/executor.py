@@ -201,6 +201,7 @@ class FunctionalExecutor:
         max_warp_instructions: int = 20_000_000,
         line_bytes: int = 128,
         extrapolate: Optional[str] = None,
+        vector: Optional[str] = None,
     ) -> None:
         self.kernel = kernel
         self.launch = launch
@@ -217,9 +218,12 @@ class FunctionalExecutor:
                 f"got {len(launch.args)}"
             )
         from .extrapolate import extrapolation_mode
+        from .vector import vector_mode
 
         self.extrapolate = extrapolation_mode(extrapolate)
         self._pending_verify: Optional[tuple] = None
+        self.vector = vector_mode(vector)
+        self._pending_vector_verify: Optional[tuple] = None
         # Register-name -> slot map shared by every warp of the launch
         # (the register file is index-slotted; see _RegFile).
         self._slot_map: Dict[str, int] = {}
@@ -247,12 +251,15 @@ class FunctionalExecutor:
         with np.errstate(over="ignore", invalid="ignore",
                          divide="ignore"):
             start = self._maybe_extrapolate(trace)
+            start = self._maybe_vectorize(trace, start)
             for block_id in range(start, grid.count):
                 block_xyz = grid.linear_to_xyz(block_id)
                 block_trace = self._run_block(block_id, block_xyz)
                 trace.blocks.append(block_trace)
             if self.extrapolate == "verify":
                 self._verify_extrapolation(trace)
+            if self.vector == "verify":
+                self._verify_vectorization(trace)
         return trace
 
     def _maybe_extrapolate(self, trace: KernelTrace) -> int:
@@ -272,6 +279,23 @@ class FunctionalExecutor:
         from .extrapolate import verify_against
 
         verify_against(self, trace)
+
+    def _maybe_vectorize(self, trace: KernelTrace, covered: int) -> int:
+        """Try megawarp vectorization of whatever the extrapolator left
+        uncovered; returns the new covered-block count.  Gated to exactly
+        this class for the same reason as ``_maybe_extrapolate``."""
+        if type(self) is not FunctionalExecutor:
+            return covered
+        from .vector import attempt_vectorization
+
+        return attempt_vectorization(self, trace, covered)
+
+    def _verify_vectorization(self, trace: KernelTrace) -> None:
+        if type(self) is not FunctionalExecutor:
+            return
+        from .vector import verify_vectorization
+
+        verify_vectorization(self, trace)
 
     # ------------------------------------------------------------------
     def _make_warp(
@@ -814,10 +838,146 @@ class FunctionalExecutor:
 
     @staticmethod
     def _hash_sources(pc: int, active: np.ndarray, srcs) -> int:
-        parts = [pc.to_bytes(4, "little"), active.tobytes()]
-        for s in srcs:
-            if np.ndim(s) == 0:
-                parts.append(repr(s).encode())
+        return hash_sources(pc, active, srcs)
+
+
+# ----------------------------------------------------------------------
+# Source hashing
+# ----------------------------------------------------------------------
+# DARSIE's value-based skip detection keys records on a hash of
+# (pc, active mask, source values).  The scheme is a deterministic
+# multiply-sum digest over uint64 lane bits: unlike ``hash(bytes)`` it
+# is stable across processes, and — crucially for the megawarp and
+# block-batch engines — it vectorizes over the row axis, where a
+# bytes-join forces a python loop per warp.  Three implementations must
+# stay bit-identical (serial, per-block batch, per-warp megawarp);
+# serial is `hash_sources`, the batched engines use `hash_source_rows`.
+
+_MASK64 = (1 << 64) - 1
+_H_PC = 0x9E3779B97F4A7C15
+_H_ACT = 0xC2B2AE3D27D4EB4F
+_H_SRC = 0x165667B19E3779F9    # per-source chain multiplier
+_H_LEN = 0x27D4EB2F165667C5
+_H_SCALAR = 0x85EBCA77C2B2AE63
+_H_BOOL = 0xD6E8FEB86659FD93
+
+
+def _make_hash_weights() -> np.ndarray:
+    # splitmix64 finalizer over the lane index; |1 keeps weights odd.
+    x = np.arange(1, WARP_SIZE + 1, dtype=np.uint64)
+    x = x * np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x | np.uint64(1)
+
+
+_H_W = _make_hash_weights()
+
+
+def _scalar_bits(s) -> int:
+    if isinstance(s, float):
+        return int(np.float64(s).view(np.uint64))
+    return int(s) & _MASK64
+
+
+def _digest_vector(vals: np.ndarray) -> int:
+    """Digest of one 1-D lane vector or active-compressed address
+    array."""
+    if vals.dtype == np.bool_:
+        packed = int.from_bytes(
+            np.packbits(vals, bitorder="little").tobytes(), "little"
+        )
+        return (packed * _H_BOOL + (vals.size + 64) * _H_LEN) & _MASK64
+    if not vals.flags.c_contiguous:
+        vals = np.ascontiguousarray(vals)
+    u = (
+        vals.view(np.uint64)
+        if vals.dtype.itemsize == 8
+        else vals.astype(np.uint64)
+    )
+    k = u.size
+    acc = int((u * _H_W[:k]).sum(dtype=np.uint64))
+    return (acc + (k + 1) * _H_LEN) & _MASK64
+
+
+def hash_sources(pc: int, active: np.ndarray, srcs) -> int:
+    """Hash of one record's (pc, active mask, source values)."""
+    packed = int.from_bytes(
+        np.packbits(active, bitorder="little").tobytes(), "little"
+    )
+    h = ((_H_PC * (pc + 1)) ^ (packed * _H_ACT)) & _MASK64
+    for s in srcs:
+        if np.ndim(s) == 0:
+            d = (_scalar_bits(s) * _H_SCALAR) & _MASK64
+        else:
+            d = _digest_vector(np.asarray(s))
+        h = (h * _H_SRC + d) & _MASK64
+    return h
+
+
+def _rows_u64(mat: np.ndarray) -> np.ndarray:
+    if not mat.flags.c_contiguous:
+        mat = np.ascontiguousarray(mat)
+    if mat.dtype.itemsize == 8:
+        return mat.view(np.uint64)
+    return mat.astype(np.uint64)
+
+
+def hash_source_rows(pc: int, active: np.ndarray, srcs) -> List[int]:
+    """Vectorized :func:`hash_sources` over the row axis.
+
+    ``active`` is ``(R, 32)``; ``srcs`` is a list of ``(kind, value)``
+    pairs where kind ``"addrs"`` marks an ``(R, 32)`` address matrix
+    hashed per row over its active-compressed lanes, and ``"src"`` is
+    any other source: a python scalar or ``(32,)`` vector (shared by
+    every row), an ``(R, 1)`` per-row scalar column, or an ``(R, 32)``
+    per-row lane matrix.  Row ``i`` of the result equals
+    ``hash_sources(pc, active[i], row_i_sources)`` bit for bit.
+    """
+    active = np.ascontiguousarray(active)
+    R = active.shape[0]
+    packed = (
+        np.packbits(active, axis=1, bitorder="little")
+        .view(np.uint32)[:, 0]
+        .astype(np.uint64)
+    )
+    h = np.full(R, (_H_PC * (pc + 1)) & _MASK64, dtype=np.uint64)
+    h ^= packed * np.uint64(_H_ACT)
+    chain = np.uint64(_H_SRC)
+    counts = None
+    for kind, s in srcs:
+        if kind == "addrs":
+            if counts is None:
+                counts = active.sum(axis=1, dtype=np.uint64)
+            ranks = np.cumsum(active, axis=1) - 1
+            w = _H_W[ranks] * active
+            d = (_rows_u64(s) * w).sum(axis=1, dtype=np.uint64)
+            d += (counts + np.uint64(1)) * np.uint64(_H_LEN)
+        elif np.ndim(s) == 0:
+            d = np.uint64((_scalar_bits(s) * _H_SCALAR) & _MASK64)
+        else:
+            vals = np.asarray(s)
+            if vals.ndim == 1:
+                d = np.uint64(_digest_vector(vals))
+            elif vals.shape[1] == 1:
+                d = _rows_u64(vals)[:, 0] * np.uint64(_H_SCALAR)
+            elif vals.dtype == np.bool_:
+                pk = (
+                    np.packbits(
+                        np.ascontiguousarray(vals), axis=1,
+                        bitorder="little",
+                    )
+                    .view(np.uint32)[:, 0]
+                    .astype(np.uint64)
+                )
+                d = pk * np.uint64(_H_BOOL) + np.uint64(
+                    ((vals.shape[1] + 64) * _H_LEN) & _MASK64
+                )
             else:
-                parts.append(np.ascontiguousarray(s).tobytes())
-        return hash(b"".join(parts))
+                d = (_rows_u64(vals) * _H_W).sum(axis=1, dtype=np.uint64)
+                d += np.uint64(((WARP_SIZE + 1) * _H_LEN) & _MASK64)
+        h = h * chain + d
+    return h.tolist()

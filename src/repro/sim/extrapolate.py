@@ -61,7 +61,12 @@ from ..isa.opcodes import Opcode
 from ..isa.operands import MemRef, ParamRef, SpecialReg
 from ..linear.analyzer import _source_vec, _transfer
 from ..linear.coeffvec import CoeffVec
-from .executor import ExecutionError, FunctionalExecutor, WARP_SIZE
+from .executor import (
+    ExecutionError,
+    FunctionalExecutor,
+    WARP_SIZE,
+    hash_source_rows,
+)
 from .memory import _NP_DTYPES, ByteSpace, MemoryError_
 from .trace import (
     BlockTrace,
@@ -318,12 +323,16 @@ def _affine_cols(result, instr, act: np.ndarray, n_act: np.ndarray,
         sub = mat[:, cols]
         diffs = np.diff(sub, axis=1)
         return (diffs == diffs[:, :1]).all(axis=1)
-    for b in np.flatnonzero(n_act >= 3):
-        sub = mat[b, act[b]]
-        diffs = np.diff(sub)
-        if bool((diffs == diffs[0]).all()):
-            out[b] = True
-    return out
+    # Varying masks: compress each row's active lanes to the front with
+    # a stable argsort (False sorts before True on ~act), then a single
+    # vectorized diff; positions past a row's active count are padded
+    # as matching.
+    order = np.argsort(~act, axis=1, kind="stable")
+    sub = np.take_along_axis(mat, order, axis=1)
+    diffs = np.diff(sub, axis=1)
+    pos = np.arange(diffs.shape[1])
+    pad = pos[None, :] >= (n_act[:, None] - 1)
+    return ((diffs == diffs[:, :1]) | pad).all(axis=1) & (n_act >= 3)
 
 
 class _LineMemo:
@@ -729,54 +738,15 @@ class _BatchExecutor(FunctionalExecutor):
 
     def _hash_cols(self, pc, active, n_act, srcs) -> List[Optional[int]]:
         """Per-block source hashes matching
-        ``FunctionalExecutor._hash_sources`` bit for bit.
-
-        Source kinds: python scalars hash by ``repr`` (shared across
-        blocks), ``(32,)`` lane vectors by their bytes (shared),
-        ``(B, 1)`` per-block scalars by ``repr`` of the python scalar,
-        ``(B, 32)`` matrices by their block row, and address matrices by
-        the active-compressed block row.
-        """
-        pc_bytes = pc.to_bytes(4, "little")
-        shared_parts: List[Optional[bytes]] = []
-        per_block: List[Optional[Tuple[str, np.ndarray]]] = []
-        for kind, s in srcs:
-            if kind == "addrs":
-                shared_parts.append(None)
-                per_block.append(("addrs", s))
-                continue
-            if np.ndim(s) == 0:
-                shared_parts.append(repr(s).encode())
-                per_block.append(None)
-                continue
-            vals = np.asarray(s)
-            if vals.ndim == 1:
-                shared_parts.append(np.ascontiguousarray(vals).tobytes())
-                per_block.append(None)
-            elif vals.shape[1] == 1:
-                shared_parts.append(None)
-                per_block.append(("scalar", vals))
-            else:
-                shared_parts.append(None)
-                per_block.append(("rows", vals))
-        hashes: List[Optional[int]] = [None] * self.B
-        for b in np.flatnonzero(n_act):
-            parts = [pc_bytes, active[b].tobytes()]
-            for sp, pb in zip(shared_parts, per_block):
-                if sp is not None:
-                    parts.append(sp)
-                elif pb[0] == "addrs":
-                    parts.append(pb[1][b, active[b]].tobytes())
-                elif pb[0] == "scalar":
-                    # .item() yields the python scalar the serial
-                    # executor fetched (repr(np.int64) differs).
-                    parts.append(repr(pb[1][b, 0].item()).encode())
-                else:
-                    parts.append(
-                        np.ascontiguousarray(pb[1][b]).tobytes()
-                    )
-            hashes[b] = hash(b"".join(parts))
-        return hashes
+        :func:`repro.sim.executor.hash_sources` bit for bit; ``None``
+        for blocks the pc never reached."""
+        rows = hash_source_rows(pc, np.broadcast_to(active, self.shape),
+                                srcs)
+        if bool(n_act.all()):
+            return rows
+        return [
+            rows[b] if n_act[b] else None for b in range(self.B)
+        ]
 
 
 # ----------------------------------------------------------------------

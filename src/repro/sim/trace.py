@@ -142,6 +142,10 @@ class KernelTrace:
     #: (an ``ExtrapolationReport``); ``None`` for traces produced before
     #: the extrapolator existed (old cache pickles).
     extrapolation: Optional[object] = None
+    #: Outcome of the megawarp vectorization attempt for this launch
+    #: (a ``VectorReport``); ``None`` for traces produced before the
+    #: vector engine existed (old cache pickles).
+    vector: Optional[object] = None
 
     # ------------------------------------------------------------------
     def warp_instruction_count(self) -> int:

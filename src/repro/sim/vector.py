@@ -1,0 +1,1121 @@
+"""Universal vectorized interpretation: masked megawarp execution.
+
+Block-trace extrapolation (:mod:`repro.sim.extrapolate`) removes the
+redundancy of *regular* kernels — affine addresses, loop-free control
+flow — by executing one block-batch and deriving the grid.  Everything
+it rejects (data-dependent branches, loops, atomics: bfs, mummer, the
+branchy Rodinia kernels) still pays the serial per-warp interpreter.
+
+This module generalizes the ``(rows, 32)`` register-column model to
+arbitrary control flow:
+
+1. **Megawarp execution** (:class:`_MegaWarpEngine`).  All warps of a
+   chunk of blocks share ``(W, 32)`` register matrices.  Each step the
+   scheduler groups schedulable warps by their current PC, so every
+   instruction is interpreted *once* in Python but executed across all
+   warps sitting at that PC.  Divergence is per-warp state: each warp
+   keeps its own immediate-post-dominator reconvergence stack (the
+   exact :class:`FunctionalExecutor` discipline — taken side first,
+   pop at the reconvergence PC), so nested if/else and loops fall out
+   of PC groups persisting until their masks drain.  ``bar.sync``
+   drops a warp from the schedulable set until its block's arrival
+   count completes; shared memory is a flat arena of per-block
+   segments; atomics serialize in flattened block-major/warp-major
+   lane order.
+
+2. **Soundness net.**  The serial executor orders memory effects:
+   blocks in order, warps of a block round-robin between barriers.
+   The megawarp interleaves them per PC group.  The interleave is
+   invisible unless a word stored by one warp is touched by another —
+   so every global/shared access is logged (word, warp, barrier epoch,
+   PC-group step) and checked after the chunk runs against a fork:
+   cross-warp overlaps are allowed only when ordered by a barrier
+   (same block, different epochs) or produced by one PC-group step
+   (the flattened scatter/atomic resolves in serial warp order).
+   Any other overlap bails the launch back to the serial interpreter
+   with a machine-readable reason, identical observable behaviour by
+   construction.
+
+3. **Bit-identity.**  Committed launches produce byte-identical memory
+   and record-identical :class:`KernelTrace` streams — same ``active``
+   masks, ``uniform``/``affine`` flags, source hashes, coalesced
+   lines, and bank conflicts as the serial interpreter.
+   ``R2D2_VECTOR=verify`` runs *both* engines and raises
+   :class:`VectorMismatch` on any divergence; the differential oracle
+   fuzzes this mode exactly like ``R2D2_EXTRAPOLATE=verify``.
+
+Engine selection is extrapolate → vector → serial: the extrapolator
+keeps the affine fast path (one block-batch for the whole grid), the
+megawarp takes what it rejects, and the serial interpreter remains the
+reference implementation and last resort.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..isa.instruction import Instruction
+from ..isa.opcodes import DType, Opcode
+from ..isa.operands import Imm, MemRef, ParamRef, Reg, SpecialReg
+from .executor import (
+    ExecutionError,
+    FunctionalExecutor,
+    WARP_SIZE,
+    hash_source_rows,
+)
+from .memory import _NP_DTYPES, ByteSpace, MemoryError_
+from .trace import BlockTrace, KernelTrace, TraceRecord, WarpTrace
+from .extrapolate import _LineMemo, _affine_cols, _trace_diffs, _uniform_cols
+
+ENV_KNOB = "R2D2_VECTOR"
+ENV_CHUNK = "R2D2_VECTOR_CHUNK"
+
+#: Below this many warps the megawarp set-up outweighs the win.
+MIN_WARPS = 4
+
+#: Default cap on warps per megawarp chunk; bounds the (W, 32)
+#: register-matrix footprint (4096 warps ≈ 1 MiB per live register).
+DEFAULT_CHUNK_WARPS = 4096
+
+#: Cap on the flat shared-memory arena of per-block segments.
+MAX_SHARED_ARENA_BYTES = 16 * 1024 * 1024
+
+#: Cap on logged hazard elements per chunk; beyond this the bookkeeping
+#: would rival the execution win, so the launch falls back to serial.
+HAZARD_LOG_CAP = 16_000_000
+
+
+class VectorMismatch(AssertionError):
+    """``verify`` mode found a divergence between the megawarp and the
+    serially executed launch.  Always a simulator bug, never a workload
+    bug — report it."""
+
+
+class _VBail(Exception):
+    """Internal: abandon the megawarp and fall back to serial."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.reason = reason
+
+
+@dataclass
+class VectorReport:
+    """Machine-readable outcome of the megawarp attempt for one launch;
+    attached to ``KernelTrace.vector`` and surfaced in harness run
+    reports next to the extrapolation report."""
+
+    kernel: str
+    mode: str
+    engaged: bool
+    #: Skip/bail slug ("extrapolated", "disabled", "transformed-kernel",
+    #: "launch-too-small", "cross-warp-memory-conflict", "deadlock",
+    #: "hazard-log-overflow", "register-dtype-promotion", ...); empty
+    #: when the launch vectorized cleanly.
+    reason: str = ""
+    detail: str = ""
+    warps_total: int = 0
+    warps_vectorized: int = 0
+    bailed: bool = False
+    verified: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kernel": self.kernel,
+            "mode": self.mode,
+            "engaged": self.engaged,
+            "reason": self.reason,
+            "detail": self.detail,
+            "warps_total": self.warps_total,
+            "warps_vectorized": self.warps_vectorized,
+            "bailed": self.bailed,
+            "verified": self.verified,
+        }
+
+
+def vector_mode(override: Optional[str] = None) -> str:
+    """Resolve the ``R2D2_VECTOR`` knob to ``"0"``, ``"1"`` or
+    ``"verify"`` (unknown values fall back to the default, on)."""
+    raw = override if override is not None else os.environ.get(ENV_KNOB, "1")
+    raw = str(raw).strip().lower()
+    if raw in ("0", "off", "false", "no"):
+        return "0"
+    if raw == "verify":
+        return "verify"
+    return "1"
+
+
+def _chunk_warps() -> int:
+    try:
+        return max(1, int(os.environ.get(ENV_CHUNK, DEFAULT_CHUNK_WARPS)))
+    except ValueError:
+        return DEFAULT_CHUNK_WARPS
+
+
+class _VEntry:
+    """One reconvergence-stack entry of one warp.
+
+    ``eff`` caches ``mask & ~exited`` so the hot scheduling loop is
+    pure Python int compares; it is recomputed only when the warp's
+    ``exit_gen`` moved (an EXIT retired lanes under this entry).
+    """
+
+    __slots__ = ("reconv_pc", "pc", "mask", "eff", "gen")
+
+    def __init__(self, reconv_pc: int, pc: int, mask: np.ndarray,
+                 eff: np.ndarray, gen: int) -> None:
+        self.reconv_pc = reconv_pc
+        self.pc = pc
+        self.mask = mask
+        self.eff = eff
+        self.gen = gen
+
+
+class _WarpState:
+    """Scheduling state of one warp row of the megawarp."""
+
+    __slots__ = (
+        "row", "block", "stack", "exit_gen", "done", "at_barrier",
+        "trace", "sig",
+    )
+
+    def __init__(self, row: int, block: int, n_instructions: int,
+                 base_mask: np.ndarray, trace: WarpTrace) -> None:
+        self.row = row
+        self.block = block
+        mask = base_mask.copy()
+        self.stack: List[_VEntry] = [
+            _VEntry(n_instructions, 0, mask, mask, 0)
+        ]
+        self.exit_gen = 0
+        self.done = False
+        self.at_barrier = False
+        self.trace = trace
+        self.sig: List[tuple] = []
+
+
+class _Addrs:
+    """Marker: an address matrix whose source hash uses the
+    active-compressed row (the serial executor hashes compressed
+    addresses, not full lane vectors)."""
+
+    __slots__ = ("mat",)
+
+    def __init__(self, mat: np.ndarray) -> None:
+        self.mat = mat
+
+
+class _MegaWarpEngine(FunctionalExecutor):
+    """Runs every warp of blocks ``[lo, hi)`` as one megawarp.
+
+    Subclasses :class:`FunctionalExecutor` only to inherit the ALU
+    (``_compute`` and its static helpers) — execution, scheduling and
+    recording are replaced wholesale.
+    """
+
+    def __init__(self, host: FunctionalExecutor, lo: int, hi: int,
+                 memory: ByteSpace, memo: _LineMemo,
+                 sig_intern: Dict[tuple, tuple], executed0: int) -> None:
+        # Deliberately no super().__init__: the parsed host state (CFG,
+        # validated args) is shared; only memory differs.
+        self.kernel = host.kernel
+        self.launch = host.launch
+        self.memory = memory
+        self.linear_values = None
+        self.collect_trace = host.collect_trace
+        self.max_warp_instructions = host.max_warp_instructions
+        self.line_bytes = host.line_bytes
+        self.cfg = host.cfg
+        self._executed = executed0
+        self.extrapolate = "0"
+        self._pending_verify = None
+        self.vector = "0"
+        self._pending_vector_verify = None
+
+        self.host = host
+        self.lo = lo
+        self.nblocks = hi - lo
+        wpb = (self.launch.threads_per_block + WARP_SIZE - 1) // WARP_SIZE
+        self.wpb = wpb
+        self.W = self.nblocks * wpb
+        self.memo = memo
+        self.sig_intern = sig_intern
+        n_instr = len(self.kernel.instructions)
+
+        # -- lane geometry: (W, 32) thread ids, (W, 1) block ids -------
+        tid_rows = [host._make_warp(w, (0, 0, 0)) for w in range(wpb)]
+        self._tid = {}
+        for sreg, attr in (
+            (SpecialReg.TID_X, "tid_x"),
+            (SpecialReg.TID_Y, "tid_y"),
+            (SpecialReg.TID_Z, "tid_z"),
+        ):
+            mat = np.empty((self.W, WARP_SIZE), dtype=np.int64)
+            for r in range(self.W):
+                mat[r] = getattr(tid_rows[r % wpb], attr)
+            self._tid[sreg] = mat
+        base = np.empty((self.W, WARP_SIZE), dtype=bool)
+        for r in range(self.W):
+            base[r] = tid_rows[r % wpb].base_mask
+
+        grid = self.launch.grid
+        ids = lo + np.arange(self.W, dtype=np.int64) // wpb
+
+        def col(a: np.ndarray) -> np.ndarray:
+            return np.ascontiguousarray(a.reshape(self.W, 1))
+
+        self._ctaid = {
+            SpecialReg.CTAID_X: col(ids % grid.x),
+            SpecialReg.CTAID_Y: col((ids // grid.x) % grid.y),
+            SpecialReg.CTAID_Z: col(ids // (grid.x * grid.y)),
+        }
+        self._blockrow = np.arange(self.W, dtype=np.int64) // wpb
+        self._gwarp = ids * wpb + np.arange(self.W, dtype=np.int64) % wpb
+
+        # -- register file: name -> (W, 32) matrix ---------------------
+        self._regs: Dict[str, np.ndarray] = {}
+        self.exited = np.zeros((self.W, WARP_SIZE), dtype=bool)
+
+        # -- shared memory: flat arena of per-block segments -----------
+        self._shared_bound = max(self.kernel.shared_mem_bytes, 16)
+        stride = (self._shared_bound + 127) // 128 * 128
+        self._shared = ByteSpace(stride * self.nblocks, base=0)
+        self._shared_off = (
+            np.arange(self.nblocks, dtype=np.int64)[self._blockrow] * stride
+        ).reshape(self.W, 1)
+
+        # -- scheduling state ------------------------------------------
+        self._warps: List[_WarpState] = []
+        self._block_warps: List[List[_WarpState]] = [
+            [] for _ in range(self.nblocks)
+        ]
+        for r in range(self.W):
+            b = r // wpb
+            ws = _WarpState(
+                r, b, n_instr, base[r], WarpTrace(lo + b, r % wpb)
+            )
+            self._warps.append(ws)
+            self._block_warps[b].append(ws)
+        self._pending = self.W
+        self._sched = list(self._warps)
+        self._live = [wpb] * self.nblocks
+        self._atbar = [0] * self.nblocks
+        self._epochs = np.zeros(self.nblocks, dtype=np.int64)
+        self._has_bar = any(
+            i.opcode is Opcode.BAR for i in self.kernel.instructions
+        )
+
+        # -- straight-line run-ahead limits ----------------------------
+        # A PC group may execute forward without rescheduling until the
+        # instruction after a control op (BRA/EXIT/BAR — each mutates
+        # scheduling state) or a block leader (merge point: warps
+        # waiting there must get a chance to join).  ``_run_limit[pc]``
+        # is the first pc a run starting at ``pc`` must NOT execute.
+        leaders = {blk.start for blk in self.cfg.blocks}
+        stop_ops = (Opcode.BRA, Opcode.EXIT, Opcode.BAR)
+        limit = [0] * n_instr
+        for pc in range(n_instr - 1, -1, -1):
+            if (
+                self.kernel.instructions[pc].opcode in stop_ops
+                or pc + 1 == n_instr
+                or pc + 1 in leaders
+            ):
+                limit[pc] = pc + 1
+            else:
+                limit[pc] = limit[pc + 1]
+        self._run_limit = limit
+
+        # -- hazard logs and counters ----------------------------------
+        self._glog: List[tuple] = []
+        self._slog: List[tuple] = []
+        self._log_elems = 0
+        self._step_pcs: List[int] = []
+        self._sid = 0
+        self.counters = {
+            "steps": 0, "pc_groups": 0, "pc_group_rows": 0,
+            "divergence_splits": 0, "barrier_releases": 0,
+        }
+
+    # -- scheduling ----------------------------------------------------
+    def run_megawarp(self) -> None:
+        while self._pending:
+            self._release_barriers()
+            with obs.span("vector.schedule"):
+                groups = self._schedule()
+            if not groups:
+                if self._release_barriers():
+                    continue
+                if self._pending:
+                    raise _VBail(
+                        "deadlock",
+                        f"megawarp blocks [{self.lo}, "
+                        f"{self.lo + self.nblocks})",
+                    )
+                break
+            self.counters["steps"] += 1
+            with obs.span("vector.execute"):
+                for pc in sorted(groups):
+                    ws_list, entries = groups[pc]
+                    stop = self._run_limit[pc]
+                    if stop > pc + 1:
+                        # Entries pop at their reconvergence pc, so a
+                        # run may not carry any entry past it.
+                        stop = min(
+                            stop, min(e.reconv_pc for e in entries)
+                        )
+                    cur = pc
+                    while True:
+                        self._exec_group(cur, ws_list, entries)
+                        cur += 1
+                        if cur >= stop:
+                            break
+
+    def _release_barriers(self) -> bool:
+        if not self._has_bar:
+            return False
+        released = False
+        for b in range(self.nblocks):
+            live = self._live[b]
+            if live and self._atbar[b] == live:
+                for ws in self._block_warps[b]:
+                    if not ws.done:
+                        ws.at_barrier = False
+                self._atbar[b] = 0
+                self._epochs[b] += 1
+                self.counters["barrier_releases"] += 1
+                released = True
+        return released
+
+    def _schedule(self) -> Dict[int, Tuple[list, list]]:
+        groups: Dict[int, Tuple[list, list]] = {}
+        exited = self.exited
+        nxt: List[_WarpState] = []
+        for ws in self._sched:
+            if ws.at_barrier:
+                nxt.append(ws)
+                continue
+            stack = ws.stack
+            entry = None
+            while stack:
+                entry = stack[-1]
+                if entry.pc >= entry.reconv_pc:
+                    stack.pop()
+                    continue
+                if entry.gen != ws.exit_gen:
+                    eff = entry.mask & ~exited[ws.row]
+                    if not eff.any():
+                        stack.pop()
+                        continue
+                    entry.eff = eff
+                    entry.gen = ws.exit_gen
+                break
+            if not stack:
+                ws.done = True
+                self._pending -= 1
+                self._live[ws.block] -= 1
+                continue
+            nxt.append(ws)
+            group = groups.get(entry.pc)
+            if group is None:
+                groups[entry.pc] = group = ([], [])
+            group[0].append(ws)
+            group[1].append(entry)
+        self._sched = nxt
+        return groups
+
+    # -- group execution -----------------------------------------------
+    def _exec_group(self, pc: int, ws_list: List[_WarpState],
+                    entries: List[_VEntry]) -> None:
+        instr = self.kernel.instructions[pc]
+        R = len(ws_list)
+        self.counters["pc_groups"] += 1
+        self.counters["pc_group_rows"] += R
+        self._executed += R
+        if self._executed > self.max_warp_instructions:
+            raise _VBail(
+                "instruction-budget",
+                f"exceeded {self.max_warp_instructions} warp "
+                "instructions (infinite loop?)",
+            )
+        self._sid = len(self._step_pcs)
+        self._step_pcs.append(pc)
+        rows = np.fromiter(
+            (ws.row for ws in ws_list), dtype=np.int64, count=R
+        )
+        # np.vstack's per-array atleast_2d machinery is measurable at
+        # this call rate; a preallocated fill is ~3x cheaper.
+        mask = np.empty((R, WARP_SIZE), dtype=bool)
+        for i, e in enumerate(entries):
+            mask[i] = e.eff
+
+        op = instr.opcode
+        if op is Opcode.BRA:
+            self._record_group(pc, instr, ws_list, mask, None, [])
+            with obs.span("vector.reconverge"):
+                self._exec_branch(pc, instr, rows, ws_list, entries, mask)
+            return
+        if op is Opcode.EXIT:
+            active = self._guard(instr, rows, mask)
+            hit = active.any(axis=1)
+            if hit.any():
+                self.exited[rows[hit]] |= active[hit]
+                for i in np.flatnonzero(hit):
+                    ws_list[i].exit_gen += 1
+            for e in entries:
+                e.pc += 1
+            return
+        if op is Opcode.BAR:
+            self._record_group(pc, instr, ws_list, mask, None, [])
+            for ws, e in zip(ws_list, entries):
+                e.pc += 1
+                ws.at_barrier = True
+                self._atbar[ws.block] += 1
+            return
+
+        active = self._guard(instr, rows, mask)
+        if instr.pred is not None:
+            keep = np.flatnonzero(active.any(axis=1))
+            if keep.size == 0:
+                for e in entries:
+                    e.pc += 1
+                return
+            if keep.size < R:
+                rows = rows[keep]
+                active = np.ascontiguousarray(active[keep])
+                ws_list = [ws_list[i] for i in keep]
+
+        if op in (Opcode.LD_GLOBAL, Opcode.LD_SHARED):
+            self._exec_load(pc, instr, rows, ws_list, active)
+        elif op in (Opcode.ST_GLOBAL, Opcode.ST_SHARED):
+            self._exec_store(pc, instr, rows, ws_list, active)
+        elif op in (Opcode.ATOM_GLOBAL, Opcode.ATOM_SHARED):
+            self._exec_atomic(pc, instr, rows, ws_list, active)
+        elif op is Opcode.LD_PARAM:
+            ref = instr.srcs[0]
+            assert isinstance(ref, ParamRef)
+            value = self.launch.args[ref.index]
+            values = np.full(
+                WARP_SIZE,
+                value,
+                dtype=np.float64 if instr.dtype.is_float else np.int64,
+            )
+            self._write(instr.dst, rows, active, values)
+            self._record_group(
+                pc, instr, ws_list, active, values, [value]
+            )
+        else:
+            srcs = [self._fetch_rows(s, rows) for s in instr.srcs]
+            result = self._compute(instr, srcs, None)
+            if instr.dst is not None:
+                self._write(instr.dst, rows, active, result)
+            self._record_group(pc, instr, ws_list, active, result, srcs)
+
+        for e in entries:
+            e.pc += 1
+
+    def _exec_branch(self, pc: int, instr: Instruction, rows: np.ndarray,
+                     ws_list: List[_WarpState], entries: List[_VEntry],
+                     mask: np.ndarray) -> None:
+        target = self.kernel.label_pc(instr.target)
+        if instr.pred is None:
+            for e in entries:
+                e.pc = target
+            return
+        pvals = self._read(instr.pred, rows)
+        cond = ~pvals if instr.pred_negated else pvals
+        taken = mask & cond
+        not_taken = mask & ~cond
+        t_any = taken.any(axis=1)
+        n_any = not_taken.any(axis=1)
+        rpc = None
+        for i, e in enumerate(entries):
+            if not t_any[i]:
+                e.pc = pc + 1
+            elif not n_any[i]:
+                e.pc = target
+            else:
+                if rpc is None:
+                    rpc = self.cfg.reconvergence_pc(pc)
+                e.pc = rpc
+                ws = ws_list[i]
+                gen = ws.exit_gen
+                nt = not_taken[i]
+                tk = taken[i]
+                ws.stack.append(_VEntry(rpc, pc + 1, nt, nt, gen))
+                ws.stack.append(_VEntry(rpc, target, tk, tk, gen))
+                self.counters["divergence_splits"] += 1
+
+    def _guard(self, instr: Instruction, rows: np.ndarray,
+               mask: np.ndarray) -> np.ndarray:
+        if instr.pred is None:
+            return mask
+        pvals = self._read(instr.pred, rows)
+        if instr.pred_negated:
+            return mask & ~pvals
+        return mask & pvals
+
+    # -- register file -------------------------------------------------
+    def _matrix(self, reg: Reg) -> np.ndarray:
+        mat = self._regs.get(reg.name)
+        if mat is None:
+            if reg.dtype.is_float:
+                dtype = np.float64
+            elif reg.dtype is DType.PRED:
+                dtype = np.bool_
+            else:
+                dtype = np.int64
+            mat = np.zeros((self.W, WARP_SIZE), dtype=dtype)
+            self._regs[reg.name] = mat
+        return mat
+
+    def _read(self, reg: Reg, rows: np.ndarray) -> np.ndarray:
+        return self._matrix(reg)[rows]
+
+    def _write(self, reg: Reg, rows: np.ndarray, active: np.ndarray,
+               result) -> None:
+        mat = self._matrix(reg)
+        new = np.where(active, np.asarray(result), mat[rows])
+        if new.dtype != mat.dtype:
+            # The serial executor promotes the whole per-warp register
+            # array; a shared matrix cannot follow per-warp dtypes, so
+            # kernels that flip a register's kind fall back to serial.
+            raise _VBail(
+                "register-dtype-promotion",
+                f"{reg.name}: {mat.dtype} -> {new.dtype}",
+            )
+        mat[rows] = new
+
+    def _fetch_rows(self, op: object, rows: np.ndarray):
+        if isinstance(op, Reg):
+            return self._read(op, rows)
+        if isinstance(op, Imm):
+            return op.value
+        if isinstance(op, SpecialReg):
+            column = self._ctaid.get(op)
+            if column is not None:
+                return column[rows]
+            tid = self._tid.get(op)
+            if tid is not None:
+                return tid[rows]
+            block = self.launch.block
+            grid = self.launch.grid
+            mapping = {
+                SpecialReg.NTID_X: block.x,
+                SpecialReg.NTID_Y: block.y,
+                SpecialReg.NTID_Z: block.z,
+                SpecialReg.NCTAID_X: grid.x,
+                SpecialReg.NCTAID_Y: grid.y,
+                SpecialReg.NCTAID_Z: grid.z,
+            }
+            return mapping[op]
+        raise _VBail("unsupported-operand", repr(op))
+
+    # -- memory instructions -------------------------------------------
+    def _addr_matrix(self, op: object, rows: np.ndarray) -> np.ndarray:
+        if not isinstance(op, MemRef):
+            raise _VBail(
+                "linear-ref-operand", f"non-register memory operand {op!r}"
+            )
+        base = self._read(op.base, rows)
+        addrs = base + op.disp
+        return addrs
+
+    def _shared_flat(self, pc: int, addrs: np.ndarray, rows: np.ndarray,
+                     active: np.ndarray, itemsize: int) -> np.ndarray:
+        """Active lanes rebased into per-block arena segments, with the
+        serial per-block bounds check re-applied first."""
+        act = addrs[active]
+        if act.size and (
+            int(act.min()) < 0
+            or int(act.max()) + itemsize > self._shared_bound
+        ):
+            raise _VBail(
+                "shared-out-of-bounds",
+                f"pc {pc}: access outside [0, {self._shared_bound})",
+            )
+        return (addrs + self._shared_off[rows])[active]
+
+    def _mem_rows(self, addrs: np.ndarray, active: np.ndarray,
+                  instr: Instruction, n_act: np.ndarray):
+        """Per-row ``lines``/``bank_conflict`` for one access."""
+        R = active.shape[0]
+        if instr.is_global_memory:
+            lines: List[Optional[Tuple[int, ...]]] = [None] * R
+            for i in range(R):
+                lines[i] = self.memo.coalesce(
+                    addrs[i, active[i]], self.line_bytes
+                )
+            return lines, None
+        bank = np.ones(R, dtype=np.int64)
+        for i in range(R):
+            bank[i] = self.memo.bank_conflict(addrs[i, active[i]])
+        return None, bank
+
+    def _log_access(self, shared: bool, addrs_act: np.ndarray,
+                    rows: np.ndarray, n_act: np.ndarray, itemsize: int,
+                    write: bool) -> None:
+        words = addrs_act.astype(np.int64, copy=False) // 4
+        gw = np.repeat(self._gwarp[rows], n_act)
+        blk = np.repeat(self._blockrow[rows], n_act)
+        ep = np.repeat(self._epochs[self._blockrow[rows]], n_act)
+        if itemsize == 8:
+            words = np.concatenate([words, words + 1])
+            gw = np.tile(gw, 2)
+            blk = np.tile(blk, 2)
+            ep = np.tile(ep, 2)
+        log = self._slog if shared else self._glog
+        log.append((words, gw, blk, ep, self._sid, write))
+        self._log_elems += words.size
+        if self._log_elems > HAZARD_LOG_CAP:
+            raise _VBail(
+                "hazard-log-overflow",
+                f"more than {HAZARD_LOG_CAP} logged accesses",
+            )
+
+    def _exec_load(self, pc: int, instr: Instruction, rows: np.ndarray,
+                   ws_list: List[_WarpState], active: np.ndarray) -> None:
+        addrs = self._addr_matrix(instr.srcs[0], rows)
+        itemsize = _NP_DTYPES[instr.dtype].itemsize
+        n_act = active.sum(axis=1)
+        if instr.is_shared_memory:
+            # the rebased (arena-flat) addresses also go into the hazard
+            # log: they are distinct across blocks, so per-block arenas
+            # can never alias as cross-block conflicts
+            flat = self._shared_flat(pc, addrs, rows, active, itemsize)
+            values = self._shared.gather(flat, instr.dtype)
+        else:
+            flat = addrs[active]
+            values = self.memory.gather(flat, instr.dtype)
+        self._log_access(
+            instr.is_shared_memory, flat, rows, n_act, itemsize, False,
+        )
+        full = self._read(instr.dst, rows)
+        full[active] = values
+        mat = self._matrix(instr.dst)
+        if full.dtype != mat.dtype:
+            raise _VBail(
+                "register-dtype-promotion",
+                f"{instr.dst.name}: {mat.dtype} -> {full.dtype}",
+            )
+        mat[rows] = full
+        if not self.collect_trace:
+            return
+        lines, bank = self._mem_rows(addrs, active, instr, n_act)
+        self._record_group(
+            pc, instr, ws_list, active, full, [_Addrs(addrs)],
+            lines=lines, shared=instr.is_shared_memory, bank=bank,
+            n_act=n_act,
+        )
+
+    def _exec_store(self, pc: int, instr: Instruction, rows: np.ndarray,
+                    ws_list: List[_WarpState],
+                    active: np.ndarray) -> None:
+        addrs = self._addr_matrix(instr.srcs[0], rows)
+        value = self._fetch_rows(instr.srcs[1], rows)
+        itemsize = _NP_DTYPES[instr.dtype].itemsize
+        n_act = active.sum(axis=1)
+        # C-order boolean selection is warp-major, so cross-warp
+        # collisions at one PC-group step resolve as "later warp wins"
+        # — the same outcome as serial warp order (and the hazard check
+        # rejects every other cross-warp collision shape).
+        values = np.broadcast_to(
+            np.asarray(value), active.shape
+        )[active]
+        if instr.is_shared_memory:
+            flat = self._shared_flat(pc, addrs, rows, active, itemsize)
+            self._shared.scatter(flat, values, instr.dtype)
+        else:
+            flat = addrs[active]
+            self.memory.scatter(flat, values, instr.dtype)
+        self._log_access(
+            instr.is_shared_memory, flat, rows, n_act, itemsize, True,
+        )
+        if not self.collect_trace:
+            return
+        lines, bank = self._mem_rows(addrs, active, instr, n_act)
+        self._record_group(
+            pc, instr, ws_list, active, None, [_Addrs(addrs), value],
+            lines=lines, shared=instr.is_shared_memory, skippable=False,
+            bank=bank, n_act=n_act,
+        )
+
+    def _exec_atomic(self, pc: int, instr: Instruction, rows: np.ndarray,
+                     ws_list: List[_WarpState],
+                     active: np.ndarray) -> None:
+        addrs = self._addr_matrix(instr.srcs[0], rows)
+        value = self._fetch_rows(instr.srcs[1], rows)
+        itemsize = _NP_DTYPES[instr.dtype].itemsize
+        n_act = active.sum(axis=1)
+        values = np.broadcast_to(
+            np.asarray(value), active.shape
+        )[active]
+        # Fixed lane order: the flattened (warp-major, lane-minor) walk
+        # serializes exactly as serial execution does when the hazard
+        # check admits the access pattern.
+        if instr.is_shared_memory:
+            flat = self._shared_flat(pc, addrs, rows, active, itemsize)
+            old = self._shared.atomic(instr.atom, flat, values,
+                                      instr.dtype)
+        else:
+            flat = addrs[active]
+            old = self.memory.atomic(
+                instr.atom, flat, values, instr.dtype
+            )
+        self._log_access(
+            instr.is_shared_memory, flat, rows, n_act, itemsize, True,
+        )
+        if instr.dst is not None:
+            full = self._read(instr.dst, rows)
+            full[active] = old
+            mat = self._matrix(instr.dst)
+            if full.dtype != mat.dtype:
+                raise _VBail(
+                    "register-dtype-promotion",
+                    f"{instr.dst.name}: {mat.dtype} -> {full.dtype}",
+                )
+            mat[rows] = full
+        if not self.collect_trace:
+            return
+        lines = None
+        if instr.is_global_memory:
+            lines, _ = self._mem_rows(addrs, active, instr, n_act)
+        self._record_group(
+            pc, instr, ws_list, active, None, [_Addrs(addrs), value],
+            lines=lines, shared=instr.is_shared_memory, skippable=False,
+            n_act=n_act,
+        )
+
+    # -- trace recording -----------------------------------------------
+    def _record_group(self, pc: int, instr: Instruction,
+                      ws_list: List[_WarpState], active: np.ndarray,
+                      result, srcs, lines=None, shared: bool = False,
+                      skippable: bool = True, bank=None,
+                      n_act: Optional[np.ndarray] = None) -> None:
+        if not self.collect_trace:
+            return
+        R = active.shape[0]
+        if n_act is None:
+            n_act = active.sum(axis=1)
+        idx0 = active.argmax(axis=1)
+        plain = [s.mat if isinstance(s, _Addrs) else s for s in srcs]
+        uniform = _uniform_cols(
+            plain, active, active.shape, idx0, np.arange(R)
+        )
+        affine = _affine_cols(result, instr, active, n_act, active.shape)
+        hashes = None
+        if skippable and not instr.is_control:
+            hashes = self._hash_rows(pc, active, srcs)
+        # The per-row loop below runs once per warp-instruction — the
+        # single hottest path in the engine.  Convert the numpy columns
+        # to python lists up front and inline static_issue_key (a pure
+        # tuple of fields already at hand) to keep the loop scalar-only.
+        act_l = n_act.tolist()
+        uni_l = uniform.tolist()
+        aff_l = affine.tolist()
+        bank_l = bank.tolist() if bank is not None else None
+        for i, ws in enumerate(ws_list):
+            bk = bank_l[i] if bank_l is not None else 1
+            ln = lines[i] if lines is not None else None
+            rec = TraceRecord(
+                pc,
+                act_l[i],
+                uni_l[i],
+                aff_l[i],
+                hashes[i] if hashes is not None else None,
+                ln,
+                shared,
+                bk,
+            )
+            ws.trace.records.append(rec)
+            ws.sig.append((pc, act_l[i], shared, bk, len(ln) if ln else 0))
+
+    def _hash_rows(self, pc: int, active: np.ndarray,
+                   srcs) -> List[int]:
+        """Per-row source hashes matching
+        :func:`repro.sim.executor.hash_sources` bit for bit — one
+        vectorized multiply-sum digest pass over the whole group."""
+        return hash_source_rows(
+            pc, active,
+            [
+                ("addrs", s.mat) if isinstance(s, _Addrs) else ("src", s)
+                for s in srcs
+            ],
+        )
+
+    # -- hazard check ----------------------------------------------------
+    def check_hazards(self) -> None:
+        """Reject every cross-warp memory overlap the megawarp schedule
+        could have ordered differently from the serial one.
+
+        Allowed shapes, per word: one warp only; reads only; all
+        accesses stores (or atomics) of one PC-group step, whose
+        flattened warp-major order *is* the serial order; or accesses
+        from one block separated by barrier epochs (ordered by the
+        arrival count in both schedules).  Anything else bails."""
+        self._check_log(self._glog, "global")
+        self._check_log(self._slog, "shared")
+
+    def _check_log(self, log: List[tuple], label: str) -> None:
+        if not log:
+            return
+        words = np.concatenate([t[0] for t in log])
+        if words.size == 0:
+            return
+        gw = np.concatenate([t[1] for t in log])
+        blk = np.concatenate([t[2] for t in log])
+        ep = np.concatenate([t[3] for t in log])
+        sid = np.concatenate(
+            [np.full(t[0].size, t[4], dtype=np.int64) for t in log]
+        )
+        wr = np.concatenate(
+            [np.full(t[0].size, t[5], dtype=bool) for t in log]
+        )
+        order = np.argsort(words, kind="stable")
+        words = words[order]
+        gw = gw[order]
+        blk = blk[order]
+        ep = ep[order]
+        sid = sid[order]
+        wr = wr[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], words[1:] != words[:-1]))
+        )
+        gw_min = np.minimum.reduceat(gw, starts)
+        gw_max = np.maximum.reduceat(gw, starts)
+        wr_any = np.maximum.reduceat(wr, starts)
+        wr_all = np.minimum.reduceat(wr, starts)
+        sid_min = np.minimum.reduceat(sid, starts)
+        sid_max = np.maximum.reduceat(sid, starts)
+        suspect = (gw_min != gw_max) & wr_any & ~(
+            wr_all & (sid_min == sid_max)
+        )
+        if not suspect.any():
+            return
+        bounds = np.append(starts, words.size)
+        for idx in np.flatnonzero(suspect):
+            sl = slice(bounds[idx], bounds[idx + 1])
+            b_run = blk[sl]
+            if (b_run != b_run[0]).any():
+                self._hazard_bail(label, words[sl][0], sid[sl],
+                                  "cross-block")
+            e_run = ep[sl]
+            g_run = gw[sl]
+            w_run = wr[sl]
+            s_run = sid[sl]
+            for e in np.unique(e_run):
+                m = e_run == e
+                g = g_run[m]
+                if (g == g[0]).all():
+                    continue
+                w = w_run[m]
+                if not w.any():
+                    continue
+                s = s_run[m]
+                if w.all() and (s == s[0]).all():
+                    continue
+                self._hazard_bail(label, words[sl][0], s_run,
+                                  "cross-warp")
+
+    def _hazard_bail(self, label: str, word: int, sids: np.ndarray,
+                     kind: str) -> None:
+        pcs = sorted({self._step_pcs[int(s)] for s in sids[:64]})
+        raise _VBail(
+            f"{kind}-memory-conflict",
+            f"{label} word at byte {int(word) * 4}, pcs {pcs[:6]}",
+        )
+
+    # -- trace assembly --------------------------------------------------
+    def emit(self, out_blocks: List[BlockTrace]) -> None:
+        grid = self.launch.grid
+        intern = self.sig_intern
+        for b in range(self.nblocks):
+            block_id = self.lo + b
+            wtraces = []
+            for ws in self._block_warps[b]:
+                wt = ws.trace
+                if self.collect_trace:
+                    key = tuple(ws.sig)
+                    wt.sig_base = intern.setdefault(key, key)
+                wtraces.append(wt)
+            out_blocks.append(
+                BlockTrace(block_id, grid.linear_to_xyz(block_id),
+                           wtraces)
+            )
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+def attempt_vectorization(host: FunctionalExecutor, trace: KernelTrace,
+                          covered: int) -> int:
+    """Called from ``FunctionalExecutor.run`` after the extrapolation
+    attempt.  Returns how many leading blocks are now covered: the
+    whole grid when the megawarp committed, ``covered`` unchanged when
+    the extrapolator already took the launch, 0 on skip or bail (the
+    serial loop then covers everything).
+
+    In ``verify`` mode the megawarp runs against a fork and commits
+    nothing; :func:`verify_vectorization` compares after the serial
+    run."""
+    mode = host.vector
+    grid = host.launch.grid
+    wpb = (host.launch.threads_per_block + WARP_SIZE - 1) // WARP_SIZE
+    total_warps = grid.count * wpb
+    report = VectorReport(
+        kernel=host.kernel.name, mode=mode, engaged=False,
+        warps_total=total_warps,
+    )
+    trace.vector = report
+    obs.inc("vector.launches", kernel=host.kernel.name)
+    obs.inc("vector.warps_total", total_warps, kernel=host.kernel.name)
+    if covered:
+        report.reason = "extrapolated"
+        report.detail = "block-trace extrapolation covered the launch"
+        _count_skip(report)
+        return covered
+    if mode == "0":
+        report.reason = "disabled"
+        _count_skip(report)
+        return 0
+    if host.extrapolate == "verify" and host._pending_verify is not None:
+        report.reason = "extrapolate-verify"
+        report.detail = "extrapolation verify pass owns this launch"
+        _count_skip(report)
+        return 0
+    if host.linear_values is not None:
+        report.reason = "transformed-kernel"
+        report.detail = "R2D2-transformed launches replay %lr/%cr state"
+        _count_skip(report)
+        return 0
+    min_warps = 1 if mode == "verify" else MIN_WARPS
+    if total_warps < min_warps:
+        report.reason = "launch-too-small"
+        report.detail = f"{total_warps} < {min_warps} warps"
+        _count_skip(report)
+        return 0
+    obs.inc("vector.engaged", kernel=host.kernel.name)
+
+    shared_stride = (max(host.kernel.shared_mem_bytes, 16) + 127) \
+        // 128 * 128
+    blocks_per_chunk = max(1, min(
+        _chunk_warps() // max(wpb, 1) or 1,
+        MAX_SHARED_ARENA_BYTES // shared_stride or 1,
+    ))
+    fork = host.memory.fork()
+    blocks: List[BlockTrace] = []
+    memo = _LineMemo()
+    sig_intern: Dict[tuple, tuple] = {}
+    counters: Dict[str, int] = {}
+    executed = 0
+    try:
+        with np.errstate(over="ignore", invalid="ignore",
+                         divide="ignore"):
+            # Chunks run in block order against the same fork, so later
+            # chunks observe earlier chunks' stores exactly as later
+            # blocks observe earlier blocks' stores serially.
+            for lo in range(0, grid.count, blocks_per_chunk):
+                hi = min(lo + blocks_per_chunk, grid.count)
+                engine = _MegaWarpEngine(
+                    host, lo, hi, fork, memo, sig_intern, executed
+                )
+                try:
+                    engine.run_megawarp()
+                    engine.check_hazards()
+                finally:
+                    for key, val in engine.counters.items():
+                        counters[key] = counters.get(key, 0) + val
+                engine.emit(blocks)
+                executed = engine._executed
+    except (_VBail, MemoryError_, ExecutionError) as exc:
+        # Discard everything; the serial rerun reproduces the exact
+        # observable behaviour (including raising, for real OOB bugs).
+        report.bailed = True
+        report.reason = getattr(exc, "reason", None) or (
+            "memory-error" if isinstance(exc, MemoryError_)
+            else "execution-error"
+        )
+        report.detail = str(exc)
+        _emit_counters(host.kernel.name, counters)
+        obs.inc(
+            "vector.bailed", kernel=report.kernel, reason=report.reason
+        )
+        obs.event(
+            "vector.fallback",
+            kernel=report.kernel,
+            reason=report.reason,
+            detail=report.detail,
+            bailed=True,
+        )
+        return 0
+
+    _emit_counters(host.kernel.name, counters)
+    report.engaged = True
+    if mode == "verify":
+        host._pending_vector_verify = (fork, blocks)
+        return 0
+
+    # Commit: in-place so existing dtype views over the buffer stay
+    # valid, then adopt the megawarp traces.
+    host.memory.buf[:] = fork.buf
+    trace.blocks.extend(blocks)
+    report.warps_vectorized = total_warps
+    obs.inc(
+        "vector.warps_vectorized", total_warps, kernel=report.kernel
+    )
+    return grid.count
+
+
+def _emit_counters(kernel: str, counters: Dict[str, int]) -> None:
+    for key, val in counters.items():
+        if val:
+            obs.inc(f"vector.{key}", val, kernel=kernel)
+
+
+def _count_skip(report: VectorReport) -> None:
+    obs.inc(
+        "vector.ineligible", kernel=report.kernel, reason=report.reason
+    )
+    obs.event(
+        "vector.fallback",
+        kernel=report.kernel,
+        reason=report.reason,
+        detail=report.detail,
+        bailed=False,
+    )
+
+
+def verify_vectorization(host: FunctionalExecutor,
+                         trace: KernelTrace) -> None:
+    """``verify`` mode epilogue: compare the megawarp run (fork +
+    traces stashed by :func:`attempt_vectorization`) against the serial
+    run that just completed on the real device state."""
+    pending = host._pending_vector_verify
+    if pending is None:
+        return
+    host._pending_vector_verify = None
+    fork, blocks = pending
+    diffs = _trace_diffs(blocks, trace.blocks)
+    if not np.array_equal(fork.buf, host.memory.buf):
+        bad = np.flatnonzero(fork.buf != host.memory.buf)
+        diffs.append(
+            f"global memory differs at {bad.size} byte(s), first at "
+            f"address {int(bad[0])}"
+        )
+    if diffs:
+        raise VectorMismatch(
+            f"megawarp launch of {host.kernel.name} diverges from "
+            "serial execution: " + "; ".join(diffs[:5])
+        )
+    report = trace.vector
+    report.verified = True
+    report.warps_vectorized = report.warps_total
+    obs.inc("vector.verified", kernel=host.kernel.name)
+    obs.inc(
+        "vector.warps_vectorized", report.warps_total,
+        kernel=host.kernel.name,
+    )

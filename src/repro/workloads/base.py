@@ -14,6 +14,7 @@ output buffers are compared bit-for-bit).
 from __future__ import annotations
 
 import abc
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,8 +60,11 @@ class Workload(abc.ABC):
         self.scale = scale
         self.params: Dict[str, object] = dict(self.scales()[scale])
         self._outputs: List[OutputBuffer] = []
+        # crc32, not hash(): str hashing is salted per process, and a
+        # per-process seed makes figure output irreproducible across
+        # runs (the cache then hides the drift until --no-cache).
         self.rng = np.random.default_rng(
-            abs(hash(self.abbr)) % (2**32)
+            zlib.crc32(self.abbr.encode()) % (2**32)
         )
 
     # ------------------------------------------------------------------

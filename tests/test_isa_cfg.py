@@ -146,3 +146,132 @@ class TestLoops:
                 b.add(i, j)
         cfg = ControlFlowGraph(b.build())
         assert len(cfg.back_edges()) == 2
+
+
+def _conditional_branch_pcs(kernel):
+    return [
+        pc
+        for pc, instr in enumerate(kernel.instructions)
+        if instr.is_conditional_branch
+    ]
+
+
+class TestReconvergenceCorners:
+    """Corner cases the megawarp engine's per-warp stacks depend on."""
+
+    def test_nested_if_else_inside_loop(self):
+        """The if/else inside the loop body must reconverge *inside*
+        the loop — before the back edge — not at the loop exit."""
+        b = KernelBuilder("ifinloop")
+        with b.for_range(0, 4) as i:
+            p = b.setp(CmpOp.LT, b.tid_x(), 4)
+            with b.if_else(p) as (then, otherwise):
+                with then:
+                    b.add(i, 1)
+                with otherwise:
+                    b.add(i, 2)
+            b.mul(i, 3)  # merge point, still in the body
+        kernel = b.build()
+        cfg = ControlFlowGraph(kernel)
+        loop_blocks = cfg.blocks_in_loops()
+        branches = _conditional_branch_pcs(kernel)
+        # header exit branch + the if/else branch
+        assert len(branches) == 2
+        if_pc = branches[1]
+        rpc = cfg.reconvergence_pc(if_pc)
+        assert if_pc < rpc < len(kernel.instructions)
+        assert cfg.block_of(rpc).index in loop_blocks
+        merge_pc = next(
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.opcode.value == "mul"
+        )
+        assert rpc == merge_pc
+
+    def test_conditional_back_edge_to_loop_header(self):
+        """Do-while shape: a *conditional* branch back to the loop
+        header.  The branch block's ipdom is the fall-through (loop
+        exit), and the back edge must be found even though the header
+        is not reached by an unconditional branch."""
+        b = KernelBuilder("dowhile")
+        i = b.mov(0)
+        header = b.fresh_label("HEADER")
+        b.place_label(header)
+        b.add_to(i, i, 1)
+        p = b.setp(CmpOp.LT, i, 8)
+        b.bra(header, pred=p)
+        tail = b.mov(9)
+        kernel = b.build()
+        cfg = ControlFlowGraph(kernel)
+
+        edges = cfg.back_edges()
+        assert len(edges) == 1
+        tail_block, head_block = edges[0]
+        header_pc = kernel.label_pc(header)
+        assert cfg.blocks[head_block].start == header_pc
+        assert cfg.block_of(header_pc).index in cfg.blocks_in_loops()
+
+        branch_pc = _conditional_branch_pcs(kernel)[0]
+        rpc = cfg.reconvergence_pc(branch_pc)
+        tail_pc = next(
+            pc
+            for pc, instr in enumerate(kernel.instructions)
+            if instr.dst is not None and instr.dst.name == tail.name
+        )
+        assert rpc == tail_pc
+
+    def test_divergent_exit_reconverges_at_kernel_end(self):
+        """A branch whose taken arm exits has no post-dominator block
+        before kernel end: reconvergence_pc must be len(instructions)
+        (the virtual exit), which the interpreters treat as 'run until
+        done'."""
+        b = KernelBuilder("earlyexit")
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        with b.if_then(p):
+            b.mov(1)
+            b.exit()
+        b.mov(2)
+        kernel = b.build()
+        cfg = ControlFlowGraph(kernel)
+        branch_pc = _conditional_branch_pcs(kernel)[0]
+        # Both arms end in EXIT, so no real block post-dominates the
+        # branch; the merge point is the virtual exit.
+        assert cfg.reconvergence_pc(branch_pc) == len(kernel.instructions)
+
+    def test_two_sided_exit_reconverges_at_kernel_end(self):
+        """Both if/else arms exiting separately: no shared block at
+        all after the branch."""
+        b = KernelBuilder("bothexit")
+        p = b.setp(CmpOp.LT, b.tid_x(), 4)
+        with b.if_else(p) as (then, otherwise):
+            with then:
+                b.mov(1)
+                b.exit()
+            with otherwise:
+                b.mov(2)
+                b.exit()
+        kernel = b.build()
+        cfg = ControlFlowGraph(kernel)
+        for branch_pc in _conditional_branch_pcs(kernel):
+            assert (
+                cfg.reconvergence_pc(branch_pc)
+                == len(kernel.instructions)
+            )
+
+    def test_loop_nest_reconvergence_ordering(self):
+        """In a doubly nested loop, the inner header's exit branch
+        reconverges no later than the outer one's — the property the
+        reconvergence stack's push ordering relies on."""
+        b = KernelBuilder("nestorder")
+        with b.for_range(0, 4) as i:
+            with b.for_range(0, 4) as j:
+                b.add(i, j)
+            b.mul(i, 2)
+        kernel = b.build()
+        cfg = ControlFlowGraph(kernel)
+        outer_pc, inner_pc = _conditional_branch_pcs(kernel)
+        assert inner_pc > outer_pc
+        assert (
+            cfg.reconvergence_pc(inner_pc)
+            <= cfg.reconvergence_pc(outer_pc)
+        )
