@@ -39,6 +39,12 @@ Two independent checks, both of which must pass:
    the 85%% retain gate against
    ``benchmarks/baseline/BENCH_vector.json`` and ``--vector-out`` to
    merge-update it.
+5. **Decision-provenance overhead** — when the current run contains
+   the ``test_workload_provenance_on`` / ``_off`` pair, collecting the
+   decision trace must cost at most ``--max-provenance-overhead``
+   (fraction, default 0.05 = 5%%,
+   ``$BENCH_MAX_PROVENANCE_OVERHEAD`` overrides) over the same
+   workload with ``R2D2_PROVENANCE=0``.  Same-run, same-machine ratio.
 
 Exit status 0 on pass, 1 on regression, 2 on usage/IO errors.
 """
@@ -57,6 +63,8 @@ EXTRAPOLATE_ON_SUFFIX = "_extrapolate_on"
 EXTRAPOLATE_OFF_SUFFIX = "_extrapolate_off"
 VECTOR_ON_SUFFIX = "_vector_on"
 VECTOR_OFF_SUFFIX = "_vector_off"
+PROVENANCE_ON_BENCH = "test_workload_provenance_on"
+PROVENANCE_OFF_BENCH = "test_workload_provenance_off"
 #: Fraction of the committed speedup the current run must retain.
 SPEEDUP_RETAIN = 0.85
 
@@ -219,6 +227,16 @@ def main(argv: Optional[list] = None) -> int:
              "speedups from the current run",
     )
     parser.add_argument(
+        "--max-provenance-overhead",
+        type=float,
+        default=float(
+            os.environ.get("BENCH_MAX_PROVENANCE_OVERHEAD", "0.05")
+        ),
+        help="max fractional cost of decision-provenance collection "
+             "over the R2D2_PROVENANCE=0 run (default: 0.05; "
+             "$BENCH_MAX_PROVENANCE_OVERHEAD overrides)",
+    )
+    parser.add_argument(
         "--allow-missing-baseline", action="store_true",
         help="pass the baseline check when the baseline file is absent",
     )
@@ -291,6 +309,20 @@ def main(argv: Optional[list] = None) -> int:
         args.min_vector_speedup,
         args.vector_baseline, args.vector_out,
     )
+
+    # -- check 5: decision-provenance overhead (same machine, same run) -
+    if PROVENANCE_ON_BENCH in current and PROVENANCE_OFF_BENCH in current:
+        overhead = (
+            current[PROVENANCE_ON_BENCH] / current[PROVENANCE_OFF_BENCH]
+            - 1.0
+        )
+        ok = overhead <= args.max_provenance_overhead
+        print(
+            f"{'ok' if ok else 'REGRESSION':>10}  provenance overhead:"
+            f" {overhead * 100:+.1f}%"
+            f" (required <= {args.max_provenance_overhead * 100:.1f}%)"
+        )
+        failed = failed or not ok
 
     return 1 if failed else 0
 

@@ -319,6 +319,47 @@ def test_dyntrip_vector_off(benchmark):
     _vector_bench(benchmark, _dyntrip_kernel(), "0")
 
 
+# ---------------------------------------------------------------------------
+# Decision-provenance overhead (R2D2_PROVENANCE): the full workload
+# pipeline with the decision trace on (default) vs off.  ``compare.py``
+# pairs ``test_workload_provenance_on/_off`` and enforces that
+# collection stays within BENCH_MAX_PROVENANCE_OVERHEAD (default 5%).
+# ---------------------------------------------------------------------------
+
+
+def _provenance_bench(benchmark, enabled):
+    import os
+
+    from repro import obs
+    from repro.harness.runner import run_workload
+    from repro.workloads import factory
+
+    saved = os.environ.get("R2D2_PROVENANCE")
+    os.environ["R2D2_PROVENANCE"] = "1" if enabled else "0"
+    try:
+        def run():
+            obs.reset()
+            return run_workload(
+                factory("BP", "tiny"), config=tiny(), cache=False,
+            )
+
+        result = benchmark.pedantic(run, rounds=5, warmup_rounds=1)
+        assert result.stats
+    finally:
+        if saved is None:
+            os.environ.pop("R2D2_PROVENANCE", None)
+        else:
+            os.environ["R2D2_PROVENANCE"] = saved
+
+
+def test_workload_provenance_on(benchmark):
+    _provenance_bench(benchmark, True)
+
+
+def test_workload_provenance_off(benchmark):
+    _provenance_bench(benchmark, False)
+
+
 def test_vector_engines_agree():
     """Not a timing benchmark: on divergent workloads the megawarp must
     leave memory bit-identical to serial execution."""

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig12 --jobs 4        # parallel suite run
     python -m repro fig12 --metrics-out run.json   # export run metrics
     python -m repro profile BP            # per-phase/per-kernel profile
+    python -m repro explain BP            # why instructions stayed/went
     python -m repro cache stats           # persistent-cache usage
     python -m repro cache clear           # drop every cached result
     python -m repro oracle fuzz           # analyzer soundness fuzzing
@@ -30,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 import time
@@ -125,7 +127,7 @@ def build_profile_parser() -> argparse.ArgumentParser:
                     "per-kernel observability breakdown.",
     )
     parser.add_argument(
-        "abbr", choices=all_abbrs(),
+        "abbr",
         help="Table 2 workload abbreviation",
     )
     parser.add_argument(
@@ -151,8 +153,98 @@ def build_profile_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Run one workload and report per-instruction "
+                    "removable/blocked attribution, causal demotion "
+                    "chains, and the unified engine-decision trace.",
+    )
+    parser.add_argument(
+        "abbr",
+        help="Table 2 workload abbreviation",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=("tiny", "small"),
+        help="workload scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--sms", type=int, default=4,
+        help="number of SMs in the benchmark GPU (default: 4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan per-arch cells out to N worker processes",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_out",
+        help="write the explanation document as JSON to PATH "
+             "('-' for stdout; schema in docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--html", default=None, metavar="PATH", dest="html_out",
+        help="write a self-contained HTML report to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="also export the run's counters/spans/decisions to PATH",
+    )
+    return parser
+
+
+def _check_abbr(command: str, abbr: str) -> bool:
+    """One-line unknown-workload diagnostic (exit code 2, no traceback)."""
+    if abbr in all_abbrs():
+        return True
+    print(
+        f"repro {command}: unknown workload {abbr!r}; valid "
+        f"abbreviations: {', '.join(all_abbrs())}",
+        file=sys.stderr,
+    )
+    return False
+
+
+def explain_main(argv: Sequence[str]) -> int:
+    from .explain import build_explanation, render_html, render_text
+
+    args = build_explain_parser().parse_args(list(argv))
+    if not _check_abbr("explain", args.abbr):
+        return 2
+    doc = build_explanation(
+        args.abbr, scale=args.scale, sms=args.sms, jobs=args.jobs,
+    )
+    if args.json_out == "-":
+        json.dump(doc, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(render_text(doc))
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, default=str)
+                fh.write("\n")
+            print(f"json written to {args.json_out}")
+    if args.html_out:
+        with open(args.html_out, "w", encoding="utf-8") as fh:
+            fh.write(render_html(doc))
+        print(f"html written to {args.html_out}")
+    if args.metrics_out:
+        obs.write_metrics(
+            args.metrics_out,
+            meta={
+                "command": "explain",
+                "abbr": args.abbr,
+                "scale": args.scale,
+                "sms": args.sms,
+            },
+        )
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
 def profile_main(argv: Sequence[str]) -> int:
     args = build_profile_parser().parse_args(list(argv))
+    if not _check_abbr("profile", args.abbr):
+        return 2
     config = bench_config(args.sms)
     arches = tuple(args.arches) if args.arches else ALL_ARCHES
 
@@ -244,6 +336,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
 
+    # Decision-provenance report; dispatch like profile.
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
+
     args = build_parser().parse_args(argv)
 
     if args.artifact == "list":
@@ -252,6 +348,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("maintenance    : cache [stats|clear]")
         print("testing        : oracle [fuzz|replay|corpus]")
         print("observability  : profile <abbr> [--metrics-out run.json]")
+        print("                 explain <abbr> [--json out.json]"
+              " [--html out.html]")
         return 0
 
     if args.artifact == "cache":

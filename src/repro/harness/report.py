@@ -189,6 +189,28 @@ def obs_kernel_table(snapshot: Dict[str, object]) -> Table:
     return table
 
 
+def obs_decision_table(snapshot: Dict[str, object]) -> Table:
+    """The unified decision trace (engine skip/bail/engage, analyzer
+    demotions, dedup opt-outs, cache hits/misses) as a table."""
+    table = Table(
+        "Engine decisions",
+        ["engine", "decision", "kernel", "reason", "pc", "count"],
+    )
+    for entry in snapshot.get("decisions") or ():
+        if not isinstance(entry, dict):
+            continue
+        pc = entry.get("pc")
+        table.add_row(
+            str(entry.get("engine", "?")),
+            str(entry.get("decision", "?")),
+            str(entry.get("kernel", "") or "")[:28],
+            str(entry.get("reason", "")),
+            "" if pc is None else pc,
+            int(entry.get("count", 1)),
+        )
+    return table
+
+
 def format_fallbacks(slugs: Dict[str, int]) -> str:
     """Render fallback slug counts as ``slug x3, other`` (count omitted
     when 1), most frequent first."""
@@ -227,6 +249,9 @@ def obs_summary(snapshot: Dict[str, object]) -> str:
     kernels = obs_kernel_table(snapshot)
     if kernels.rows:
         parts += [kernels.render(), ""]
+    decisions = obs_decision_table(snapshot)
+    if decisions.rows:
+        parts += [decisions.render(), ""]
     lines = [
         f"  {label:<26}: {int(totals[name])}"
         for label, name in _HEADLINE_COUNTERS

@@ -91,14 +91,13 @@ class WorkloadResult:
     stats: Dict[str, ArchStats] = field(default_factory=dict)
     verified: bool = False
     outputs_identical: bool = False
-    #: Per-launch block-trace extrapolation outcomes (dicts from
-    #: ``ExtrapolationReport.to_dict``): machine-readable speedup/skip
-    #: reasons for the run report.  Empty for results deserialized from
-    #: caches written before extrapolation existed.
-    extrapolation: List[dict] = field(default_factory=list)
-    #: Per-launch megawarp vectorization outcomes (dicts from
-    #: ``VectorReport.to_dict``), same contract as ``extrapolation``.
-    vector: List[dict] = field(default_factory=list)
+    #: Per-launch engine outcomes (dicts from
+    #: ``DecisionEvent.to_dict``): both the extrapolation and megawarp
+    #: engines report eligibility/bail/engage through this one unified
+    #: list — machine-readable speedup/skip reasons for the run report.
+    #: Empty for results deserialized from caches written before
+    #: decision provenance existed.
+    engine_decisions: List[dict] = field(default_factory=list)
 
     def __getitem__(self, arch: str) -> ArchStats:
         return self.stats[arch]
@@ -210,13 +209,13 @@ def _run_workload_phases(
     result = WorkloadResult(abbr=workload.abbr, scale=workload.scale)
     result.verified = verify
     for trace in traces:
-        # getattr: cached traces may predate the extrapolation field.
-        report = getattr(trace, "extrapolation", None)
-        if report is not None:
-            result.extrapolation.append(report.to_dict())
-        vreport = getattr(trace, "vector", None)
-        if vreport is not None:
-            result.vector.append(vreport.to_dict())
+        # getattr twice over: cached traces may predate the report
+        # fields, and cached reports may predate ``to_decision``.
+        for attr in ("extrapolation", "vector"):
+            report = getattr(trace, attr, None)
+            to_decision = getattr(report, "to_decision", None)
+            if to_decision is not None:
+                result.engine_decisions.append(to_decision().to_dict())
 
     trace_arches = [n for n in arch_names if n != "r2d2"]
     with obs.span("analyze"):

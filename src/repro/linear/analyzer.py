@@ -110,6 +110,71 @@ class BoundaryUse:
     in_loop: bool
 
 
+@dataclass(frozen=True)
+class DemotionEvent:
+    """One instruction leaving (or failing to enter) the linear domain.
+
+    The analyzer records one of these for every static instruction it
+    classifies ``NONLINEAR``, with a machine-readable ``reason`` slug,
+    the operand classes it saw, and — where the demotion was caused by
+    an upstream value (a non-linear source register) — the ``cause_pc``
+    of that value's defining instruction, so
+    :meth:`AnalysisResult.causal_chain` can walk demotions back to the
+    first offending instruction.
+    """
+
+    pc: int
+    opcode: str
+    dst: Optional[str]
+    kind: str                       # resulting LinearKind value
+    #: Slug: "predicated", "narrowing-cvt", "nonlinear-source",
+    #: "nonaffine-combination", "data-dependent-load",
+    #: "untrackable-opcode", "non-integer-dtype",
+    #: "nonuniform-scalar-operands", "opaque-operand",
+    #: "multiwrite-guarded-update", "multiwrite-nonadditive-update",
+    #: "multiwrite-nonuniform-delta", "multiwrite-nonuniform-base",
+    #: "multiwrite-trivial-imm", "promotion-retracted".
+    reason: str
+    detail: str = ""
+    operands: Tuple[str, ...] = ()  # operand classes at analysis time
+    cause_pc: Optional[int] = None  # defining pc of the offending value
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "pc": self.pc,
+            "opcode": self.opcode,
+            "kind": self.kind,
+            "reason": self.reason,
+        }
+        if self.dst is not None:
+            doc["dst"] = self.dst
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.operands:
+            doc["operands"] = list(self.operands)
+        if self.cause_pc is not None:
+            doc["cause_pc"] = self.cause_pc
+        return doc
+
+
+@dataclass(frozen=True)
+class NonlinearAddress:
+    """A memory access whose base register carries no coefficient
+    vector — the address R2D2 could not remove.  ``cause_pc`` is the
+    base register's defining instruction (the head of the causal
+    demotion chain); ``None`` when the register was never defined."""
+
+    pc: int
+    reg: str
+    cause_pc: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {"pc": self.pc, "reg": self.reg}
+        if self.cause_pc is not None:
+            doc["cause_pc"] = self.cause_pc
+        return doc
+
+
 @dataclass
 class AnalysisResult:
     """Everything the decoupling stage needs, plus reporting statistics."""
@@ -142,6 +207,16 @@ class AnalysisResult:
     #: retracted after the walk: inside a loop the clobber re-executes
     #: before the textually-earlier update.
     demoted_multiwrite: Set[str] = field(default_factory=set)
+    #: multi-write register name -> pc of the clobbering write that
+    #: demoted its base (causal anchor for promotion retractions).
+    demotion_clobber: Dict[str, int] = field(default_factory=dict)
+    #: Demotion provenance, in program order, plus a by-pc index.
+    demotions: List[DemotionEvent] = field(default_factory=list)
+    demotion_by_pc: Dict[int, DemotionEvent] = field(default_factory=dict)
+    #: Memory accesses whose base address stayed non-linear.
+    nonlinear_addresses: List[NonlinearAddress] = field(
+        default_factory=list
+    )
 
     # ------------------------------------------------------------------
     def kind_counts(self) -> Dict[LinearKind, int]:
@@ -166,6 +241,24 @@ class AnalysisResult:
     def demanded_vectors(self) -> List[Tuple[str, CoeffVec]]:
         return sorted(self.demanded.items(), key=lambda kv: kv[0])
 
+    def causal_chain(self, pc: int) -> List[DemotionEvent]:
+        """The demotion chain ending at ``pc``, innermost first: the
+        demotion at ``pc`` itself, then the demotion that caused it,
+        back to the first offending instruction.  Empty when ``pc`` was
+        never demoted; cycles (loop-carried self-causes) terminate at
+        the first repeated pc."""
+        chain: List[DemotionEvent] = []
+        seen: Set[int] = set()
+        cursor: Optional[int] = pc
+        while cursor is not None and cursor not in seen:
+            seen.add(cursor)
+            ev = self.demotion_by_pc.get(cursor)
+            if ev is None:
+                break
+            chain.append(ev)
+            cursor = ev.cause_pc
+        return chain
+
 
 def analyze_kernel(kernel: Kernel) -> AnalysisResult:
     """Run the R2D2 analyzer over ``kernel`` (Algorithm 1, lines 5–15)."""
@@ -181,9 +274,13 @@ def analyze_kernel(kernel: Kernel) -> AnalysisResult:
 
     # reg name -> current CoeffVec (None == non-linear / unknown)
     env: Dict[str, Optional[CoeffVec]] = {}
+    # reg name -> pc of its most recent definition (demotion provenance)
+    last_def: Dict[str, int] = {}
 
     for pc, instr in enumerate(kernel.instructions):
-        _classify_instruction(result, env, pc, instr, pc_in_loop)
+        _classify_instruction(result, env, pc, instr, pc_in_loop, last_def)
+        if instr.dst is not None and not instr.is_control:
+            last_def[instr.dst.name] = pc
 
     _retract_demoted_promotions(result)
     _collect_boundary_uses(result, pc_in_loop)
@@ -218,17 +315,86 @@ def _retract_demoted_promotions(result: AnalysisResult) -> None:
         ):
             result.uniform_updates.discard(pc)
             result.kind_by_pc[pc] = LinearKind.NONLINEAR
+            clobber = result.demotion_clobber.get(instr.dst.name)
+            _record_demotion(
+                result, pc, instr,
+                reason="promotion-retracted",
+                detail=(
+                    f"uniform-update promotion of {instr.dst.name} "
+                    f"retracted: base clobbered"
+                    + (f" at pc {clobber}" if clobber is not None else "")
+                ),
+                cause_pc=clobber,
+            )
 
 
 # ----------------------------------------------------------------------
 # Per-instruction classification (Algorithm 1 lines 6-12)
 # ----------------------------------------------------------------------
-def _demote_multiwrite_base(result: AnalysisResult, name: str) -> None:
+def _demote_multiwrite_base(
+    result: AnalysisResult, name: str, pc: int
+) -> None:
     """Mark a multi-write register's base as non-decomposable."""
     prev = result.multiwrite_base.get(name)
     result.multiwrite_base[name] = "nonlinear"
     if prev in ("linear", "uniform"):
         result.demoted_multiwrite.add(name)
+        result.demotion_clobber.setdefault(name, pc)
+
+
+def _operand_class(
+    env: Dict[str, Optional[CoeffVec]], op: object
+) -> str:
+    """A short provenance label for one source operand."""
+    if isinstance(op, Reg):
+        if op.name not in env:
+            state = "undef"
+        elif env[op.name] is None:
+            state = "nonlinear"
+        else:
+            state = kind_of_vec(env[op.name]).value
+        return f"reg:{op.name}:{state}"
+    if isinstance(op, Imm):
+        return "imm" if isinstance(op.value, int) else "imm:float"
+    if isinstance(op, SpecialReg):
+        return f"sreg:{getattr(op, 'name', op)}".lower()
+    if isinstance(op, ParamRef):
+        return f"param:{op.index}"
+    if isinstance(op, MemRef):
+        return f"mem:{op.base.name}"
+    return type(op).__name__.lower()
+
+
+def _record_demotion(
+    result: AnalysisResult,
+    pc: int,
+    instr: Instruction,
+    reason: str,
+    detail: str = "",
+    cause_pc: Optional[int] = None,
+    env: Optional[Dict[str, Optional[CoeffVec]]] = None,
+) -> None:
+    """Append one :class:`DemotionEvent` (and its decision-trace echo)."""
+    operands: Tuple[str, ...] = ()
+    if env is not None:
+        operands = tuple(_operand_class(env, op) for op in instr.srcs)
+    event = DemotionEvent(
+        pc=pc,
+        opcode=instr.opcode.value,
+        dst=instr.dst.name if instr.dst is not None else None,
+        kind=result.kind_by_pc.get(pc, LinearKind.NONLINEAR).value,
+        reason=reason,
+        detail=detail,
+        operands=operands,
+        cause_pc=cause_pc,
+    )
+    result.demotions.append(event)
+    result.demotion_by_pc[pc] = event
+    obs.decision(
+        "analyzer", "demote",
+        kernel=result.kernel.name, reason=reason, pc=pc,
+        cause_pc=cause_pc,
+    )
 
 
 def _source_vec(
@@ -284,12 +450,56 @@ def _transfer(
     return None
 
 
+def _demotion_reason(
+    env: Dict[str, Optional[CoeffVec]],
+    instr: Instruction,
+    src_vecs: List[Optional[CoeffVec]],
+    trackable: bool,
+    scalarizable: bool,
+    last_def: Dict[str, int],
+) -> Tuple[str, Optional[int]]:
+    """Why this instruction's destination left the linear domain.
+
+    Returns ``(reason, cause_pc)``: the machine-readable slug plus, when
+    the blame lies with an earlier instruction (a nonlinear source
+    operand), the pc of that instruction's defining write.
+    """
+    known = (
+        instr.opcode in LINEAR_TRACKABLE
+        or instr.opcode in SCALARIZABLE
+        or instr.opcode is Opcode.LD_PARAM
+    )
+    if not (trackable or scalarizable):
+        if instr.pred is not None and known:
+            return "predicated", None
+        if instr.is_memory:
+            return "data-dependent-load", None
+        if known and not instr.dtype.is_integer:
+            return "non-integer-dtype", None
+        return "untrackable-opcode", None
+
+    # The opcode was eligible but the Figure-6 transfer failed: blame the
+    # first operand that is itself outside the linear domain, then the
+    # shape of the combination.
+    for op in instr.srcs:
+        if isinstance(op, Reg) and env.get(op.name) is None:
+            return "nonlinear-source", last_def.get(op.name)
+    if instr.opcode is Opcode.CVT and instr.dtype in (DType.S32, DType.U32):
+        return "narrowing-cvt", None
+    if any(v is None for v in src_vecs):
+        return "opaque-operand", None
+    if trackable:
+        return "nonaffine-combination", None
+    return "nonuniform-scalar-operands", None
+
+
 def _classify_instruction(
     result: AnalysisResult,
     env: Dict[str, Optional[CoeffVec]],
     pc: int,
     instr: Instruction,
     pc_in_loop,
+    last_def: Dict[str, int],
 ) -> None:
     dst = instr.dst
     if dst is None or instr.is_control:
@@ -338,7 +548,45 @@ def _classify_instruction(
             # can no longer describe — and poisons it for every other
             # update of this register (loop bodies re-execute).
             result.kind_by_pc[pc] = LinearKind.NONLINEAR
-            _demote_multiwrite_base(result, dst.name)
+            if instr.pred is not None:
+                reason, cause = "multiwrite-guarded-update", None
+            elif instr.opcode not in (Opcode.ADD, Opcode.SUB):
+                reason, cause = "multiwrite-nonadditive-update", None
+            elif not (
+                delta_vecs
+                and all(
+                    v is not None and v.is_pure_constant
+                    for v in delta_vecs
+                )
+            ):
+                reason = "multiwrite-nonuniform-delta"
+                cause = next(
+                    (
+                        last_def.get(op.name)
+                        for op, v in zip(
+                            (
+                                o for o in instr.srcs
+                                if not (
+                                    isinstance(o, Reg)
+                                    and o.name == dst.name
+                                )
+                            ),
+                            delta_vecs,
+                        )
+                        if isinstance(op, Reg)
+                        and not (v is not None and v.is_pure_constant)
+                    ),
+                    None,
+                )
+            else:
+                reason = "multiwrite-nonuniform-base"
+                cause = result.demotion_clobber.get(dst.name)
+            _demote_multiwrite_base(result, dst.name, pc)
+            _record_demotion(
+                result, pc, instr, reason=reason,
+                detail=f"self-update of multi-write {dst.name}",
+                cause_pc=cause, env=env,
+            )
         env[dst.name] = None
         return
 
@@ -377,11 +625,17 @@ def _classify_instruction(
     if vec is None:
         env[dst.name] = None
         result.kind_by_pc[pc] = LinearKind.NONLINEAR
+        reason, cause = _demotion_reason(
+            env, instr, src_vecs, trackable, scalarizable, last_def
+        )
+        _record_demotion(
+            result, pc, instr, reason=reason, cause_pc=cause, env=env
+        )
         if multi:
             # Not just the *first* write matters: a later predicated or
             # non-linear write clobbers a linear/uniform base, so record
             # the demotion (it retracts any uniform-update promotion).
-            _demote_multiwrite_base(result, dst.name)
+            _demote_multiwrite_base(result, dst.name, pc)
         return
 
     if not multi:
@@ -405,6 +659,14 @@ def _classify_instruction(
         env[dst.name] = None
         result.kind_by_pc[pc] = LinearKind.NONLINEAR
         result.multiwrite_base.setdefault(dst.name, "uniform")
+        _record_demotion(
+            result, pc, instr, reason="multiwrite-trivial-imm",
+            detail=(
+                f"immediate write to multi-write {dst.name}: not worth a"
+                " mov-replacement"
+            ),
+            env=env,
+        )
         return
 
     result.kind_by_pc[pc] = LinearKind.MOV_REPLACED
@@ -432,6 +694,12 @@ def _collect_boundary_uses(result: AnalysisResult, pc_in_loop) -> None:
         LinearKind.BLOCK,
         LinearKind.FULL,
     }
+    # Per-register classification of the *last* write, for nonlinear-
+    # address attribution: a memory base whose defining write genuinely
+    # demoted (NONLINEAR) is a lost address-generation opportunity, while
+    # MOV_REPLACED / UNIFORM_UPDATE bases are decoupled, not lost.
+    def_kind: Dict[str, LinearKind] = {}
+    def_pc: Dict[str, int] = {}
 
     for pc, instr in enumerate(kernel.instructions):
         kind = result.kind_by_pc.get(pc, LinearKind.NONLINEAR)
@@ -452,6 +720,15 @@ def _collect_boundary_uses(result: AnalysisResult, pc_in_loop) -> None:
                     continue
                 vec = env.get(reg.name)
                 if vec is None:
+                    if as_address and def_kind.get(
+                        reg.name, LinearKind.NONLINEAR
+                    ) is LinearKind.NONLINEAR:
+                        result.nonlinear_addresses.append(
+                            NonlinearAddress(
+                                pc, reg.name,
+                                cause_pc=def_pc.get(reg.name),
+                            )
+                        )
                     continue
                 in_loop = pc_in_loop(pc)
                 result.boundary_uses.append(
@@ -478,3 +755,5 @@ def _collect_boundary_uses(result: AnalysisResult, pc_in_loop) -> None:
                 env[instr.dst.name] = result.vec_by_pc.get(pc)
             else:
                 env[instr.dst.name] = None
+            def_kind[instr.dst.name] = kind
+            def_pc[instr.dst.name] = pc

@@ -33,11 +33,18 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .decisions import (
+    ENV_PROVENANCE,
+    DecisionEvent,
+    DecisionTrace,
+    provenance_enabled,
+)
 from .export import (
     ENV_TRACE_LOG,
     EXPORT_SCHEMA,
     event,
     load_metrics,
+    read_events,
     trace_log_path,
 )
 from .export import write_metrics as _write_metrics
@@ -47,6 +54,8 @@ from .registry import MetricsRegistry, flatten_key, parse_key
 #: The process-wide registry and profiler every subsystem reports into.
 METRICS = MetricsRegistry()
 PROFILER = SpanProfiler()
+#: The process-wide decision trace (see :mod:`repro.obs.decisions`).
+DECISIONS = DecisionTrace()
 
 # -- convenience facade over the globals --------------------------------
 inc = METRICS.inc
@@ -56,12 +65,66 @@ counter_total = METRICS.counter_total
 span = PROFILER.span
 
 
+def decision(
+    engine: str,
+    what: str,
+    *,
+    kernel: Optional[str] = None,
+    reason: str = "",
+    detail: str = "",
+    pc: Optional[int] = None,
+    cause_pc: Optional[int] = None,
+    units_total: int = 0,
+    units_taken: int = 0,
+) -> None:
+    """Record one :class:`DecisionEvent` in the run's decision trace
+    (no-op when ``R2D2_PROVENANCE`` is off)."""
+    if not provenance_enabled():
+        return
+    DECISIONS.record(DecisionEvent(
+        engine=engine, decision=what, kernel=kernel, reason=reason,
+        detail=detail, pc=pc, cause_pc=cause_pc,
+        units_total=units_total, units_taken=units_taken,
+    ))
+
+
+def engine_fallback(
+    engine: str,
+    kernel: str,
+    reason: str,
+    detail: str = "",
+    bailed: bool = False,
+) -> None:
+    """The one path every engine fallback reports through: bumps the
+    engine's ``<engine>.ineligible`` / ``<engine>.bailed`` counter
+    (``kernel``/``reason`` labels), appends an ``<engine>.fallback``
+    event-log line, and records the :class:`DecisionEvent`."""
+    inc(
+        f"{engine}.bailed" if bailed else f"{engine}.ineligible",
+        kernel=kernel,
+        reason=reason,
+    )
+    event(
+        f"{engine}.fallback",
+        kernel=kernel,
+        reason=reason,
+        detail=detail,
+        bailed=bailed,
+    )
+    decision(
+        engine, "bail" if bailed else "skip",
+        kernel=kernel, reason=reason, detail=detail,
+    )
+
+
 def snapshot() -> Dict[str, object]:
-    """The current counters, gauges, and span trees (JSON-ready)."""
+    """The current counters, gauges, span trees, and decision trace
+    (JSON-ready)."""
     return {
         "counters": METRICS.counters(),
         "gauges": METRICS.gauges(),
         "spans": PROFILER.tree(),
+        "decisions": DECISIONS.snapshot(),
     }
 
 
@@ -81,13 +144,15 @@ def merge(blob: Optional[Dict[str, object]]) -> None:
         blob.get("counters") or {}, blob.get("gauges") or {}
     )
     PROFILER.merge_tree(blob.get("spans") or [])
+    DECISIONS.merge(blob.get("decisions") or [])
 
 
 def reset() -> None:
-    """Clear every counter, gauge, and span (between runs, not
-    mid-span)."""
+    """Clear every counter, gauge, span, and decision (between runs,
+    not mid-span)."""
     METRICS.reset()
     PROFILER.reset()
+    DECISIONS.reset()
 
 
 def write_metrics(path, meta: Optional[Dict[str, object]] = None) -> None:
@@ -96,6 +161,10 @@ def write_metrics(path, meta: Optional[Dict[str, object]] = None) -> None:
 
 
 __all__ = [
+    "DECISIONS",
+    "DecisionEvent",
+    "DecisionTrace",
+    "ENV_PROVENANCE",
     "ENV_TRACE_LOG",
     "EXPORT_SCHEMA",
     "METRICS",
@@ -105,6 +174,8 @@ __all__ = [
     "SpanProfiler",
     "counter_total",
     "counter_value",
+    "decision",
+    "engine_fallback",
     "event",
     "flatten_key",
     "gauge_set",
@@ -112,6 +183,8 @@ __all__ = [
     "load_metrics",
     "merge",
     "parse_key",
+    "provenance_enabled",
+    "read_events",
     "reset",
     "snapshot",
     "snapshot_and_reset",

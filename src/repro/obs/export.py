@@ -2,16 +2,23 @@
 
 Event log — set ``R2D2_TRACE_LOG=/path/to/log.jsonl`` and every
 :func:`event` call appends one JSON object per line (``ts``/``pid``/
-``event`` plus the caller's fields).  Writes go through an ``O_APPEND``
-file descriptor with one ``os.write`` per event, so concurrent
-``--jobs`` workers (which inherit the env var) can safely share a log
-file.  Unset, :func:`event` is a no-op costing one dict lookup.
+``event`` plus the caller's fields).  Every event is written
+*atomically*: the full serialized line — JSON plus its trailing
+newline — goes out in a single ``os.write`` on an ``O_APPEND`` file
+descriptor, so concurrent ``--jobs`` workers (which inherit the env
+var) interleave whole lines and can never tear each other's records.
+Unset, :func:`event` is a no-op costing one dict lookup.
 Observability must never break the run: I/O errors are swallowed.
 
+:func:`read_events` is the matching reader: it parses a shared log
+defensively, skipping (and counting) corrupt lines — a crashed writer
+or a pre-atomicity log never raises out of an analysis script.
+
 Metrics JSON — :func:`write_metrics` dumps a snapshot (counters, gauges,
-span trees, plus caller metadata) as one JSON document; this backs the
-harness ``--metrics-out run.json`` flag.  :func:`load_metrics` is the
-inverse.  See docs/OBSERVABILITY.md for both formats.
+span trees, decision trace, plus caller metadata) as one JSON document;
+this backs the harness ``--metrics-out run.json`` flag.
+:func:`load_metrics` is the inverse.  See docs/OBSERVABILITY.md for
+both formats.
 """
 
 from __future__ import annotations
@@ -19,12 +26,13 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 ENV_TRACE_LOG = "R2D2_TRACE_LOG"
 
-#: Version of the ``run.json`` / event-log shapes.
-EXPORT_SCHEMA = 1
+#: Version of the ``run.json`` / event-log shapes (2 added the
+#: ``decisions`` section).
+EXPORT_SCHEMA = 2
 
 _fd: Optional[int] = None
 _fd_path: Optional[str] = None
@@ -73,9 +81,40 @@ def event(name: str, **fields: object) -> None:
     if fd is None:
         return
     try:
+        # One write() of the complete line: O_APPEND makes the append
+        # offset atomic, so parallel workers can never interleave
+        # partial records into each other's lines.
         os.write(fd, line.encode("utf-8"))
     except OSError:
         pass
+
+
+def read_events(path: os.PathLike) -> Tuple[List[Dict[str, object]], int]:
+    """Parse a ``R2D2_TRACE_LOG`` JSON-lines file defensively.
+
+    Returns ``(events, corrupt)``: the well-formed event dicts in file
+    order, plus the number of lines that were skipped because they were
+    not valid JSON objects (torn writes from pre-atomicity logs,
+    truncation from a killed process, stray text).  Never raises on
+    malformed content — only on an unreadable file.
+    """
+    events: List[Dict[str, object]] = []
+    corrupt = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+            else:
+                corrupt += 1
+    return events, corrupt
 
 
 def write_metrics(
@@ -91,6 +130,7 @@ def write_metrics(
         "counters": snapshot.get("counters", {}),
         "gauges": snapshot.get("gauges", {}),
         "spans": snapshot.get("spans", []),
+        "decisions": snapshot.get("decisions", []),
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=False, default=str)

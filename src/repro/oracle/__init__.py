@@ -22,6 +22,7 @@ Shrunk counterexamples live in ``tests/corpus/`` and are replayed by CI;
 every new one an oracle run finds becomes the next bugfix's worklist.
 """
 
+from .cli import spec_explanation
 from .diff import OracleReport, check_spec
 from .invariants import Violation
 from .kernelgen import KernelGen, build_kernel, generate_spec
@@ -35,4 +36,5 @@ __all__ = [
     "check_spec",
     "generate_spec",
     "shrink_spec",
+    "spec_explanation",
 ]

@@ -31,6 +31,32 @@ def _print_report(report: OracleReport, verbose: bool = False) -> None:
         print(f"    {v}")
 
 
+def spec_explanation(spec: dict) -> dict:
+    """Demotion provenance for a spec's kernel.
+
+    Saved alongside every corpus counterexample so a shrunk repro is
+    self-describing: the explanation names the instruction(s) the
+    analyzer demoted (and why), which is exactly what the oracle
+    originally flagged.
+    """
+    from ..linear.analyzer import analyze_kernel
+    from .kernelgen import build_kernel
+
+    kernel = build_kernel(spec)
+    analysis = analyze_kernel(kernel)
+    return {
+        "schema": 1,
+        "kinds": {
+            str(pc): kind.value
+            for pc, kind in sorted(analysis.kind_by_pc.items())
+        },
+        "demotions": [ev.to_dict() for ev in analysis.demotions],
+        "nonlinear_addresses": [
+            a.to_dict() for a in analysis.nonlinear_addresses
+        ],
+    }
+
+
 def _save_case(spec: dict, kinds: List[str], save_dir: Path) -> Path:
     save_dir.mkdir(parents=True, exist_ok=True)
     path = save_dir / f"{spec['name']}.json"
@@ -41,6 +67,10 @@ def _save_case(spec: dict, kinds: List[str], save_dir: Path) -> Path:
         "kinds": sorted(kinds),
         "spec": spec,
     }
+    try:
+        case["explanation"] = spec_explanation(spec)
+    except Exception as exc:  # never lose a counterexample over it
+        case["explanation"] = {"schema": 1, "error": str(exc)}
     path.write_text(json.dumps(case, indent=2, sort_keys=True) + "\n")
     return path
 

@@ -225,6 +225,7 @@ class TraceCache:
             # treat as a miss; a fresh put will overwrite it.
             self.session_misses += 1
             obs.inc("cache.miss", ns=namespace)
+            obs.decision("cache", "miss", reason=namespace)
             return None
         try:
             os.utime(path)  # mark recently used for LRU eviction
@@ -233,6 +234,7 @@ class TraceCache:
         self.session_hits += 1
         obs.inc("cache.hit", ns=namespace)
         obs.inc("cache.bytes_read", len(payload), ns=namespace)
+        obs.decision("cache", "hit", reason=namespace)
         return obj
 
     def put(self, namespace: str, key: str, obj: Any) -> bool:

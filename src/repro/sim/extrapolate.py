@@ -140,6 +140,23 @@ class ExtrapolationReport:
             "verified": self.verified,
         }
 
+    def to_decision(self) -> "obs.DecisionEvent":
+        """The launch outcome as a unified :class:`DecisionEvent`."""
+        if self.bailed:
+            decision = "bail"
+        elif self.blocks_extrapolated or self.verified or (
+            self.eligible and not self.reason
+        ):
+            decision = "engage"
+        else:
+            decision = "skip"
+        return obs.DecisionEvent(
+            engine="extrapolate", decision=decision, kernel=self.kernel,
+            reason=self.reason, detail=self.detail,
+            units_total=self.blocks_total,
+            units_taken=self.blocks_extrapolated,
+        )
+
 
 def extrapolation_mode(override: Optional[str] = None) -> str:
     """Resolve the ``R2D2_EXTRAPOLATE`` knob to ``"0"``, ``"1"`` or
@@ -776,18 +793,18 @@ def attempt_extrapolation(host: FunctionalExecutor,
     )
     if mode == "0":
         report.reason = "disabled"
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     if host.linear_values is not None:
         report.reason = "transformed-kernel"
         report.detail = "R2D2-transformed launches replay %lr/%cr state"
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     min_blocks = 2 if mode == "verify" else MIN_BLOCKS
     if grid.count < min_blocks:
         report.reason = "grid-too-small"
         report.detail = f"{grid.count} < {min_blocks} blocks"
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     eligible, reason, detail = check_eligibility(
         host.kernel, host.launch, host.cfg
@@ -796,7 +813,7 @@ def attempt_extrapolation(host: FunctionalExecutor,
     report.reason = reason
     report.detail = detail
     if not eligible:
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     obs.inc("extrapolate.eligible", kernel=host.kernel.name)
 
@@ -833,17 +850,9 @@ def attempt_extrapolation(host: FunctionalExecutor,
             else "execution-error"
         )
         report.detail = str(exc)
-        obs.inc(
-            "extrapolate.bailed",
-            kernel=report.kernel,
-            reason=report.reason,
-        )
-        obs.event(
-            "extrapolate.fallback",
-            kernel=report.kernel,
-            reason=report.reason,
-            detail=report.detail,
-            bailed=True,
+        obs.engine_fallback(
+            "extrapolate", report.kernel, report.reason,
+            detail=report.detail, bailed=True,
         )
         return 0
 
@@ -860,24 +869,18 @@ def attempt_extrapolation(host: FunctionalExecutor,
         "extrapolate.blocks_extrapolated", len(blocks),
         kernel=report.kernel,
     )
+    obs.decision(
+        "extrapolate", "engage", kernel=report.kernel,
+        units_total=report.blocks_total, units_taken=len(blocks),
+    )
     return grid.count
 
 
-def _count_skip(report: ExtrapolationReport) -> None:
-    """Record an ineligible/skipped launch in the metric registry and
-    the event log (fallback reasons are otherwise invisible outside the
-    per-launch report dicts)."""
-    obs.inc(
-        "extrapolate.ineligible",
-        kernel=report.kernel,
-        reason=report.reason,
-    )
-    obs.event(
-        "extrapolate.fallback",
-        kernel=report.kernel,
-        reason=report.reason,
-        detail=report.detail,
-        bailed=False,
+def _engine_skip(report: ExtrapolationReport) -> None:
+    """Route a skipped launch through the unified fallback path."""
+    obs.engine_fallback(
+        "extrapolate", report.kernel, report.reason,
+        detail=report.detail, bailed=False,
     )
 
 

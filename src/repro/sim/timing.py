@@ -240,10 +240,19 @@ class TimingSimulator:
                 return result
             # The dedup engine declined (exactness preconditions not
             # met) — make the silent fallback visible.
+            reason = f"scheduler-{self.config.scheduler_policy}"
             obs.inc(
                 "dedup.fallback",
                 kernel=self.kernel.name,
-                reason=f"scheduler-{self.config.scheduler_policy}",
+                reason=reason,
+            )
+            obs.decision(
+                "dedup", "skip", kernel=self.kernel.name, reason=reason,
+            )
+        else:
+            obs.decision(
+                "dedup", "skip", kernel=self.kernel.name,
+                reason="disabled",
             )
         return self.run_reference()
 

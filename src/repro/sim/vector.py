@@ -137,6 +137,21 @@ class VectorReport:
             "verified": self.verified,
         }
 
+    def to_decision(self) -> "obs.DecisionEvent":
+        """The launch outcome as a unified :class:`DecisionEvent`."""
+        if self.bailed:
+            decision = "bail"
+        elif self.engaged:
+            decision = "engage"
+        else:
+            decision = "skip"
+        return obs.DecisionEvent(
+            engine="vector", decision=decision, kernel=self.kernel,
+            reason=self.reason, detail=self.detail,
+            units_total=self.warps_total,
+            units_taken=self.warps_vectorized,
+        )
+
 
 def vector_mode(override: Optional[str] = None) -> str:
     """Resolve the ``R2D2_VECTOR`` knob to ``"0"``, ``"1"`` or
@@ -976,27 +991,27 @@ def attempt_vectorization(host: FunctionalExecutor, trace: KernelTrace,
     if covered:
         report.reason = "extrapolated"
         report.detail = "block-trace extrapolation covered the launch"
-        _count_skip(report)
+        _engine_skip(report)
         return covered
     if mode == "0":
         report.reason = "disabled"
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     if host.extrapolate == "verify" and host._pending_verify is not None:
         report.reason = "extrapolate-verify"
         report.detail = "extrapolation verify pass owns this launch"
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     if host.linear_values is not None:
         report.reason = "transformed-kernel"
         report.detail = "R2D2-transformed launches replay %lr/%cr state"
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     min_warps = 1 if mode == "verify" else MIN_WARPS
     if total_warps < min_warps:
         report.reason = "launch-too-small"
         report.detail = f"{total_warps} < {min_warps} warps"
-        _count_skip(report)
+        _engine_skip(report)
         return 0
     obs.inc("vector.engaged", kernel=host.kernel.name)
 
@@ -1041,15 +1056,9 @@ def attempt_vectorization(host: FunctionalExecutor, trace: KernelTrace,
         )
         report.detail = str(exc)
         _emit_counters(host.kernel.name, counters)
-        obs.inc(
-            "vector.bailed", kernel=report.kernel, reason=report.reason
-        )
-        obs.event(
-            "vector.fallback",
-            kernel=report.kernel,
-            reason=report.reason,
-            detail=report.detail,
-            bailed=True,
+        obs.engine_fallback(
+            "vector", report.kernel, report.reason,
+            detail=report.detail, bailed=True,
         )
         return 0
 
@@ -1067,6 +1076,10 @@ def attempt_vectorization(host: FunctionalExecutor, trace: KernelTrace,
     obs.inc(
         "vector.warps_vectorized", total_warps, kernel=report.kernel
     )
+    obs.decision(
+        "vector", "engage", kernel=report.kernel,
+        units_total=report.warps_total, units_taken=total_warps,
+    )
     return grid.count
 
 
@@ -1076,16 +1089,11 @@ def _emit_counters(kernel: str, counters: Dict[str, int]) -> None:
             obs.inc(f"vector.{key}", val, kernel=kernel)
 
 
-def _count_skip(report: VectorReport) -> None:
-    obs.inc(
-        "vector.ineligible", kernel=report.kernel, reason=report.reason
-    )
-    obs.event(
-        "vector.fallback",
-        kernel=report.kernel,
-        reason=report.reason,
-        detail=report.detail,
-        bailed=False,
+def _engine_skip(report: VectorReport) -> None:
+    """Route a skipped launch through the unified fallback path."""
+    obs.engine_fallback(
+        "vector", report.kernel, report.reason,
+        detail=report.detail, bailed=False,
     )
 
 

@@ -56,6 +56,9 @@ class R2D2Kernel:
     uniform_pcs: Set[int] = field(default_factory=set)
     #: Static instructions removed from the original stream.
     removed_static: int = 0
+    #: PCs (in the *original* kernel) of the removed instructions —
+    #: the per-instruction attribution behind ``repro explain``.
+    removed_pcs: Tuple[int, ...] = ()
 
     @property
     def static_reduction(self) -> float:
@@ -97,6 +100,9 @@ def r2d2_transform(
         blocks=blocks,
     )
     removed = len(kernel.instructions) - len(transformed.instructions)
+    removed_pcs = tuple(
+        pc for pc, kept in enumerate(kept_flags) if not kept
+    )
     return R2D2Kernel(
         original=kernel,
         transformed=transformed,
@@ -106,6 +112,7 @@ def r2d2_transform(
         register_usage=usage,
         uniform_pcs=uniform_pcs_new,
         removed_static=removed,
+        removed_pcs=removed_pcs,
     )
 
 

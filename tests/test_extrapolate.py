@@ -306,7 +306,13 @@ def test_run_workload_collects_reports(monkeypatch):
         factory("BFS"), config=tiny(), arch_names=("baseline",),
         jobs=1, cache=False,
     )
-    assert result.extrapolation, "no extrapolation reports collected"
-    for entry in result.extrapolation:
-        assert entry["reason"]  # machine-readable skip reason
-        assert entry["mode"] == "1"
+    decisions = [
+        d for d in result.engine_decisions
+        if d["engine"] == "extrapolate"
+    ]
+    assert decisions, "no extrapolate decisions collected"
+    for entry in decisions:
+        # BFS is loop-carried: every launch must carry a
+        # machine-readable skip/bail reason.
+        assert entry["decision"] in ("skip", "bail")
+        assert entry["reason"]

@@ -155,6 +155,60 @@ class TestExporters:
         monkeypatch.delenv(obs.ENV_TRACE_LOG, raising=False)
         obs.event("ignored")  # must not raise
 
+    def test_event_writes_one_complete_line(self, tmp_path, monkeypatch):
+        """Each event is one atomic append: no partial lines even when
+        the log already holds other content."""
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"event": "pre-existing"}\n')
+        monkeypatch.setenv(obs.ENV_TRACE_LOG, str(log))
+        obs.event("appended", detail="x" * 4096)
+        lines = log.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["event"] == "appended"
+
+    def test_read_events_skips_and_counts_corrupt_lines(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text(
+            '{"event": "ok1"}\n'
+            '{"event": "torn", "pid"\n'       # truncated write
+            "not json at all\n"
+            "\n"                               # blank: not corrupt
+            '["a", "list"]\n'                  # valid JSON, not a dict
+            '{"event": "ok2"}\n'
+        )
+        events, corrupt = obs.read_events(log)
+        assert [e["event"] for e in events] == ["ok1", "ok2"]
+        assert corrupt == 3
+
+    def test_read_events_roundtrips_event_log(self, tmp_path, monkeypatch):
+        log = tmp_path / "events.jsonl"
+        monkeypatch.setenv(obs.ENV_TRACE_LOG, str(log))
+        obs.event("a", n=1)
+        obs.event("b", n=2)
+        events, corrupt = obs.read_events(log)
+        assert corrupt == 0
+        assert [e["event"] for e in events] == ["a", "b"]
+
+
+class TestDecisionExport:
+    def test_snapshot_merge_reset_roundtrip(self):
+        obs.decision("extrapolate", "skip", kernel="k", reason="disabled")
+        obs.decision("extrapolate", "skip", kernel="k", reason="disabled")
+        blob = obs.snapshot_and_reset()
+        assert blob["decisions"][0]["count"] == 2
+        assert obs.snapshot()["decisions"] == []
+        obs.merge(blob)
+        merged = obs.snapshot()["decisions"]
+        assert merged == blob["decisions"]
+
+    def test_metrics_file_includes_decisions(self, tmp_path):
+        obs.decision("cache", "miss", reason="trace")
+        path = tmp_path / "run.json"
+        obs.write_metrics(path)
+        blob = obs.load_metrics(path)
+        assert blob["schema"] == obs.EXPORT_SCHEMA
+        assert blob["decisions"][0]["engine"] == "cache"
+
 
 # ----------------------------------------------------------------------
 # Table summary row + obs report sections
