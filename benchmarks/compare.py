@@ -45,6 +45,15 @@ Two independent checks, both of which must pass:
    (fraction, default 0.05 = 5%%,
    ``$BENCH_MAX_PROVENANCE_OVERHEAD`` overrides) over the same
    workload with ``R2D2_PROVENANCE=0``.  Same-run, same-machine ratio.
+6. **Sharded suite speedup** — every ``test_<stem>_shard_on`` /
+   ``_off`` pair (sharded scheduler vs serial suite run) must show at
+   least ``--min-shard-speedup`` (default 2.0,
+   ``$BENCH_MIN_SHARD_SPEEDUP`` overrides), with the 85%% retain gate
+   against ``benchmarks/baseline/BENCH_shard.json`` and
+   ``--shard-out`` to merge-update it.  The ``warmrerun`` stem is the
+   incremental-rerun acceptance ratio and holds on any machine; the
+   ``minisuite`` stem needs real cores and skips itself on
+   single-core boxes.
 
 Exit status 0 on pass, 1 on regression, 2 on usage/IO errors.
 """
@@ -63,6 +72,8 @@ EXTRAPOLATE_ON_SUFFIX = "_extrapolate_on"
 EXTRAPOLATE_OFF_SUFFIX = "_extrapolate_off"
 VECTOR_ON_SUFFIX = "_vector_on"
 VECTOR_OFF_SUFFIX = "_vector_off"
+SHARD_ON_SUFFIX = "_shard_on"
+SHARD_OFF_SUFFIX = "_shard_off"
 PROVENANCE_ON_BENCH = "test_workload_provenance_on"
 PROVENANCE_OFF_BENCH = "test_workload_provenance_off"
 #: Fraction of the committed speedup the current run must retain.
@@ -112,6 +123,13 @@ def vector_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
     return _on_off_pairs(
         means, VECTOR_ON_SUFFIX, VECTOR_OFF_SUFFIX,
         "serial_s", "vector_s",
+    )
+
+
+def shard_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    return _on_off_pairs(
+        means, SHARD_ON_SUFFIX, SHARD_OFF_SUFFIX,
+        "serial_s", "sharded_s",
     )
 
 
@@ -227,6 +245,23 @@ def main(argv: Optional[list] = None) -> int:
              "speedups from the current run",
     )
     parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=float(os.environ.get("BENCH_MIN_SHARD_SPEEDUP", "2.0")),
+        help="required sharded-vs-serial suite speedup per pair "
+             "(default: 2.0; $BENCH_MIN_SHARD_SPEEDUP overrides)",
+    )
+    parser.add_argument(
+        "--shard-baseline",
+        default="benchmarks/baseline/BENCH_shard.json",
+        help="committed shard-speedup artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--shard-out", metavar="PATH", default=None,
+        help="merge-update PATH with the measured shard speedups from "
+             "the current run",
+    )
+    parser.add_argument(
         "--max-provenance-overhead",
         type=float,
         default=float(
@@ -323,6 +358,14 @@ def main(argv: Optional[list] = None) -> int:
             f" (required <= {args.max_provenance_overhead * 100:.1f}%)"
         )
         failed = failed or not ok
+
+    # -- check 6: sharded suite speedup ---------------------------------
+    failed |= _gate_pairs(
+        "shard", shard_pairs(current),
+        "serial_s", "sharded_s",
+        args.min_shard_speedup,
+        args.shard_baseline, args.shard_out,
+    )
 
     return 1 if failed else 0
 

@@ -1,0 +1,106 @@
+"""Sharded suite scheduler benchmarks: scheduling speedup and the
+incremental-rerun fast path.
+
+Two ``compare.py``-gated on/off pairs (suffixes ``_shard_on`` /
+``_shard_off``, artifact ``BENCH_shard.json``):
+
+* ``minisuite`` — the same cold mini-suite scheduled across 4 workers
+  vs run serially.  Wall-clock parallel speedup needs real cores, so
+  the pair skips itself on single-core machines (the gate in
+  ``compare.py`` only fires on complete pairs).
+* ``warmrerun`` — an incremental rerun against a warm trace cache
+  (every cell's key unchanged, so the scheduler skips all of them) vs
+  a cold serial recompute.  This ratio is meaningful on any machine,
+  including single-core ones, and is the headline acceptance criterion
+  for the shard scheduler.
+
+Run with ``--benchmark-json=BENCH_shard_run.json`` and feed the result
+to ``benchmarks/compare.py`` (see docs/PERFORMANCE.md).
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.harness import bench_config, run_suite
+from repro.perf import TraceCache
+
+#: Same spirit as conftest.BENCH_APPS but tiny-scaled and smaller: the
+#: pair is timed cold several times, so the serial side must stay a few
+#: seconds per round.
+SHARD_APPS = ("2DC", "BP", "BFS", "GEM", "HIS", "NN", "PTH", "SRAD1")
+SCALE = "tiny"
+JOBS = 4
+
+_MULTICORE = (os.cpu_count() or 1) >= 2
+
+
+def _suite(jobs, cache):
+    return run_suite(
+        list(SHARD_APPS), SCALE, bench_config(2),
+        verify=False, jobs=jobs, cache=cache,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pair 1: cold mini-suite, sharded vs serial.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not _MULTICORE,
+                    reason="parallel speedup needs more than one core")
+def test_minisuite_shard_on(benchmark):
+    def run():
+        obs.reset()
+        return _suite(JOBS, False)
+
+    suite = benchmark.pedantic(run, rounds=3)
+    report = suite.shard_report
+    assert report["cells_run"] == len(SHARD_APPS)
+    assert report["cells_skipped"] == 0
+
+
+@pytest.mark.skipif(not _MULTICORE,
+                    reason="parallel speedup needs more than one core")
+def test_minisuite_shard_off(benchmark):
+    def run():
+        obs.reset()
+        return _suite(1, False)
+
+    suite = benchmark.pedantic(run, rounds=3)
+    assert suite.shard_report is None
+
+
+# ---------------------------------------------------------------------------
+# Pair 2: warm incremental rerun vs cold serial recompute.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory):
+    cache = TraceCache(root=tmp_path_factory.mktemp("shard-bench-cache"))
+    cold = _suite(JOBS, cache)
+    assert cold.shard_report["cells_skipped"] == 0
+    return cache
+
+
+def test_warmrerun_shard_on(benchmark, warm_cache):
+    def run():
+        obs.reset()
+        return _suite(JOBS, warm_cache)
+
+    suite = benchmark.pedantic(run, rounds=3)
+    # acceptance: every unchanged cell is skipped, none recomputed
+    report = suite.shard_report
+    assert report["cells_skipped"] == len(SHARD_APPS)
+    assert report["cells_run"] == 0 and report["cells_serial"] == 0
+
+
+def test_warmrerun_shard_off(benchmark):
+    def run():
+        obs.reset()
+        return _suite(1, False)
+
+    suite = benchmark.pedantic(run, rounds=3)
+    assert suite.shard_report is None

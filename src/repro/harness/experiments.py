@@ -13,15 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
-from ..perf import (
-    PoolSetupError,
-    is_parallel_fallback,
-    make_pool,
-    record_demotion,
-    resolve_cache,
-    resolve_jobs,
-    task_timeout,
-)
+from ..perf import resolve_cache, resolve_jobs, task_timeout
 from ..sim.config import GPUConfig, small, titan_v
 from ..workloads import all_abbrs, factory
 from .report import Table, geomean, mean, percent
@@ -52,6 +44,9 @@ class SuiteResults:
     config: GPUConfig
     scale: str
     results: Dict[str, WorkloadResult] = field(default_factory=dict)
+    #: :meth:`repro.perf.shard.ShardReport.to_dict` of the sharded run
+    #: that produced these results (None for serial runs).
+    shard_report: Optional[dict] = None
 
     def abbrs(self) -> List[str]:
         return sorted(self.results)
@@ -68,13 +63,19 @@ def run_suite(
     verify: bool = True,
     jobs: Optional[int] = None,
     cache=None,
+    shard_plan: Optional[str] = None,
 ) -> SuiteResults:
     """Run the workload × architecture matrix.
 
-    ``jobs > 1`` (or ``R2D2_JOBS``) fans workload cells out to worker
-    processes; results merge in submission order, so the suite is
-    byte-identical to a serial run.  ``cache`` enables the persistent
-    result cache (see :mod:`repro.perf.trace_cache`); workers share it.
+    ``jobs > 1`` (or ``R2D2_JOBS``) hands the suite to the shard
+    scheduler (:mod:`repro.perf.shard`): cells are placed
+    longest-first from historical cost, idle workers steal queued
+    cells, and — when ``cache`` is enabled — cells whose result key is
+    unchanged since the last run are served from the cache without
+    being scheduled at all.  Results always merge in canonical suite
+    order, so the suite is byte-identical to a serial run.
+    ``shard_plan`` picks the cell granularity (default ``"workload"``;
+    see :data:`repro.perf.shard.SHARD_PLANS`).
     """
     config = config or bench_config()
     abbrs = list(abbrs) if abbrs else list(DEFAULT_SUITE)
@@ -85,9 +86,9 @@ def run_suite(
     with obs.span("suite"):
         done: Dict[str, WorkloadResult] = {}
         if jobs > 1 and len(abbrs) > 1:
-            done = _run_suite_parallel(
+            done = _run_suite_sharded(
                 abbrs, scale, config, tuple(arch_names), verify, tcache,
-                jobs,
+                jobs, shard_plan or "workload", suite,
             )
         for abbr in abbrs:
             res = done.get(abbr)
@@ -100,41 +101,7 @@ def run_suite(
     return suite
 
 
-def _suite_cell(
-    abbr: str,
-    scale: str,
-    config: GPUConfig,
-    arch_names: Tuple[str, ...],
-    verify: bool,
-    cache,
-) -> WorkloadResult:
-    """One suite cell; module-level so process-pool workers can pickle
-    it.  The workload factory itself is created inside the worker (the
-    registry's factories are closures and would not pickle)."""
-    return run_workload(
-        factory(abbr, scale), config=config, arch_names=arch_names,
-        verify=verify, cache=cache,
-    )
-
-
-def _suite_cell_task(
-    abbr: str,
-    scale: str,
-    config: GPUConfig,
-    arch_names: Tuple[str, ...],
-    verify: bool,
-    cache,
-) -> Tuple[WorkloadResult, dict]:
-    """Worker wrapper around :func:`_suite_cell`: reset the (possibly
-    fork-inherited) observability state, run the cell, and ship the
-    metric/span deltas back with the result so the parent's totals match
-    a serial run exactly."""
-    obs.reset()
-    result = _suite_cell(abbr, scale, config, arch_names, verify, cache)
-    return result, obs.snapshot_and_reset()
-
-
-def _run_suite_parallel(
+def _run_suite_sharded(
     abbrs: Sequence[str],
     scale: str,
     config: GPUConfig,
@@ -142,42 +109,25 @@ def _run_suite_parallel(
     verify: bool,
     tcache,
     jobs: int,
+    plan: str,
+    suite: SuiteResults,
 ) -> Dict[str, WorkloadResult]:
-    """Fan cells out; any cell missing from the returned dict (pool
-    breakage, pickling failure, per-task timeout) is recomputed serially
-    by the caller.  A genuine bug raised inside a worker propagates
-    unchanged — no serial retry."""
-    done: Dict[str, WorkloadResult] = {}
-    timeout = task_timeout()
-    try:
-        pool = make_pool(min(jobs, len(abbrs)))
-    except PoolSetupError as exc:
-        record_demotion("suite", exc)
-        return done
-    try:
-        futures = {
-            abbr: pool.submit(
-                _suite_cell_task, abbr, scale, config, arch_names,
-                verify, tcache,
-            )
-            for abbr in abbrs
-        }
-        for abbr in abbrs:
-            try:
-                result, blob = futures[abbr].result(timeout=timeout)
-            except TimeoutError as exc:
-                futures[abbr].cancel()
-                record_demotion("suite-cell", exc, abbr=abbr)
-                continue
-            obs.merge(blob)
-            done[abbr] = result
-    except Exception as exc:
-        if not is_parallel_fallback(exc):
-            raise
-        record_demotion("suite", exc)  # rest runs serially in caller
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
-    return done
+    """Run the suite through the shard scheduler.  Any workload missing
+    from the returned dict (a cell lost to pool breakage *and* whose
+    serial recompute also failed to merge) is recomputed whole by the
+    caller's safety net."""
+    from ..perf.shard import ShardScheduler, merge_suite, plan_cells
+
+    cells = plan_cells(
+        abbrs, arch_names, scale, config, plan, verify=verify
+    )
+    scheduler = ShardScheduler(
+        cells, jobs=jobs, config=config, cache=tcache, plan=plan,
+        timeout=task_timeout(),
+    )
+    results, report = scheduler.run()
+    suite.shard_report = report.to_dict()
+    return merge_suite(cells, results, abbrs, arch_names)
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,7 @@ from ..arch import (
 )
 from .. import obs
 from ..perf import (
+    TASK_TIMEOUT_ERRORS,
     is_parallel_fallback,
     make_pool,
     record_demotion,
@@ -290,9 +291,10 @@ def _trace_arch_cell_task(
 def _trace_arch_stats(
     traces, config: GPUConfig, names: Sequence[str], jobs: int
 ) -> Dict[str, ArchStats]:
+    out: Dict[str, ArchStats] = {}
     if jobs > 1 and len(names) > 1:
         try:
-            return _trace_arch_stats_parallel(traces, config, names, jobs)
+            out = _trace_arch_stats_parallel(traces, config, names, jobs)
         except Exception as exc:
             # Only pool-infrastructure failures demote to the serial
             # recompute below; a real worker bug re-raises immediately
@@ -300,7 +302,13 @@ def _trace_arch_stats(
             if not is_parallel_fallback(exc):
                 raise
             record_demotion("trace-arch", exc)
-    return {name: _trace_arch_cell(traces, config, name) for name in names}
+            out = {}
+    # Serial path, plus the per-cell fill-in for any arch the pool
+    # could not deliver (e.g. a single timed-out cell).
+    for name in names:
+        if name not in out:
+            out[name] = _trace_arch_cell(traces, config, name)
+    return out
 
 
 def _trace_arch_stats_parallel(
@@ -317,7 +325,14 @@ def _trace_arch_stats_parallel(
         # matter which worker finishes first.
         out: Dict[str, ArchStats] = {}
         for name in names:
-            stats, blob = futures[name].result(timeout=timeout)
+            try:
+                stats, blob = futures[name].result(timeout=timeout)
+            except TASK_TIMEOUT_ERRORS as exc:
+                # One overdue cell demotes that cell, not every arch:
+                # the caller recomputes just the missing ones serially.
+                futures[name].cancel()
+                record_demotion("trace-arch-cell", exc, arch=name)
+                continue
             obs.merge(blob)
             out[name] = stats
         return out

@@ -23,6 +23,7 @@ observability registry (``parallel.demotions``) and the event log.
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
 import pickle
 import warnings
@@ -38,6 +39,13 @@ class PoolSetupError(RuntimeError):
     demotes to serial instead of failing."""
 
 
+#: Both flavours of a per-task timeout.  ``Future.result(timeout=...)``
+#: raises ``concurrent.futures.TimeoutError``, which is only an alias of
+#: the builtin ``TimeoutError`` from Python 3.11 on — on 3.9/3.10 it is
+#: a plain ``Exception`` subclass, so catching the builtin alone lets a
+#: timed-out cell abort the whole run instead of demoting it to serial.
+TASK_TIMEOUT_ERRORS = (TimeoutError, concurrent.futures.TimeoutError)
+
 #: Pool-infrastructure errors that demote a parallel run to the serial
 #: path instead of aborting it.  Exceptions raised *inside* a worker
 #: that are not of these types (i.e. real workload/model bugs) re-raise
@@ -48,9 +56,8 @@ class PoolSetupError(RuntimeError):
 PARALLEL_FALLBACK_ERRORS = (
     pickle.PicklingError,
     BrokenProcessPool,
-    TimeoutError,
     PoolSetupError,
-)
+) + TASK_TIMEOUT_ERRORS
 
 #: Message fragments that identify pickling failures surfaced as bare
 #: ``AttributeError``/``TypeError`` (CPython wording): local/lambda
@@ -76,7 +83,7 @@ def fallback_reason(exc: BaseException) -> str:
         return "pool-setup"
     if isinstance(exc, BrokenProcessPool):
         return "broken-pool"
-    if isinstance(exc, TimeoutError):
+    if isinstance(exc, TASK_TIMEOUT_ERRORS):
         return "task-timeout"
     if isinstance(exc, pickle.PicklingError) or isinstance(
         exc, (AttributeError, TypeError)
@@ -145,14 +152,36 @@ def _warn_invalid_jobs(value: str) -> None:
     )
 
 
+_warned_timeouts: Set[str] = set()
+
+
 def task_timeout() -> Optional[float]:
     """Per-task timeout in seconds (``R2D2_TASK_TIMEOUT``), or None for
-    no limit.  A timed-out cell is recomputed serially in the parent."""
+    no limit.  A timed-out cell is recomputed serially in the parent.
+    An unparsable value degrades to no-limit with a one-time warning
+    (counted as ``parallel.invalid_timeout`` and logged to the event
+    log), matching the ``R2D2_JOBS`` contract; zero/negative values are
+    the documented way to say "no limit" and stay silent."""
     env = os.environ.get("R2D2_TASK_TIMEOUT", "").strip()
     if not env:
         return None
     try:
         value = float(env)
     except ValueError:
+        _warn_invalid_timeout(env)
         return None
     return value if value > 0 else None
+
+
+def _warn_invalid_timeout(value: str) -> None:
+    if value in _warned_timeouts:
+        return
+    _warned_timeouts.add(value)
+    obs.inc("parallel.invalid_timeout")
+    obs.event("parallel.invalid-timeout", value=value, effective=None)
+    warnings.warn(
+        f"R2D2_TASK_TIMEOUT={value!r} is not a number; running without "
+        "a per-task timeout",
+        RuntimeWarning,
+        stacklevel=3,
+    )

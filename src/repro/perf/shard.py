@@ -1,0 +1,710 @@
+"""Sharded suite scheduler: work stealing + incremental reruns.
+
+``run_suite`` used to fan workload cells out with fixed submission-order
+assignment: every cell was submitted up front and collected in order, so
+one slow MUM/BFS cell idled the rest of the pool, and a rerun after a
+one-kernel change re-simulated the whole suite.  This module replaces
+that with a shard coordinator:
+
+- **Cells** — the suite is split into (workload × arch-group) cells
+  (:func:`plan_cells`).  The default ``"workload"`` plan keeps one cell
+  per workload (bit-identical to the historical behaviour); the
+  ``"arch-split"`` plan additionally splits the R2D2 device run from the
+  trace-analyzing architectures, halving the longest cells.
+- **Placement** — cells are placed longest-processing-time-first
+  (:func:`lpt_assign`) using per-cell historical cost from previous runs
+  (:class:`CostModel`, persisted next to the trace cache).
+- **Work stealing** — each worker holds a parent-side deque; an idle
+  worker pops its own queue first and otherwise steals from the tail of
+  the most-loaded victim's queue, so a bad cost estimate cannot idle the
+  pool.
+- **Incremental rerun** — the coordinator records each cell's
+  content-addressed result key in the trace cache's per-cell index
+  (``TraceCache.cell_key_get``/``cell_key_put``).  A cell whose key is
+  unchanged since the last run is served straight from the cache and
+  never scheduled: a one-kernel change re-simulates one cell.
+
+Determinism: results are committed in canonical suite order regardless
+of completion order, worker observability snapshots merge in canonical
+order, and the serial-vs-sharded equivalence test in
+``tests/test_shard.py`` enforces bit-identical merged results.  The
+scheduler itself emits **no counters** — only decision-trace entries
+(``shard`` engine), event-log lines, and ``shard.cell_seconds`` gauges —
+so serial and sharded counter totals stay exactly equal (enforced by
+``tests/test_obs.py``).
+
+Demotion policy matches :mod:`repro.perf.parallel`: pool-infrastructure
+failures (pool setup/breakage, pickling, per-cell timeouts) demote the
+affected cells to a serial recompute in the parent; a genuine worker bug
+re-raises unchanged.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import tempfile
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from .parallel import PoolSetupError, is_parallel_fallback, make_pool, record_demotion
+from .trace_cache import TraceCache, UnhashableKeyPart, workload_result_key
+
+#: Supported shard plans (the ``--shard-plan`` CLI choices).
+SHARD_PLANS = ("workload", "arch-split")
+
+#: Cost assumed for a cell never seen before (seconds).  Only relative
+#: magnitudes matter for LPT placement; stealing corrects bad guesses.
+DEFAULT_CELL_SECONDS = 1.0
+
+
+# ----------------------------------------------------------------------
+# Cells and plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardCell:
+    """One schedulable unit: a workload run against one arch group."""
+
+    abbr: str
+    scale: str
+    arch_group: Tuple[str, ...]
+    config_name: str
+    verify: bool = True
+
+    @property
+    def cell_id(self) -> str:
+        arches = "+".join(self.arch_group)
+        return (
+            f"{self.abbr}@{self.scale}/{self.config_name}/{arches}"
+            f"/{'v1' if self.verify else 'v0'}"
+        )
+
+
+def arch_groups(
+    arch_names: Sequence[str], plan: str
+) -> Tuple[Tuple[str, ...], ...]:
+    """The arch groups a plan splits ``arch_names`` into.
+
+    ``"workload"`` keeps all architectures together (one cell per
+    workload).  ``"arch-split"`` separates the R2D2 device run — the
+    only group that re-executes kernels rather than re-analyzing traces
+    — from the trace-analyzing architectures.
+    """
+    if plan not in SHARD_PLANS:
+        raise ValueError(
+            f"unknown shard plan {plan!r}; expected one of {SHARD_PLANS}"
+        )
+    names = tuple(arch_names)
+    if plan == "workload" or "r2d2" not in names or len(names) == 1:
+        return (names,)
+    trace = tuple(n for n in names if n != "r2d2")
+    return (trace, ("r2d2",))
+
+
+def plan_cells(
+    abbrs: Sequence[str],
+    arch_names: Sequence[str],
+    scale: str,
+    config,
+    plan: str = "workload",
+    verify: bool = True,
+) -> List[ShardCell]:
+    """All cells of a suite run, in canonical (suite) order: workload
+    major, arch group minor.  This order is the merge order."""
+    groups = arch_groups(arch_names, plan)
+    return [
+        ShardCell(
+            abbr=abbr,
+            scale=scale,
+            arch_group=group,
+            config_name=getattr(config, "name", str(config)),
+            verify=verify,
+        )
+        for abbr in abbrs
+        for group in groups
+    ]
+
+
+# ----------------------------------------------------------------------
+# Historical cost model
+# ----------------------------------------------------------------------
+class CostModel:
+    """Per-cell wall-time estimates for LPT placement.
+
+    Estimates come from, in order: a measurement observed earlier in
+    this run, the EWMA history persisted from previous runs, and the
+    :data:`DEFAULT_CELL_SECONDS` fallback.  Observations are also
+    published as ``shard.cell_seconds{cell=...}`` gauges so they appear
+    in ``--metrics-out`` exports.
+    """
+
+    ALPHA = 0.5  # EWMA weight of the newest observation
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._history: Dict[str, float] = self._load()
+        self._live: Dict[str, float] = {}
+
+    @classmethod
+    def for_cache(cls, cache: Optional[TraceCache]) -> "CostModel":
+        """The cost model persisted beside a trace cache (in-memory only
+        when caching is off).  The file lives at the cache *root*, not
+        under a schema dir, so ``cache clear`` keeps the history."""
+        if cache is None:
+            return cls(None)
+        return cls(cache.root / "shard_costs.json")
+
+    def _load(self) -> Dict[str, float]:
+        if self.path is None:
+            return {}
+        try:
+            with open(self.path, "r") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        cells = doc.get("cells") if isinstance(doc, dict) else None
+        if not isinstance(cells, dict):
+            return {}
+        out: Dict[str, float] = {}
+        for cell_id, seconds in cells.items():
+            try:
+                out[str(cell_id)] = float(seconds)
+            except (TypeError, ValueError):
+                continue
+        return out
+
+    def estimate(self, cell_id: str) -> float:
+        if cell_id in self._live:
+            return self._live[cell_id]
+        return self._history.get(cell_id, DEFAULT_CELL_SECONDS)
+
+    def observe(self, cell_id: str, seconds: float) -> None:
+        self._live[cell_id] = float(seconds)
+        obs.gauge_set("shard.cell_seconds", float(seconds), cell=cell_id)
+
+    def save(self) -> None:
+        """Fold this run's observations into the on-disk EWMA history.
+        Re-reads the file first so concurrent suites lose at most each
+        other's last update, never the whole history."""
+        if self.path is None or not self._live:
+            return
+        merged = self._load()
+        merged.update(
+            {k: v for k, v in self._history.items() if k not in merged}
+        )
+        for cell_id, seconds in self._live.items():
+            old = merged.get(cell_id)
+            if old is None:
+                merged[cell_id] = seconds
+            else:
+                merged[cell_id] = (
+                    self.ALPHA * seconds + (1.0 - self.ALPHA) * old
+                )
+        payload = json.dumps({"cells": merged}, sort_keys=True)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+
+def lpt_assign(
+    cells: Sequence[ShardCell],
+    estimates: Sequence[float],
+    n_workers: int,
+) -> List[Deque[ShardCell]]:
+    """Longest-processing-time-first greedy placement.
+
+    Cells are taken in decreasing estimated cost (ties broken by
+    canonical index, so placement is deterministic) and each goes to the
+    least-loaded worker.  Every queue therefore holds its cells in
+    decreasing cost order: workers pop their own head (big work first),
+    thieves pop a victim's tail (the cheapest leftover, minimizing
+    disturbance).
+    """
+    n_workers = max(1, n_workers)
+    order = sorted(
+        range(len(cells)), key=lambda i: (-float(estimates[i]), i)
+    )
+    queues: List[Deque[ShardCell]] = [deque() for _ in range(n_workers)]
+    loads = [0.0] * n_workers
+    for i in order:
+        w = min(range(n_workers), key=lambda j: (loads[j], j))
+        queues[w].append(cells[i])
+        loads[w] += float(estimates[i])
+    return queues
+
+
+# ----------------------------------------------------------------------
+# Worker tasks (module-level so process-pool workers can pickle them)
+# ----------------------------------------------------------------------
+def _shard_cell_task(
+    abbr: str,
+    scale: str,
+    config,
+    arch_group: Tuple[str, ...],
+    verify: bool,
+    cache,
+) -> Tuple[Any, dict]:
+    """One cell in a worker: reset the (possibly fork-inherited)
+    observability state, run the cell, ship the metric deltas back with
+    the result so the parent's totals match a serial run exactly."""
+    from ..harness.runner import run_workload
+    from ..workloads import factory
+
+    obs.reset()
+    result = run_workload(
+        factory(abbr, scale), config=config, arch_names=arch_group,
+        verify=verify, cache=cache,
+    )
+    return result, obs.snapshot_and_reset()
+
+
+def _shard_cell_serial(
+    abbr: str,
+    scale: str,
+    config,
+    arch_group: Tuple[str, ...],
+    verify: bool,
+    cache,
+) -> Any:
+    """One cell computed in the parent (serial fallback path)."""
+    from ..harness.runner import run_workload
+    from ..workloads import factory
+
+    return run_workload(
+        factory(abbr, scale), config=config, arch_names=arch_group,
+        verify=verify, cache=cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class ShardReport:
+    """What the scheduler did, for the CLI utilization table and
+    ``SuiteResults.shard_report``."""
+
+    plan: str
+    workers: int
+    wall_s: float = 0.0
+    cells_total: int = 0
+    cells_skipped: int = 0
+    cells_run: int = 0
+    cells_serial: int = 0
+    steals: int = 0
+    timeouts: int = 0
+    #: Per-worker ``{"worker", "cells", "busy_s", "stolen", "lost"}``.
+    per_worker: List[dict] = field(default_factory=list)
+    #: Per-cell ``{"cell", "status", "worker", "seconds"}`` in canonical
+    #: order; status is one of skipped/run/serial.
+    cells: List[dict] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool over the whole run (1.0 = every
+        worker busy the entire wall time)."""
+        denom = self.workers * self.wall_s
+        if denom <= 0:
+            return 0.0
+        busy = sum(float(w.get("busy_s", 0.0)) for w in self.per_worker)
+        return min(1.0, busy / denom)
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "cells_total": self.cells_total,
+            "cells_skipped": self.cells_skipped,
+            "cells_run": self.cells_run,
+            "cells_serial": self.cells_serial,
+            "steals": self.steals,
+            "timeouts": self.timeouts,
+            "utilization": self.utilization,
+            "per_worker": list(self.per_worker),
+            "cells": list(self.cells),
+        }
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class ShardScheduler:
+    """Runs a list of :class:`ShardCell` to completion.
+
+    ``task``/``serial_task``/``executor_factory`` are injectable for
+    tests (a thread pool plus synthetic tasks exercises the scheduling
+    logic without simulating anything).
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[ShardCell],
+        jobs: int,
+        config,
+        cache: Optional[TraceCache] = None,
+        plan: str = "workload",
+        cost_model: Optional[CostModel] = None,
+        timeout: Optional[float] = None,
+        task: Optional[Callable] = None,
+        serial_task: Optional[Callable] = None,
+        executor_factory: Optional[Callable[[int], Any]] = None,
+    ) -> None:
+        self.cells = list(cells)
+        self.jobs = max(1, int(jobs))
+        self.config = config
+        self.cache = cache
+        self.plan = plan
+        self.cost_model = (
+            cost_model if cost_model is not None
+            else CostModel.for_cache(cache)
+        )
+        self.timeout = timeout
+        self.task = task if task is not None else _shard_cell_task
+        self.serial_task = (
+            serial_task if serial_task is not None else _shard_cell_serial
+        )
+        self.executor_factory = (
+            executor_factory if executor_factory is not None else make_pool
+        )
+        self._order = {cell: i for i, cell in enumerate(self.cells)}
+
+    # -- incremental-rerun probe ---------------------------------------
+    def _cell_key(self, cell: ShardCell) -> str:
+        """The content-addressed result key the worker's ``run_workload``
+        will compute for this cell (same recipe, same inputs)."""
+        from ..sim.gpu import Device
+        from ..workloads import factory
+
+        workload = factory(cell.abbr, cell.scale)()
+        device = Device(self.config)
+        launches = workload.prepare(device)
+        return workload_result_key(
+            workload, launches, self.config, cell.arch_group, {},
+            cell.verify,
+        )
+
+    def _probe(self, cell: ShardCell) -> Tuple[str, Optional[str], Any]:
+        """(status, key, cached-result).  ``cache.get`` — which counts a
+        ``cache.hit``/``cache.miss`` — only runs when the recorded cell
+        key is unchanged, so a cold sharded run emits exactly the same
+        cache counters as a cold serial run."""
+        from ..harness.runner import WorkloadResult
+
+        if self.cache is None:
+            return "uncached", None, None
+        try:
+            key = self._cell_key(cell)
+        except UnhashableKeyPart:
+            return "unkeyed", None, None
+        prev = self.cache.cell_key_get(cell.cell_id)
+        if prev != key:
+            return ("new" if prev is None else "changed"), key, None
+        hit = self.cache.get("result", key)
+        if isinstance(hit, WorkloadResult):
+            return "unchanged", key, hit
+        return "evicted", key, None
+
+    # -- main entry -----------------------------------------------------
+    def run(self) -> Tuple[Dict[ShardCell, Any], ShardReport]:
+        t0 = time.monotonic()
+        n_workers = max(1, min(self.jobs, max(1, len(self.cells))))
+        report = ShardReport(
+            plan=self.plan, workers=n_workers,
+            cells_total=len(self.cells),
+        )
+        results: Dict[ShardCell, Any] = {}
+        to_run: List[ShardCell] = []
+
+        for cell in self.cells:
+            status, key, cached = self._probe(cell)
+            if cached is not None:
+                results[cell] = cached
+                report.cells_skipped += 1
+                report.cells.append(
+                    {"cell": cell.cell_id, "status": "skipped",
+                     "worker": None, "seconds": 0.0}
+                )
+                obs.decision(
+                    "shard", "skip", kernel=cell.cell_id,
+                    reason="unchanged",
+                )
+            else:
+                to_run.append(cell)
+                obs.decision(
+                    "shard", "run", kernel=cell.cell_id, reason=status
+                )
+            if key is not None and status != "unchanged":
+                self.cache.cell_key_put(cell.cell_id, key)
+
+        if to_run:
+            n_workers = max(1, min(self.jobs, len(to_run)))
+            report.workers = n_workers
+            estimates = [
+                self.cost_model.estimate(c.cell_id) for c in to_run
+            ]
+            queues = lpt_assign(to_run, estimates, n_workers)
+            if n_workers > 1:
+                self._dispatch(queues, results, report)
+            else:
+                for q in queues:
+                    self._run_serial(list(q), results, report)
+            # Anything the pool could not finish (timeouts, breakage,
+            # lost workers) recomputes serially in canonical order.
+            missing = sorted(
+                (c for c in to_run if c not in results),
+                key=self._order.__getitem__,
+            )
+            self._run_serial(missing, results, report)
+
+        self.cost_model.save()
+        report.wall_s = time.monotonic() - t0
+        obs.event(
+            "shard.done",
+            plan=self.plan,
+            workers=report.workers,
+            cells_total=report.cells_total,
+            cells_skipped=report.cells_skipped,
+            cells_run=report.cells_run,
+            cells_serial=report.cells_serial,
+            steals=report.steals,
+            timeouts=report.timeouts,
+            wall_s=round(report.wall_s, 4),
+        )
+        return results, report
+
+    # -- serial path ----------------------------------------------------
+    def _run_serial(
+        self,
+        cells: Sequence[ShardCell],
+        results: Dict[ShardCell, Any],
+        report: ShardReport,
+    ) -> None:
+        for cell in cells:
+            t = time.monotonic()
+            results[cell] = self.serial_task(
+                cell.abbr, cell.scale, self.config, cell.arch_group,
+                cell.verify, self.cache,
+            )
+            dt = time.monotonic() - t
+            self.cost_model.observe(cell.cell_id, dt)
+            report.cells_serial += 1
+            report.cells.append(
+                {"cell": cell.cell_id, "status": "serial",
+                 "worker": None, "seconds": round(dt, 4)}
+            )
+
+    # -- parallel dispatch with stealing -------------------------------
+    def _dispatch(
+        self,
+        queues: List[Deque[ShardCell]],
+        results: Dict[ShardCell, Any],
+        report: ShardReport,
+    ) -> None:
+        n = len(queues)
+        try:
+            pool = self.executor_factory(n)
+        except PoolSetupError as exc:
+            record_demotion("shard", exc)
+            return
+
+        inflight: Dict[Any, dict] = {}  # future -> {worker, cell, t}
+        lost = [False] * n
+        busy = [0.0] * n
+        counts = [0] * n
+        stolen = [0] * n
+        blobs: List[Tuple[ShardCell, dict]] = []
+
+        def feed(w: int) -> None:
+            if lost[w]:
+                return
+            cell: Optional[ShardCell] = None
+            if queues[w]:
+                cell = queues[w].popleft()
+            else:
+                victim = max(
+                    range(n), key=lambda j: (len(queues[j]), -j)
+                )
+                if queues[victim]:
+                    cell = queues[victim].pop()
+                    report.steals += 1
+                    stolen[w] += 1
+                    obs.decision(
+                        "shard", "steal", kernel=cell.cell_id,
+                        reason=f"worker{w}<-worker{victim}",
+                    )
+            if cell is None:
+                return
+            fut = pool.submit(
+                self.task, cell.abbr, cell.scale, self.config,
+                cell.arch_group, cell.verify, self.cache,
+            )
+            inflight[fut] = {
+                "worker": w, "cell": cell, "t": time.monotonic(),
+            }
+
+        try:
+            for w in range(n):
+                feed(w)
+            while inflight:
+                wait_for = None
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    wait_for = max(
+                        0.0,
+                        min(
+                            meta["t"] + self.timeout
+                            for meta in inflight.values()
+                        ) - now,
+                    )
+                done, _ = _futures_wait(
+                    set(inflight), timeout=wait_for,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    meta = inflight.pop(fut)
+                    w, cell = meta["worker"], meta["cell"]
+                    try:
+                        result, blob = fut.result()
+                    except concurrent.futures.CancelledError:
+                        continue
+                    except Exception as exc:
+                        if not is_parallel_fallback(exc):
+                            raise
+                        record_demotion(
+                            "shard-cell", exc, cell=cell.cell_id
+                        )
+                        if isinstance(exc, BrokenProcessPool):
+                            # The pool is gone: stop feeding entirely;
+                            # leftovers recompute serially in run().
+                            for i in range(n):
+                                lost[i] = True
+                        else:
+                            feed(w)
+                        continue
+                    dt = time.monotonic() - meta["t"]
+                    busy[w] += dt
+                    counts[w] += 1
+                    self.cost_model.observe(cell.cell_id, dt)
+                    results[cell] = result
+                    blobs.append((cell, blob))
+                    report.cells_run += 1
+                    report.cells.append(
+                        {"cell": cell.cell_id, "status": "run",
+                         "worker": w, "seconds": round(dt, 4)}
+                    )
+                    feed(w)
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for fut, meta in list(inflight.items()):
+                        if fut.done():
+                            continue  # harvested next round
+                        if now - meta["t"] <= self.timeout:
+                            continue
+                        fut.cancel()
+                        inflight.pop(fut)
+                        w, cell = meta["worker"], meta["cell"]
+                        # The worker may still be burning CPU on the
+                        # cancelled cell; don't hand it more work.
+                        lost[w] = True
+                        report.timeouts += 1
+                        exc = concurrent.futures.TimeoutError(
+                            f"cell {cell.cell_id} exceeded "
+                            f"{self.timeout}s"
+                        )
+                        record_demotion(
+                            "shard-cell", exc, cell=cell.cell_id
+                        )
+        except Exception as exc:
+            if not is_parallel_fallback(exc):
+                raise
+            record_demotion("shard", exc)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        # Deterministic observability: merge worker snapshots in
+        # canonical cell order, not completion order (counters would sum
+        # either way, but gauges are last-write-wins).
+        for cell, blob in sorted(
+            blobs, key=lambda p: self._order[p[0]]
+        ):
+            obs.merge(blob)
+        report.per_worker = [
+            {
+                "worker": w,
+                "cells": counts[w],
+                "busy_s": round(busy[w], 4),
+                "stolen": stolen[w],
+                "lost": lost[w],
+            }
+            for w in range(n)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge back into suite results
+# ----------------------------------------------------------------------
+def merge_suite(
+    cells: Sequence[ShardCell],
+    results: Dict[ShardCell, Any],
+    abbrs: Sequence[str],
+    arch_names: Sequence[str],
+) -> Dict[str, Any]:
+    """Fold per-cell results into one ``WorkloadResult`` per workload,
+    in canonical suite order.
+
+    Single-group plans pass the cell's result through untouched (bit
+    identity with a serial run).  Multi-group plans rebuild the stats
+    dict in ``arch_names`` order; an abbr with any missing cell is
+    omitted so the caller's serial safety net recomputes it whole.
+    """
+    from ..harness.runner import WorkloadResult
+
+    by_abbr: Dict[str, List[ShardCell]] = {}
+    for cell in cells:
+        by_abbr.setdefault(cell.abbr, []).append(cell)
+
+    done: Dict[str, Any] = {}
+    for abbr in abbrs:
+        group_cells = by_abbr.get(abbr, [])
+        if not group_cells or any(c not in results for c in group_cells):
+            continue
+        if len(group_cells) == 1:
+            done[abbr] = results[group_cells[0]]
+            continue
+        parts = [results[c] for c in group_cells]
+        merged = WorkloadResult(abbr=parts[0].abbr, scale=parts[0].scale)
+        merged.verified = all(p.verified for p in parts)
+        merged.outputs_identical = any(p.outputs_identical for p in parts)
+        # Every group re-runs the functional execution, so each carries
+        # the same engine decisions; keep one copy, not N.
+        merged.engine_decisions = list(parts[0].engine_decisions)
+        for name in arch_names:
+            for part in parts:
+                if name in part.stats:
+                    merged.stats[name] = part.stats[name]
+                    break
+        done[abbr] = merged
+    return done

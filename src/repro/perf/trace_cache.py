@@ -34,10 +34,13 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import json
 import os
 import pickle
+import re
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
@@ -47,6 +50,13 @@ from .. import obs
 SCHEMA_VERSION = 1
 
 _DEFAULT_MAX_MB = 512.0
+
+#: Entries younger than this many seconds are exempt from eviction, so
+#: concurrent ``--jobs`` workers sharing one cache directory cannot
+#: delete each other's just-written results while the writer is still
+#: about to read them back.  Override via ``R2D2_CACHE_EVICT_GRACE_S``
+#: (mostly for tests).
+_DEFAULT_EVICT_GRACE_S = 60.0
 
 
 def default_cache_dir() -> Path:
@@ -187,6 +197,7 @@ class TraceCache:
         self,
         root: Optional[os.PathLike] = None,
         max_bytes: Optional[int] = None,
+        evict_grace_s: Optional[float] = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version_dir = self.root / f"v{SCHEMA_VERSION}"
@@ -199,6 +210,16 @@ class TraceCache:
                 mb = _DEFAULT_MAX_MB
             max_bytes = int(mb * 1024 * 1024)
         self.max_bytes = max_bytes
+        if evict_grace_s is None:
+            try:
+                evict_grace_s = float(
+                    os.environ.get(
+                        "R2D2_CACHE_EVICT_GRACE_S", _DEFAULT_EVICT_GRACE_S
+                    )
+                )
+            except ValueError:
+                evict_grace_s = _DEFAULT_EVICT_GRACE_S
+        self.evict_grace_s = max(0.0, evict_grace_s)
         #: This-process hit/miss counters (reported by ``cache stats``).
         self.session_hits = 0
         self.session_misses = 0
@@ -278,10 +299,17 @@ class TraceCache:
         if total <= self.max_bytes:
             return
         entries.sort()  # oldest mtime first
-        # Never evict the newest entry, even if it alone exceeds the cap.
+        # Never evict the newest entry, even if it alone exceeds the
+        # cap, nor anything inside the grace window: with several
+        # workers sharing one directory, "globally newest" protects only
+        # one writer's entry — a sibling's just-written result would be
+        # deleted before the sibling (or the parent merge) reads it back.
+        cutoff = time.time() - self.evict_grace_s
         for mtime, size, path in entries[:-1]:
             if total <= self.max_bytes:
                 break
+            if mtime > cutoff:
+                continue
             try:
                 path.unlink()
                 total -= size
@@ -316,10 +344,64 @@ class TraceCache:
 
     def clear(self) -> int:
         """Remove every entry (all schema versions). Returns the number
-        of entries that existed under the current schema."""
+        of entries that existed under the current schema.
+
+        Only ``v<N>`` schema directories are removed: ``R2D2_CACHE_DIR``
+        may point at a shared directory (``~/.cache``, a project root),
+        and blowing away ``self.root`` wholesale would take unrelated
+        user files with it.
+        """
         count = sum(1 for _ in self._entries())
-        shutil.rmtree(self.root, ignore_errors=True)
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if child.is_dir() and re.fullmatch(r"v\d+", child.name):
+                    shutil.rmtree(child, ignore_errors=True)
         return count
+
+    # -- per-cell key index ---------------------------------------------
+    # The shard scheduler records, for every suite cell, the result key
+    # it last computed; an unchanged key on the next run means the cell
+    # can be skipped outright (incremental rerun).  Index files live
+    # beside the pickle store but outside the ``*/??/*.pkl`` glob, so
+    # they are never counted against the size cap or evicted.
+    def _cell_path(self, cell_id: str) -> Path:
+        h = hashlib.sha256(cell_id.encode()).hexdigest()
+        return self.version_dir / "cells" / h[:2] / f"{h}.json"
+
+    def cell_key_get(self, cell_id: str) -> Optional[str]:
+        """The result key recorded for ``cell_id``, or None."""
+        try:
+            with open(self._cell_path(cell_id), "r") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        key = record.get("key")
+        return key if isinstance(key, str) else None
+
+    def cell_key_put(self, cell_id: str, key: str) -> bool:
+        """Record ``key`` as the latest result key for ``cell_id``."""
+        path = self._cell_path(cell_id)
+        payload = json.dumps(
+            {"cell": cell_id, "key": key, "updated": time.time()}
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
 
 
 # ----------------------------------------------------------------------

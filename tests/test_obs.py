@@ -18,6 +18,7 @@ import pytest
 from repro import obs
 from repro.harness import cli, experiments
 from repro.harness.experiments import bench_config, run_suite
+from repro.perf import shard
 from repro.harness.report import Table, obs_summary
 from repro.perf import parallel
 from repro.perf.parallel import (
@@ -291,22 +292,21 @@ def _raise_unpicklable(*args, **kwargs):
 
 class TestSuiteFallbackBehavior:
     def test_worker_bug_surfaces_without_serial_retry(self, monkeypatch):
-        monkeypatch.setattr(
-            experiments, "_suite_cell_task", _raise_worker_bug
-        )
+        monkeypatch.setattr(shard, "_shard_cell_task", _raise_worker_bug)
         calls = []
-        monkeypatch.setattr(
-            experiments, "run_workload",
-            lambda *a, **k: calls.append(a) or pytest.fail("serial retry"),
-        )
+
+        def _no_serial(*a, **k):
+            calls.append(a)
+            pytest.fail("serial retry")
+
+        monkeypatch.setattr(shard, "_shard_cell_serial", _no_serial)
+        monkeypatch.setattr(experiments, "run_workload", _no_serial)
         with pytest.raises(AttributeError, match="worker bug in cell"):
             run_suite(["NN", "BP"], "tiny", bench_config(2), jobs=2)
         assert calls == []
 
     def test_infra_failure_demotes_to_serial(self, monkeypatch):
-        monkeypatch.setattr(
-            experiments, "_suite_cell_task", _raise_unpicklable
-        )
+        monkeypatch.setattr(shard, "_shard_cell_task", _raise_unpicklable)
         suite = run_suite(["NN", "BP"], "tiny", bench_config(2), jobs=2)
         assert set(suite.results) == {"NN", "BP"}
         assert obs.counter_total("parallel.demotions") >= 1

@@ -1,17 +1,22 @@
 """The perf subsystem: persistent result cache and parallel runners."""
 
+import concurrent.futures
 import os
 import pickle
+import time
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.harness.experiments import bench_config, run_suite
 from repro.harness.runner import run_workload
 from repro.perf import parallel
 from repro.perf import (
     TraceCache,
     cache_from_env,
+    fallback_reason,
+    is_parallel_fallback,
     resolve_cache,
     resolve_jobs,
     task_timeout,
@@ -102,6 +107,74 @@ class TestTraceCache:
         assert cache.clear() == 2
         assert cache.stats()["entries"] == 0
 
+    def test_clear_spares_unrelated_files(self, tmp_path):
+        # R2D2_CACHE_DIR may point at a shared directory (~/.cache, a
+        # project root): clear() must only remove v* schema dirs, never
+        # the user's other files.
+        decoy = tmp_path / "thesis-draft.txt"
+        decoy.write_text("months of work")
+        decoy_dir = tmp_path / "venv"
+        decoy_dir.mkdir()
+        (decoy_dir / "pyvenv.cfg").write_text("home = /usr")
+        (tmp_path / "v2beta").mkdir()  # not a pure v<N> name: spared
+        cache = TraceCache(root=tmp_path)
+        cache.put("result", "aa" * 32, 1)
+        assert cache.clear() == 1
+        assert decoy.read_text() == "months of work"
+        assert (decoy_dir / "pyvenv.cfg").is_file()
+        assert (tmp_path / "v2beta").is_dir()
+        assert not cache.version_dir.exists()
+
+    def test_eviction_grace_protects_concurrent_writers(self, tmp_path):
+        # Two workers share one cache dir.  Worker A's entries are old;
+        # workers B/C just wrote theirs.  B's put() overflows the cap —
+        # eviction must reclaim A's old entry, not B/C's fresh ones
+        # (before the grace window, only the single globally-newest
+        # entry was safe).
+        cache = TraceCache(root=tmp_path, max_bytes=2000, evict_grace_s=60)
+        blob = os.urandom(900)
+        old_key, fresh1, fresh2 = ("aa" * 32, "bb" * 32, "cc" * 32)
+        cache.put("result", old_key, blob)
+        past = time.time() - 3600
+        os.utime(cache._path("result", old_key), (past, past))
+        cache.put("result", fresh1, blob)
+        cache.put("result", fresh2, blob)  # cap exceeded -> evict
+        assert not cache._path("result", old_key).exists()
+        assert cache._path("result", fresh1).exists()
+        assert cache._path("result", fresh2).exists()
+
+    def test_eviction_grace_zero_restores_lru(self, tmp_path):
+        cache = TraceCache(root=tmp_path, max_bytes=2000, evict_grace_s=0)
+        blob = os.urandom(900)
+        keys = ["aa" * 32, "bb" * 32, "cc" * 32]
+        for i, key in enumerate(keys):
+            cache.put("result", key, blob)
+            os.utime(cache._path("result", key), (1000 + i, 1000 + i))
+        cache._evict()
+        assert not cache._path("result", keys[0]).exists()
+        assert cache._path("result", keys[-1]).exists()
+
+    def test_cell_key_index_roundtrip(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        assert cache.cell_key_get("BP@tiny/bench-2sm/all/v1") is None
+        assert cache.cell_key_put("BP@tiny/bench-2sm/all/v1", "k1" * 32)
+        assert (
+            cache.cell_key_get("BP@tiny/bench-2sm/all/v1") == "k1" * 32
+        )
+        # updates overwrite; other cells are unaffected
+        cache.cell_key_put("BP@tiny/bench-2sm/all/v1", "k2" * 32)
+        assert (
+            cache.cell_key_get("BP@tiny/bench-2sm/all/v1") == "k2" * 32
+        )
+        assert cache.cell_key_get("NN@tiny/bench-2sm/all/v1") is None
+
+    def test_cell_index_not_counted_or_evicted(self, tmp_path):
+        cache = TraceCache(root=tmp_path, max_bytes=1000, evict_grace_s=0)
+        cache.cell_key_put("cell", "aa" * 32)
+        assert cache.stats()["entries"] == 0
+        cache.put("result", "bb" * 32, os.urandom(1500))  # forces evict
+        assert cache.cell_key_get("cell") == "aa" * 32
+
 
 # ----------------------------------------------------------------------
 # Resolution knobs
@@ -124,6 +197,45 @@ class TestKnobs:
         assert task_timeout() == 2.5
         monkeypatch.setenv("R2D2_TASK_TIMEOUT", "-1")
         assert task_timeout() is None
+
+    def test_invalid_task_timeout_warns_once(self, monkeypatch):
+        monkeypatch.setenv("R2D2_TASK_TIMEOUT", "forever")
+        parallel._warned_timeouts.discard("forever")
+        before = obs.counter_total("parallel.invalid_timeout")
+        with pytest.warns(RuntimeWarning, match="R2D2_TASK_TIMEOUT"):
+            assert task_timeout() is None
+        assert obs.counter_total("parallel.invalid_timeout") == before + 1
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert task_timeout() is None  # second call stays quiet
+        assert obs.counter_total("parallel.invalid_timeout") == before + 1
+
+    def test_nonpositive_task_timeout_stays_silent(self, monkeypatch):
+        # "-1"/"0" are the documented no-limit spelling, not a mistake.
+        import warnings as _warnings
+
+        for value in ("-1", "0"):
+            monkeypatch.setenv("R2D2_TASK_TIMEOUT", value)
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                assert task_timeout() is None
+
+
+class TestTimeoutClassification:
+    def test_futures_timeout_error_demotes(self):
+        # On Python 3.9/3.10 concurrent.futures.TimeoutError is NOT a
+        # subclass of builtin TimeoutError; both flavours must demote.
+        assert is_parallel_fallback(concurrent.futures.TimeoutError())
+        assert is_parallel_fallback(TimeoutError())
+
+    def test_futures_timeout_error_reason(self):
+        assert (
+            fallback_reason(concurrent.futures.TimeoutError())
+            == "task-timeout"
+        )
+        assert fallback_reason(TimeoutError()) == "task-timeout"
 
     def test_cache_off_by_default(self):
         # tests/conftest.py clears R2D2_CACHE: library default is off.
