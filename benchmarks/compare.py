@@ -54,6 +54,12 @@ Two independent checks, both of which must pass:
    incremental-rerun acceptance ratio and holds on any machine; the
    ``minisuite`` stem needs real cores and skips itself on
    single-core boxes.
+7. **Event-driven timing speedup** — every ``test_<stem>_timing_on`` /
+   ``_off`` pair (event-driven engine vs reference loop on a divergent
+   timing-replay trace) must show at least ``--min-timing-speedup``
+   (default 5.0, ``$BENCH_MIN_TIMING_SPEEDUP`` overrides), with the
+   85%% retain gate against ``benchmarks/baseline/BENCH_timing.json``
+   and ``--timing-out`` to merge-update it.
 
 Exit status 0 on pass, 1 on regression, 2 on usage/IO errors.
 """
@@ -74,6 +80,8 @@ VECTOR_ON_SUFFIX = "_vector_on"
 VECTOR_OFF_SUFFIX = "_vector_off"
 SHARD_ON_SUFFIX = "_shard_on"
 SHARD_OFF_SUFFIX = "_shard_off"
+TIMING_ON_SUFFIX = "_timing_on"
+TIMING_OFF_SUFFIX = "_timing_off"
 PROVENANCE_ON_BENCH = "test_workload_provenance_on"
 PROVENANCE_OFF_BENCH = "test_workload_provenance_off"
 #: Fraction of the committed speedup the current run must retain.
@@ -130,6 +138,13 @@ def shard_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
     return _on_off_pairs(
         means, SHARD_ON_SUFFIX, SHARD_OFF_SUFFIX,
         "serial_s", "sharded_s",
+    )
+
+
+def timing_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    return _on_off_pairs(
+        means, TIMING_ON_SUFFIX, TIMING_OFF_SUFFIX,
+        "reference_s", "fast_s",
     )
 
 
@@ -262,6 +277,24 @@ def main(argv: Optional[list] = None) -> int:
              "the current run",
     )
     parser.add_argument(
+        "--min-timing-speedup",
+        type=float,
+        default=float(os.environ.get("BENCH_MIN_TIMING_SPEEDUP", "5.0")),
+        help="required event-driven-vs-reference timing-replay speedup "
+             "per pair (default: 5.0; $BENCH_MIN_TIMING_SPEEDUP "
+             "overrides)",
+    )
+    parser.add_argument(
+        "--timing-baseline",
+        default="benchmarks/baseline/BENCH_timing.json",
+        help="committed timing-speedup artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timing-out", metavar="PATH", default=None,
+        help="merge-update PATH with the measured timing-engine "
+             "speedups from the current run",
+    )
+    parser.add_argument(
         "--max-provenance-overhead",
         type=float,
         default=float(
@@ -365,6 +398,14 @@ def main(argv: Optional[list] = None) -> int:
         "serial_s", "sharded_s",
         args.min_shard_speedup,
         args.shard_baseline, args.shard_out,
+    )
+
+    # -- check 7: event-driven timing speedup ---------------------------
+    failed |= _gate_pairs(
+        "timing", timing_pairs(current),
+        "reference_s", "fast_s",
+        args.min_timing_speedup,
+        args.timing_baseline, args.timing_out,
     )
 
     return 1 if failed else 0

@@ -115,12 +115,14 @@ def test_timing_replay_throughput(benchmark):
 
 
 def test_timing_replay_reference_throughput(benchmark):
-    """The record-by-record reference engine (dedup off).  Kept as a
-    benchmark so ``compare.py`` can assert the dedup speedup ratio
-    machine-independently."""
+    """The record-by-record reference engine (dedup off, event-driven
+    engine off).  Kept as a benchmark so ``compare.py`` can assert the
+    dedup speedup ratio machine-independently."""
     trace = _vadd_trace()
     result = benchmark(
-        lambda: TimingSimulator(tiny(), trace, dedup=False).run()
+        lambda: TimingSimulator(
+            tiny(), trace, dedup=False, timing="reference"
+        ).run()
     )
     assert result.cycles > 0
 
@@ -130,7 +132,9 @@ def test_timing_replay_engines_agree():
     identical cycle counts on the benchmarked trace."""
     trace = _vadd_trace()
     fast = TimingSimulator(tiny(), trace, dedup=True).run()
-    ref = TimingSimulator(tiny(), trace, dedup=False).run()
+    ref = TimingSimulator(
+        tiny(), trace, dedup=False, timing="reference"
+    ).run()
     assert fast.cycles == ref.cycles
     assert fast.issued_total == ref.issued_total
 
@@ -317,6 +321,67 @@ def test_dyntrip_vector_on(benchmark):
 
 def test_dyntrip_vector_off(benchmark):
     _vector_bench(benchmark, _dyntrip_kernel(), "0")
+
+
+# ---------------------------------------------------------------------------
+# Event-driven timing engine (R2D2_TIMING): timing replay of the
+# divergent dyntrip trace, event-driven vs reference loop.
+# ``compare.py`` pairs ``test_dyntrip_timing_on/_off`` and enforces
+# BENCH_MIN_TIMING_SPEEDUP (default 5x).  The trace and config are
+# shared across rounds, so the precompiled record streams stay cached
+# (the production shape: precompile once per kernel, replay many
+# times); the reference loop has no precompilation to amortize.
+# ---------------------------------------------------------------------------
+
+_TIMING_CFG = tiny()
+_TIMING_TRACE = None
+
+
+def _dyntrip_timing_trace():
+    global _TIMING_TRACE
+    if _TIMING_TRACE is None:
+        dev = Device(_TIMING_CFG)
+        rng = np.random.default_rng(11)
+        p0 = dev.upload(rng.integers(1, 64, V_N).astype(np.int32))
+        p1 = dev.alloc(4 * V_N)
+        _TIMING_TRACE = dev.launch(
+            _dyntrip_kernel(), V_BLOCKS, V_THREADS, (p0, p1)
+        )
+    return _TIMING_TRACE
+
+
+def test_dyntrip_timing_on(benchmark):
+    trace = _dyntrip_timing_trace()
+    result = benchmark.pedantic(
+        lambda: TimingSimulator(
+            _TIMING_CFG, trace, dedup=False, timing="fast"
+        ).run(),
+        rounds=3,
+    )
+    assert result.cycles > 0
+
+
+def test_dyntrip_timing_off(benchmark):
+    trace = _dyntrip_timing_trace()
+    result = benchmark.pedantic(
+        lambda: TimingSimulator(
+            _TIMING_CFG, trace, dedup=False, timing="reference"
+        ).run(),
+        rounds=3,
+    )
+    assert result.cycles > 0
+
+
+def test_timing_fast_engine_agrees():
+    """Not a timing benchmark: verify mode runs both engines above on
+    the benchmarked trace and asserts every result field — cycles,
+    counters, cache stats, and the exact energy floats — is identical
+    (raises ``TimingVerifyMismatch`` otherwise)."""
+    trace = _dyntrip_timing_trace()
+    result = TimingSimulator(
+        _TIMING_CFG, trace, dedup=False, timing="verify"
+    ).run()
+    assert result.cycles > 0
 
 
 # ---------------------------------------------------------------------------

@@ -110,6 +110,12 @@ class _R2D2Policy(IssuePolicy):
         extras = [self._pc_extra[r.pc] for r in warp.records]
         return WarpIssuePlan(modes=modes, extra_latency=extras)
 
+    def plan_arrays(self):
+        # Plans are a pure function of the static pc (the tables above),
+        # so the signature passes can compose them without per-warp
+        # plan_warp calls.
+        return self._pc_mode, self._pc_extra
+
     def sm_prologue_cycles(self, sm_id: int) -> int:
         lat = self.config.latency
         counts = self.counts

@@ -141,15 +141,21 @@ def obs_phase_table(snapshot: Dict[str, object]) -> Table:
 
 
 def obs_kernel_table(snapshot: Dict[str, object]) -> Table:
-    """Per-kernel fast-path counters (dedup replay, block-trace
-    extrapolation, megawarp vectorization) from a snapshot's flattened
-    counter keys."""
+    """Per-kernel fast-path counters (timing-engine mix, dedup replay,
+    block-trace extrapolation, megawarp vectorization) from a
+    snapshot's flattened counter keys.
+
+    The ``timing`` column renders the engine mix per kernel (``dedup``,
+    ``fast``, ``reference``, ``verify``), with dedup decline reasons in
+    brackets, e.g. ``fast x4 [scheduler-rr x4]``."""
     from ..obs import parse_key
 
     counters: Dict[str, float] = dict(snapshot.get("counters") or {})
     per_kernel: Dict[str, Dict[str, float]] = {}
     reasons: Dict[str, str] = {}
     vreasons: Dict[str, Dict[str, int]] = {}
+    tengines: Dict[str, Dict[str, int]] = {}
+    dfallbacks: Dict[str, Dict[str, int]] = {}
     for flat, value in counters.items():
         name, labels = parse_key(flat)
         kernel = labels.get("kernel")
@@ -167,16 +173,30 @@ def obs_kernel_table(snapshot: Dict[str, object]) -> Table:
             if slug and slug != "extrapolated":
                 vbucket = vreasons.setdefault(kernel, {})
                 vbucket[slug] = vbucket.get(slug, 0) + int(value)
+        if name == "timing.engine":
+            engine = labels.get("engine", "?")
+            tbucket = tengines.setdefault(kernel, {})
+            tbucket[engine] = tbucket.get(engine, 0) + int(value)
+        if name == "dedup.fallback":
+            slug = labels.get("reason", "")
+            if slug:
+                dbucket = dfallbacks.setdefault(kernel, {})
+                dbucket[slug] = dbucket.get(slug, 0) + int(value)
 
     table = Table(
         "Per-kernel fast-path counters",
-        ["kernel", "dedup_sms", "cloned", "xblocks", "xtotal",
+        ["kernel", "timing", "dedup_sms", "cloned", "xblocks", "xtotal",
          "fallback", "vwarps", "vtotal", "vfallback"],
     )
     for kernel in sorted(per_kernel):
         c = per_kernel[kernel]
+        timing = format_fallbacks(tengines.get(kernel, {}))
+        dfall = format_fallbacks(dfallbacks.get(kernel, {}))
+        if dfall:
+            timing = f"{timing} [{dfall}]" if timing else f"[{dfall}]"
         table.add_row(
             kernel[:28],
+            timing,
             int(c.get("dedup.sms.simulated", 0)),
             int(c.get("dedup.sms.cloned", 0)),
             int(c.get("extrapolate.blocks_extrapolated", 0)),

@@ -37,7 +37,12 @@ from ..sim.executor import FunctionalExecutor
 from ..sim.extrapolate import ExtrapolationMismatch
 from ..sim.vector import VectorMismatch
 from ..sim.gpu import Device
-from ..sim.timing import TimingResult, TimingSimulator
+from ..sim.timing import (
+    TimingResult,
+    TimingSimulator,
+    TimingVerifyMismatch,
+    timing_differences,
+)
 from ..transform.decouple import r2d2_transform
 from ..transform.values import R2D2Values
 from .invariants import (
@@ -106,32 +111,49 @@ def _prepare_device(
     return dev, tuple(args), buffers
 
 
-def _timing_dedup_diffs(
+def _timing_engine_diffs(
     config: GPUConfig,
     trace,
     policy=None,
     regs_per_thread: Optional[int] = None,
-) -> List[str]:
-    on = TimingSimulator(
-        config, trace, policy=policy, regs_per_thread=regs_per_thread,
-        dedup=True,
-    ).run()
-    off = TimingSimulator(
-        config, trace, policy=policy, regs_per_thread=regs_per_thread,
-        dedup=False,
-    ).run()
-    diffs = []
+) -> List[Tuple[str, str]]:
+    """Differential check of both fast timing engines against the
+    reference loop, as ``(violation-kind, detail)`` pairs: warp-dedup
+    (integer fields + cache stats; cloned-SM energy is ULP-inexact by
+    contract) and the event-driven engine (every field, energy floats
+    included — the ``R2D2_TIMING=verify`` contract)."""
+    kwargs = dict(policy=policy, regs_per_thread=regs_per_thread)
+    try:
+        ref = TimingSimulator(
+            config, trace, dedup=False, timing="reference", **kwargs
+        ).run()
+        on = TimingSimulator(
+            config, trace, dedup=True, timing="reference", **kwargs
+        ).run()
+        fast = TimingSimulator(
+            config, trace, dedup=False, timing="fast", **kwargs
+        ).run()
+    except TimingVerifyMismatch as exc:
+        return [("timing-fast-mismatch", f"verify: {d}") for d in exc.diffs]
+    diffs: List[Tuple[str, str]] = []
     for name in TIMING_INT_FIELDS:
-        a, b = getattr(on, name), getattr(off, name)
+        a, b = getattr(on, name), getattr(ref, name)
         if a != b:
-            diffs.append(f"{name}: dedup={a} replay={b}")
-    for cache in ("l1", "l2"):
-        a, b = getattr(on, cache), getattr(off, cache)
-        if (a.accesses, a.hits) != (b.accesses, b.hits):
             diffs.append(
-                f"{cache}: dedup=({a.accesses},{a.hits}) "
-                f"replay=({b.accesses},{b.hits})"
+                ("timing-dedup-mismatch", f"{name}: dedup={a} replay={b}")
             )
+    for cache in ("l1", "l2"):
+        a, b = getattr(on, cache), getattr(ref, cache)
+        if (a.accesses, a.hits) != (b.accesses, b.hits):
+            diffs.append((
+                "timing-dedup-mismatch",
+                f"{cache}: dedup=({a.accesses},{a.hits}) "
+                f"replay=({b.accesses},{b.hits})",
+            ))
+    diffs.extend(
+        ("timing-fast-mismatch", d)
+        for d in timing_differences(fast, ref)
+    )
     return diffs
 
 
@@ -252,12 +274,8 @@ def _check_spec(
                         f"at address {int(bad[0])}",
                     )
                 )
-            for diff in _timing_dedup_diffs(config, trace_x):
-                vio.append(
-                    Violation(
-                        "timing-dedup-mismatch", f"extrapolated {diff}"
-                    )
-                )
+            for kind, diff in _timing_engine_diffs(config, trace_x):
+                vio.append(Violation(kind, f"extrapolated {diff}"))
 
     # --- megawarp vectorization ---------------------------------------
     # Same contract as extrapolation, for the universal engine: verify
@@ -303,12 +321,8 @@ def _check_spec(
                         f"at address {int(bad[0])}",
                     )
                 )
-            for diff in _timing_dedup_diffs(config, trace_v):
-                vio.append(
-                    Violation(
-                        "timing-dedup-mismatch", f"vectorized {diff}"
-                    )
-                )
+            for kind, diff in _timing_engine_diffs(config, trace_v):
+                vio.append(Violation(kind, f"vectorized {diff}"))
 
     # --- transform + differential run ---------------------------------
     try:
@@ -382,18 +396,19 @@ def _check_spec(
                     )
                 )
 
-        # dedup on/off timing equality on the transformed trace
+        # fast-engine / reference timing equality on the transformed
+        # trace (dedup and event-driven, R2D2 issue plans included)
         counts = R2D2Arch().linear_phase_counts(rkernel, launch_b, config)
         policy = _R2D2Policy(rkernel, counts, config)
-        for diff in _timing_dedup_diffs(
+        for kind, diff in _timing_engine_diffs(
             config, trace_b, policy=policy,
             regs_per_thread=rkernel.register_usage.original_regs_per_thread,
         ):
-            vio.append(Violation("timing-dedup-mismatch", f"r2d2 {diff}"))
+            vio.append(Violation(kind, f"r2d2 {diff}"))
 
-    # dedup on/off timing equality on the original trace
-    for diff in _timing_dedup_diffs(config, trace_a):
-        vio.append(Violation("timing-dedup-mismatch", f"baseline {diff}"))
+    # fast-engine / reference timing equality on the original trace
+    for kind, diff in _timing_engine_diffs(config, trace_a):
+        vio.append(Violation(kind, f"baseline {diff}"))
 
     return report
 

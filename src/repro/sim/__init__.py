@@ -31,7 +31,10 @@ from .timing import (
     IssuePolicy,
     TimingResult,
     TimingSimulator,
+    TimingVerifyMismatch,
     WarpIssuePlan,
+    timing_differences,
+    timing_mode_from_env,
 )
 from .vector import (
     VectorMismatch,
@@ -72,6 +75,7 @@ __all__ = [
     "SharedMemory",
     "TimingResult",
     "TimingSimulator",
+    "TimingVerifyMismatch",
     "TraceRecord",
     "VectorMismatch",
     "VectorReport",
@@ -84,6 +88,8 @@ __all__ = [
     "check_eligibility",
     "coalesce",
     "extrapolation_mode",
+    "timing_differences",
+    "timing_mode_from_env",
     "vector_mode",
     "small",
     "tiny",

@@ -61,6 +61,10 @@ _K_SMEM = 3
 _K_ALU = 4
 _K_SKIP = 5
 
+#: Sig-tuple tail for plain-SIMD plans; plain ints hash faster than the
+#: IssueMode members they equal.
+_SIMD_TAIL = (int(IssueMode.SIMD), 0)
+
 
 class _SigGroup:
     """Per-record static issue tables shared by all warps of one
@@ -106,85 +110,112 @@ class _SigGroup:
         self.has_scalar = False
 
 
-def _build_group(sig: tuple, prep: "_Prep") -> _SigGroup:
+def _build_row(key: tuple, prep: "_Prep") -> tuple:
+    """Static issue row for one record key.
+
+    A row depends only on the 7-tuple record key (never on the
+    surrounding signature), so it is memoized in ``prep.row_cache``:
+    divergent kernels produce thousands of distinct *signatures* built
+    from a few dozen distinct *record keys*, and rebuilding rows per
+    group used to dominate the precompilation pass.
+    """
     cfg = prep.cfg
     lat = cfg.latency
     e = cfg.energy
-    instrs = prep.instrs
-    grp = _SigGroup(len(sig))
-    for pc, active, shared, bank_conflict, n_lines, mode, extra in sig:
-        instr = instrs[pc]
-        grp.extra.append(extra)
-        grp.active.append(active)
-        grp.n_lines.append(n_lines)
-        grp.is_store.append(instr.is_store)
-        grp.next_scalar.append(mode == IssueMode.SCALAR)
-        dst = instr.dst
-        dst_id = prep.reg_ids[dst.name] if dst is not None else -1
-        grp.dst.append(dst_id)
-        src_ids = tuple(
-            dict.fromkeys(
-                prep.reg_ids[r.name] for r in instr.source_regs()
-            )
+    pc, active, shared, bank_conflict, n_lines, mode, extra = key
+    instr = prep.instrs[pc]
+    dst = instr.dst
+    dst_id = prep.reg_ids[dst.name] if dst is not None else -1
+    src_regs = instr.source_regs()
+    src_ids = tuple(
+        dict.fromkeys(prep.reg_ids[r.name] for r in src_regs)
+    )
+    next_scalar = mode == IssueMode.SCALAR
+
+    if mode == IssueMode.SKIP:
+        return (
+            _K_SKIP, 0, extra, active, dst_id, src_ids, (),
+            0, n_lines, instr.is_store, next_scalar, False,
         )
-        grp.srcs.append(src_ids)
-        n_src = len(instr.source_regs())
-
-        if mode == IssueMode.SKIP:
-            grp.kind.append(_K_SKIP)
-            grp.lat.append(0)
-            grp.lsu_slots.append(0)
-            grp.eadds.append(())
-            continue
-        if mode in (IssueMode.SCALAR, IssueMode.SCALAR_INLINE):
-            grp.kind.append(_K_SCALAR)
-            grp.lat.append(_latency_of(instr, lat))
-            grp.lsu_slots.append(0)
-            grp.eadds.append((
-                ("fetch", e.fetch_decode_pj),
-                ("scalar", e.scalar_op_pj),
-                ("rf", e.rf_read_pj + e.rf_write_pj),
-            ))
-            grp.has_scalar = grp.has_scalar or mode == IssueMode.SCALAR
-            continue
-
-        adds: List[Tuple[str, float]] = [
+    if mode in (IssueMode.SCALAR, IssueMode.SCALAR_INLINE):
+        eadds = (
             ("fetch", e.fetch_decode_pj),
-            ("rf", e.rf_read_pj * n_src),
-        ]
-        if dst is not None:
-            adds.append(("rf", e.rf_write_pj))
-        if instr.is_barrier:
-            grp.kind.append(_K_BARRIER)
-            grp.lat.append(0)
-            grp.lsu_slots.append(0)
-        elif instr.is_global_memory and n_lines:
-            grp.kind.append(_K_GMEM)
-            grp.lat.append(0)
-            grp.lsu_slots.append(max(1, n_lines // cfg.mem_ports_per_sm))
-            adds.append(("l1", e.l1_access_pj * n_lines))
-        elif instr.is_shared_memory or shared:
-            grp.kind.append(_K_SMEM)
-            grp.lat.append(lat.shared_mem + max(0, bank_conflict - 1))
-            grp.lsu_slots.append(0)
-            adds.append(("shared", e.shared_access_pj * active))
+            ("scalar", e.scalar_op_pj),
+            ("rf", e.rf_read_pj + e.rf_write_pj),
+        )
+        return (
+            _K_SCALAR, _latency_of(instr, lat), extra, active, dst_id,
+            src_ids, eadds, 0, n_lines, instr.is_store, next_scalar,
+            mode == IssueMode.SCALAR,
+        )
+
+    adds: List[Tuple[str, float]] = [
+        ("fetch", e.fetch_decode_pj),
+        ("rf", e.rf_read_pj * len(src_regs)),
+    ]
+    if dst is not None:
+        adds.append(("rf", e.rf_write_pj))
+    lsu = 0
+    if instr.is_barrier:
+        kind, latv = _K_BARRIER, 0
+    elif instr.is_global_memory and n_lines:
+        kind, latv = _K_GMEM, 0
+        lsu = max(1, n_lines // cfg.mem_ports_per_sm)
+        adds.append(("l1", e.l1_access_pj * n_lines))
+    elif instr.is_shared_memory or shared:
+        kind = _K_SMEM
+        latv = lat.shared_mem + max(0, bank_conflict - 1)
+        adds.append(("shared", e.shared_access_pj * active))
+    else:
+        kind, latv = _K_ALU, _latency_of(instr, lat)
+        if instr.opcode in prep.sfu_opcodes:
+            adds.append(("sfu", e.sfu_lane_pj * active))
+        elif instr.dtype.is_float:
+            adds.append(("alu", e.float_lane_pj * active))
         else:
-            grp.kind.append(_K_ALU)
-            grp.lat.append(_latency_of(instr, lat))
-            grp.lsu_slots.append(0)
-            if instr.opcode in prep.sfu_opcodes:
-                adds.append(("sfu", e.sfu_lane_pj * active))
-            elif instr.dtype.is_float:
-                adds.append(("alu", e.float_lane_pj * active))
-            else:
-                adds.append(("alu", e.int_lane_pj * active))
-        grp.eadds.append(tuple(adds))
+            adds.append(("alu", e.int_lane_pj * active))
+    return (
+        kind, latv, extra, active, dst_id, src_ids, tuple(adds),
+        lsu, n_lines, instr.is_store, next_scalar, False,
+    )
+
+
+def _build_group(sig: tuple, prep: "_Prep") -> _SigGroup:
+    grp = _SigGroup(len(sig))
+    cache = prep.row_cache
+    rows = []
+    for key in sig:
+        row = cache.get(key)
+        if row is None:
+            row = _build_row(key, prep)
+            cache[key] = row
+        rows.append(row)
+    (
+        grp.kind,
+        grp.lat,
+        grp.extra,
+        grp.active,
+        grp.dst,
+        grp.srcs,
+        grp.eadds,
+        grp.lsu_slots,
+        grp.n_lines,
+        grp.is_store,
+        grp.next_scalar,
+        scalar_modes,
+    ) = map(list, zip(*rows)) if rows else ([] for _ in range(12))
+    grp.has_scalar = any(scalar_modes)
 
     # Maximal skip runs from every position (mirrors ``_advance_skips``):
     # ``skip_next[i]`` is the first non-SKIP index at or after i,
     # ``skip_dsts[i]`` the destination slots written while skipping,
     # ``skip_count[i]`` how many records were skipped.
     n = grp.n
+    if _K_SKIP not in grp.kind:
+        grp.skip_next = list(range(n + 1))
+        grp.skip_dsts = [()] * (n + 1)
+        grp.skip_count = [0] * (n + 1)
+        return grp
     grp.skip_next = [0] * (n + 1)
     grp.skip_dsts = [()] * (n + 1)
     grp.skip_count = [0] * (n + 1)
@@ -209,10 +240,12 @@ class _Prep:
     def __init__(self, sim) -> None:
         from ..isa.opcodes import SFU_OPCODES
 
-        self.sim = sim
+        self.policy = sim.policy
         self.cfg = sim.config
         self.instrs = sim.instrs
         self.sfu_opcodes = SFU_OPCODES
+        #: record key -> static issue row, shared across groups.
+        self.row_cache: Dict[tuple, tuple] = {}
         # Register-name -> dense slot id (reference uses a name-keyed
         # dict with default 0; dense arrays start at 0 likewise).
         self.reg_ids: Dict[str, int] = {}
@@ -231,15 +264,50 @@ class _Prep:
         self.block_sig: Dict[int, tuple] = {}
         self.any_scalar = False
         policy = sim.policy
+        # Policies whose plans are a pure function of the static pc
+        # (e.g. R2D2's per-pc mode/extra tables) export them as arrays;
+        # the signature composes per record from the pc without ever
+        # materializing a per-warp WarpIssuePlan.
+        arrays = policy.plan_arrays()
+        if arrays is not None:
+            mode_by_pc = [int(m) for m in arrays[0]]
+            extra_by_pc = [int(x) for x in arrays[1]]
         # Extrapolated traces carry an interned tuple of
         # static_issue_key()s per warp (WarpTrace.sig_base); warps that
         # share the interned object skip the per-record key walk.
         simd_sigs: Dict[int, tuple] = {}
+        pc_sigs: Dict[int, tuple] = {}
         for block in sim.trace.blocks:
             bprologue = policy.block_prologue_cycles(block)
             groups: List[_SigGroup] = []
             wsigs: List[int] = []
             for warp in block.warps:
+                if arrays is not None:
+                    base = getattr(warp, "sig_base", None)
+                    if base is not None:
+                        sig = pc_sigs.get(id(base))
+                        if sig is None:
+                            sig = tuple(
+                                key
+                                + (mode_by_pc[key[0]], extra_by_pc[key[0]])
+                                for key in base
+                            )
+                            pc_sigs[id(base)] = sig
+                    else:
+                        sig = tuple(
+                            r.static_issue_key()
+                            + (mode_by_pc[r.pc], extra_by_pc[r.pc])
+                            for r in warp.records
+                        )
+                    grp = self._groups.get(sig)
+                    if grp is None:
+                        grp = _build_group(sig, self)
+                        self._groups[sig] = grp
+                        self._group_ids[sig] = len(self._group_ids)
+                        self.any_scalar = self.any_scalar or grp.has_scalar
+                    groups.append(grp)
+                    wsigs.append(self._group_ids[sig])
+                    continue
                 plan = policy.plan_warp(block, warp)
                 if plan.modes is None and plan.extra_latency is None:
                     base = getattr(warp, "sig_base", None)
@@ -247,18 +315,18 @@ class _Prep:
                         sig = simd_sigs.get(id(base))
                         if sig is None:
                             sig = tuple(
-                                key + (IssueMode.SIMD, 0) for key in base
+                                key + _SIMD_TAIL for key in base
                             )
                             simd_sigs[id(base)] = sig
                     else:
                         sig = tuple(
-                            r.static_issue_key() + (IssueMode.SIMD, 0)
+                            r.static_issue_key() + _SIMD_TAIL
                             for r in warp.records
                         )
                 else:
                     sig = tuple(
                         r.static_issue_key()
-                        + (plan.mode(i), plan.extra(i))
+                        + (int(plan.mode(i)), int(plan.extra(i)))
                         for i, r in enumerate(warp.records)
                     )
                 grp = self._groups.get(sig)
@@ -274,13 +342,63 @@ class _Prep:
 
     def sm_signature(self, sm_id: int, blocks: List[BlockTrace]) -> tuple:
         return (
-            self.sim.policy.sm_prologue_cycles(sm_id),
+            self.policy.sm_prologue_cycles(sm_id),
             tuple(self.block_sig[id(b)] for b in blocks),
         )
 
     @property
     def n_groups(self) -> int:
         return len(self._groups)
+
+
+#: trace id -> (weakref keeping the eviction callback alive,
+#: [(config, policy, prep), ...]).  Strong refs to config/policy pin
+#: their ids so an identity match can never alias a recycled object.
+_PREP_CACHE: Dict[int, Tuple[object, list]] = {}
+
+
+def prep_for(sim) -> _Prep:
+    """Record-stream precompilation, cached once per kernel trace.
+
+    The tables in :class:`_Prep` depend only on the trace, the config's
+    latency/energy/port parameters, and the issue policy's plans — not
+    on which engine replays them — so one precompilation serves the
+    dedup, event-driven, and verify engines, and repeat replays of the
+    same trace (benchmarks, oracle cross-checks) skip it entirely.
+
+    Entries match by object identity: same config object and same
+    policy object, except that bare :class:`IssuePolicy` instances are
+    interchangeable (their hooks are stateless).  Configs are treated
+    as immutable after construction, as everywhere else in the repo.
+    The cache is keyed by trace id and evicted by a weakref callback
+    when the trace is garbage collected.
+    """
+    from .timing import IssuePolicy
+
+    trace = sim.trace
+    key = id(trace)
+    policy = sim.policy
+    default_policy = type(policy) is IssuePolicy
+    cached = _PREP_CACHE.get(key)
+    if cached is None:
+        import weakref
+
+        entries: list = []
+        ref = weakref.ref(
+            trace, lambda _r, _k=key: _PREP_CACHE.pop(_k, None)
+        )
+        _PREP_CACHE[key] = (ref, entries)
+    else:
+        entries = cached[1]
+        for cfg, pol, prep in entries:
+            if cfg is sim.config and (
+                pol is policy
+                or (default_policy and type(pol) is IssuePolicy)
+            ):
+                return prep
+    prep = _Prep(sim)
+    entries.append((sim.config, policy, prep))
+    return prep
 
 
 class _FW:
@@ -384,17 +502,19 @@ def _pick(lst: List[_FW], last: Optional[_FW], t: int,
     return best
 
 
-def run_dedup(sim) -> Optional[TimingResult]:
+def run_dedup(sim) -> Tuple[Optional[TimingResult], Optional[str]]:
     """Fast equivalent of :meth:`TimingSimulator.run_reference`.
 
-    Returns ``None`` when the preconditions for an exact fast replay are
-    not met (the caller then falls back to the reference loop).
+    Returns ``(result, None)`` on success, or ``(None, reason)`` with
+    the actual decline-reason slug when the preconditions for an exact
+    fast replay are not met (the caller then falls through to the next
+    engine in the chain).
     """
     cfg = sim.config
     if cfg.scheduler_policy != "gto":
-        return None
+        return None, f"scheduler-{cfg.scheduler_policy}"
 
-    prep = _Prep(sim)
+    prep = prep_for(sim)
     result = TimingResult()
     blocks = sim.trace.blocks
     n_sms = min(cfg.num_sms, max(1, len(blocks)))
@@ -445,7 +565,7 @@ def run_dedup(sim) -> Optional[TimingResult]:
     result.l2 = sim.l2.stats
     static = cfg.energy.static_pj_per_sm_cycle * result.cycles * n_sms
     result.energy.add("static", static)
-    return result
+    return result, None
 
 
 def _try_clone(sim, rec: _SMRecord, blocks: List[BlockTrace],

@@ -72,6 +72,16 @@ class IssuePolicy:
     def plan_warp(self, block: BlockTrace, warp: WarpTrace) -> WarpIssuePlan:
         return WarpIssuePlan()
 
+    def plan_arrays(self) -> Optional[Tuple[List[int], List[int]]]:
+        """Per-pc ``(modes, extra_latency)`` tables when — and only
+        when — :meth:`plan_warp` is a pure function of each record's pc.
+        The signature pass shared by the dedup and event-driven engines
+        then composes plans per static pc instead of walking every
+        warp's records.  ``None`` (the default) means "no such tables";
+        policies whose plans depend on anything beyond the pc must not
+        override this."""
+        return None
+
     def sm_prologue_cycles(self, sm_id: int) -> int:
         """Delay before any warp of this SM issues (R2D2: coefficients +
         thread-index parts)."""
@@ -135,6 +145,77 @@ class TimingResult:
         self.sms_used = max(self.sms_used, other.sms_used)
 
 
+class TimingVerifyMismatch(AssertionError):
+    """``R2D2_TIMING=verify`` found the event-driven engine disagreeing
+    with the reference loop."""
+
+    def __init__(self, kernel: str, diffs: List[str]) -> None:
+        self.kernel = kernel
+        self.diffs = diffs
+        super().__init__(
+            f"timing engines disagree on kernel {kernel!r}: "
+            + "; ".join(diffs)
+        )
+
+
+def timing_mode_from_env() -> str:
+    """Resolve ``R2D2_TIMING`` to one of ``fast``/``reference``/
+    ``verify`` (unset and unknown values mean ``fast``, mirroring the
+    on-by-default convention of the other engine knobs)."""
+    env = os.environ.get("R2D2_TIMING", "").strip().lower()
+    if env in ("0", "off", "false", "no", "reference", "ref"):
+        return "reference"
+    if env == "verify":
+        return "verify"
+    return "fast"
+
+
+def timing_differences(
+    fast: TimingResult,
+    ref: TimingResult,
+    fast_l2: Optional[CacheStats] = None,
+) -> List[str]:
+    """Field-by-field comparison of two :class:`TimingResult`\\ s under
+    the event-driven engine's bit-identical contract: every integer
+    field, both cache stat pairs, and the exact per-component energy
+    floats.  ``fast_l2`` overrides ``fast.l2`` for callers whose two
+    runs share (and therefore alias) one L2."""
+    diffs: List[str] = []
+    for name in (
+        "cycles",
+        "issued_simd",
+        "issued_scalar",
+        "skipped",
+        "thread_ops",
+        "prologue_cycles",
+        "dram_accesses",
+        "sms_used",
+    ):
+        a, b = getattr(fast, name), getattr(ref, name)
+        if a != b:
+            diffs.append(f"{name}: fast {a} != reference {b}")
+    fl2 = fast_l2 if fast_l2 is not None else fast.l2
+    for label, a, b in (
+        ("l1", fast.l1, ref.l1),
+        ("l2", fl2, ref.l2),
+    ):
+        if (a.accesses, a.hits) != (b.accesses, b.hits):
+            diffs.append(
+                f"{label}: fast {a.accesses}/{a.hits} "
+                f"!= reference {b.accesses}/{b.hits}"
+            )
+    if fast.energy.values != ref.energy.values:
+        keys = sorted(
+            set(fast.energy.values) | set(ref.energy.values)
+        )
+        for key in keys:
+            a = fast.energy.values.get(key)
+            b = ref.energy.values.get(key)
+            if a != b:
+                diffs.append(f"energy[{key}]: fast {a!r} != reference {b!r}")
+    return diffs
+
+
 def _latency_of(instr: Instruction, lat) -> int:
     op = instr.opcode
     if op in SFU_OPCODES:
@@ -195,6 +276,7 @@ class TimingSimulator:
         l2: Optional[Cache] = None,
         regs_per_thread: Optional[int] = None,
         dedup: Optional[bool] = None,
+        timing: Optional[str] = None,
     ) -> None:
         self.config = config
         self.trace = trace
@@ -205,11 +287,18 @@ class TimingSimulator:
         if regs_per_thread is None:
             regs_per_thread = allocated_registers(self.kernel)
         self.regs_per_thread = regs_per_thread
-        self._lat_cache: Dict[int, int] = {}
         if dedup is None:
             env = os.environ.get("R2D2_SIM_DEDUP", "").strip().lower()
             dedup = env not in ("0", "off", "false", "no")
         self.dedup = dedup
+        if timing is None:
+            timing = timing_mode_from_env()
+        elif timing not in ("fast", "reference", "verify"):
+            raise ValueError(
+                f"timing must be 'fast', 'reference' or 'verify', "
+                f"got {timing!r}"
+            )
+        self.timing = timing
 
     # ------------------------------------------------------------------
     def resident_blocks_limit(self) -> int:
@@ -230,31 +319,77 @@ class TimingSimulator:
 
     # ------------------------------------------------------------------
     def run(self) -> TimingResult:
-        """Replay the trace, using the warp-dedup fast path when its
-        exactness preconditions hold (see :mod:`repro.sim.dedup`)."""
+        """Replay the trace through the engine chain: warp-dedup when
+        its exactness preconditions hold (see :mod:`repro.sim.dedup`),
+        else the event-driven engine (:mod:`repro.sim.timing_fast`,
+        ``R2D2_TIMING=fast``, the default), else the reference loop.
+        ``R2D2_TIMING=verify`` bypasses dedup and runs fast *and*
+        reference, asserting bit-identical results."""
+        kname = self.kernel.name
+        if self.timing == "verify":
+            if self.dedup:
+                obs.decision(
+                    "dedup", "skip", kernel=kname, reason="timing-verify",
+                )
+            return self.run_verify()
         if self.dedup:
             from .dedup import run_dedup
 
-            result = run_dedup(self)
+            result, decline = run_dedup(self)
             if result is not None:
+                obs.inc("timing.engine", kernel=kname, engine="dedup")
                 return result
             # The dedup engine declined (exactness preconditions not
-            # met) — make the silent fallback visible.
-            reason = f"scheduler-{self.config.scheduler_policy}"
-            obs.inc(
-                "dedup.fallback",
-                kernel=self.kernel.name,
-                reason=reason,
-            )
-            obs.decision(
-                "dedup", "skip", kernel=self.kernel.name, reason=reason,
-            )
+            # met) — make the fallback and its actual reason visible.
+            obs.inc("dedup.fallback", kernel=kname, reason=decline)
+            obs.decision("dedup", "skip", kernel=kname, reason=decline)
         else:
             obs.decision(
-                "dedup", "skip", kernel=self.kernel.name,
-                reason="disabled",
+                "dedup", "skip", kernel=kname, reason="disabled",
             )
+        if self.timing == "fast":
+            return self.run_fast()
+        obs.inc("timing.engine", kernel=kname, engine="reference")
+        obs.decision("timing", "skip", kernel=kname, reason="disabled")
         return self.run_reference()
+
+    # ------------------------------------------------------------------
+    def run_fast(self) -> TimingResult:
+        """Event-driven replay, bit-identical to :meth:`run_reference`
+        (enforced by ``R2D2_TIMING=verify``, the oracle, and the
+        timing-verify CI job)."""
+        from .timing_fast import run_fast
+
+        obs.inc(
+            "timing.engine", kernel=self.kernel.name, engine="fast"
+        )
+        obs.decision(
+            "timing", "engage", kernel=self.kernel.name,
+            reason="event-driven",
+        )
+        return run_fast(self)
+
+    # ------------------------------------------------------------------
+    def run_verify(self) -> TimingResult:
+        """Run the event-driven engine *and* the reference loop, assert
+        field-by-field equality (energy and cache stats included), and
+        return the reference result.  Raises
+        :class:`TimingVerifyMismatch` on any difference."""
+        snap = self.l2.snapshot()
+        fast = self.run_fast()
+        # ``result.l2`` aliases the shared L2's stats object, which the
+        # rollback below mutates in place — copy before restoring.
+        fast_l2 = CacheStats(fast.l2.accesses, fast.l2.hits)
+        self.l2.restore(snap)
+        ref = self.run_reference()
+        diffs = timing_differences(fast, ref, fast_l2=fast_l2)
+        kname = self.kernel.name
+        if diffs:
+            obs.inc("timing.verify_mismatches", kernel=kname)
+            raise TimingVerifyMismatch(kname, diffs)
+        obs.inc("timing.engine", kernel=kname, engine="verify")
+        obs.decision("timing", "verify", kernel=kname, reason="ok")
+        return ref
 
     # ------------------------------------------------------------------
     def run_reference(self) -> TimingResult:

@@ -1,0 +1,467 @@
+"""Event-driven timing engine (`sim/timing_fast.py`): bit-identity
+against the reference loop under ``R2D2_TIMING=verify``, engine
+dispatch and env parsing, the precompilation cache, and the
+array-backed cache model."""
+
+import gc
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.isa import CmpOp, DType, KernelBuilder, Param
+from repro.oracle.diff import _prepare_device
+from repro.oracle.kernelgen import build_kernel, generate_spec
+from repro.sim import (
+    Cache,
+    CacheConfig,
+    Device,
+    IssueMode,
+    IssuePolicy,
+    MemoryHierarchy,
+    TimingSimulator,
+    WarpIssuePlan,
+    timing_mode_from_env,
+    tiny,
+)
+from repro.sim import caches as caches_mod
+from repro.sim.dedup import _PREP_CACHE, prep_for
+
+CORPUS = sorted(
+    (pathlib.Path(__file__).parent / "corpus").glob("*.json")
+)
+
+
+def _verify(trace, config, policy=None, regs_per_thread=None):
+    """Run the verify engine (fast + reference, field-by-field assert)
+    and return the reference result it vouched for."""
+    return TimingSimulator(
+        config,
+        trace,
+        policy=policy,
+        regs_per_thread=regs_per_thread,
+        dedup=False,
+        timing="verify",
+    ).run()
+
+
+def vadd_trace(n=2048, block=128, config=None):
+    dev = Device(config or tiny())
+    b = KernelBuilder(
+        "vadd",
+        params=[Param("a", is_pointer=True), Param("c", is_pointer=True),
+                Param("n", DType.S32)],
+    )
+    a_p, c_p, n_p = b.param(0), b.param(1), b.param(2)
+    i = b.global_tid_x()
+    ok = b.setp(CmpOp.LT, i, n_p)
+    with b.if_then(ok):
+        v = b.ld_global(b.addr(a_p, i, 4), DType.F32)
+        b.st_global(b.addr(c_p, i, 4), b.mul(v, 2.0, DType.F32),
+                    DType.F32)
+    kernel = b.build()
+    da = dev.upload(np.ones(n, dtype=np.float32))
+    dc = dev.alloc(4 * n)
+    return dev.launch(kernel, (n + block - 1) // block, block,
+                      (da, dc, n))
+
+
+def dyntrip_trace(blocks=16, threads=64, mask=31, config=None):
+    """Divergent kernel: per-lane data-dependent trip counts."""
+    dev = Device(config or tiny())
+    b = KernelBuilder(
+        "dyntrip",
+        params=[Param("a", is_pointer=True), Param("c", is_pointer=True)],
+    )
+    a_p, c_p = b.param(0), b.param(1)
+    i = b.global_tid_x()
+    v = b.ld_global(b.addr(a_p, i, 4), DType.S32)
+    n = b.and_(v, mask)
+    acc = b.mov(0)
+    with b.for_range(0, n) as counter:
+        b.add_to(acc, acc, counter)
+    b.st_global(b.addr(c_p, i, 4), acc, DType.S32)
+    total = blocks * threads
+    rng = np.random.default_rng(11)
+    da = dev.upload(rng.integers(1, 256, total).astype(np.int32))
+    dc = dev.alloc(4 * total)
+    return dev.launch(b.build(), blocks, threads, (da, dc))
+
+
+def barrier_trace(config=None):
+    dev = Device(config or tiny())
+    b = KernelBuilder(
+        "barrier", params=[Param("out", is_pointer=True)],
+        shared_mem_bytes=256 * 4,
+    )
+    out = b.param(0)
+    flat = b.tid_x()
+    saddr = b.cvt(b.shl(flat, 2), DType.S64)
+    b.st_shared(saddr, flat, DType.S32)
+    b.bar()
+    v = b.ld_shared(saddr, DType.S32)
+    b.st_global(b.addr(out, b.global_tid_x(), 4), v, DType.S32)
+    d = dev.alloc(4 * 1024)
+    return dev.launch(b.build(), 4, 256, (d,))
+
+
+class TestVerifyEquivalence:
+    """The whole class is one property: the event-driven engine is
+    bit-identical to the reference on every trace we can throw at it
+    (verify mode raises ``TimingVerifyMismatch`` otherwise)."""
+
+    @pytest.mark.parametrize("scheduler", ["gto", "rr"])
+    def test_divergent_kernel(self, scheduler):
+        cfg = tiny().with_scheduler(scheduler)
+        res = _verify(dyntrip_trace(config=cfg), cfg)
+        assert res.cycles > 0
+
+    @pytest.mark.parametrize("scheduler", ["gto", "rr"])
+    @pytest.mark.parametrize("sms", [1, 2, 4])
+    def test_multi_sm(self, scheduler, sms):
+        cfg = tiny().with_sms(sms).with_scheduler(scheduler)
+        res = _verify(dyntrip_trace(config=cfg), cfg)
+        assert res.sms_used <= sms
+
+    def test_barrier_kernel(self):
+        cfg = tiny()
+        res = _verify(barrier_trace(config=cfg), cfg)
+        assert res.issued_total > 0
+
+    def test_single_warp_burst_heavy(self):
+        # One warp per block: long solo stretches exercise the
+        # closed-form burst path on both schedulers.
+        for scheduler in ("gto", "rr"):
+            cfg = tiny().with_scheduler(scheduler)
+            _verify(
+                dyntrip_trace(
+                    blocks=6, threads=32, mask=255, config=cfg
+                ),
+                cfg,
+            )
+
+    def test_skip_mode_policy(self):
+        trace = vadd_trace()
+        instrs = trace.kernel.instructions
+
+        class SkipArith(IssuePolicy):
+            def plan_warp(self, block, warp):
+                modes = [
+                    IssueMode.SKIP
+                    if not instrs[r.pc].is_memory
+                    and not instrs[r.pc].is_control
+                    else IssueMode.SIMD
+                    for r in warp.records
+                ]
+                return WarpIssuePlan(modes=modes)
+
+        res = _verify(trace, tiny(), policy=SkipArith())
+        assert res.skipped > 0
+
+    def test_scalar_mode_policy(self):
+        trace = vadd_trace()
+        instrs = trace.kernel.instructions
+
+        class ScalarArith(IssuePolicy):
+            def plan_warp(self, block, warp):
+                modes = [
+                    IssueMode.SCALAR
+                    if not instrs[r.pc].is_memory
+                    and not instrs[r.pc].is_control
+                    else IssueMode.SIMD
+                    for r in warp.records
+                ]
+                return WarpIssuePlan(modes=modes)
+
+        for scheduler in ("gto", "rr"):
+            cfg = tiny().with_scheduler(scheduler)
+            res = _verify(trace, cfg, policy=ScalarArith())
+            assert res.issued_scalar > 0
+
+    def test_extra_latency_and_prologue_policy(self):
+        trace = vadd_trace()
+
+        class Extra(IssuePolicy):
+            def plan_warp(self, block, warp):
+                return WarpIssuePlan(
+                    extra_latency=[7] * len(warp.records)
+                )
+
+            def sm_prologue_cycles(self, sm_id):
+                return 40 + sm_id
+
+            def block_prologue_cycles(self, block):
+                return 5
+
+        res = _verify(trace, tiny(), policy=Extra())
+        assert res.prologue_cycles > 0
+
+    def test_register_pressure_residency(self):
+        cfg = tiny()
+        _verify(dyntrip_trace(config=cfg), cfg, regs_per_thread=200)
+
+    @pytest.mark.parametrize(
+        "path", CORPUS, ids=[p.stem for p in CORPUS]
+    )
+    @pytest.mark.parametrize("scheduler", ["gto", "rr"])
+    def test_corpus_specs(self, path, scheduler):
+        doc = json.loads(path.read_text())
+        spec = doc["spec"]
+        kernel = build_kernel(spec)
+        cfg = tiny().with_scheduler(scheduler)
+        dev, args, _ = _prepare_device(spec, cfg)
+        trace = dev.launch(
+            kernel, tuple(spec["grid"]), tuple(spec["block"]), args
+        )
+        _verify(trace, cfg)
+
+    @pytest.mark.parametrize("index", range(6))
+    def test_fuzzed_divergent_specs(self, index):
+        spec = generate_spec(5, index, divergent_bias=0.9)
+        kernel = build_kernel(spec)
+        scheduler = "rr" if index % 2 else "gto"
+        cfg = tiny().with_scheduler(scheduler)
+        dev, args, _ = _prepare_device(spec, cfg)
+        trace = dev.launch(
+            kernel, tuple(spec["grid"]), tuple(spec["block"]), args
+        )
+        _verify(trace, cfg)
+
+
+class TestEngineDispatch:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("R2D2_TIMING", raising=False)
+        assert timing_mode_from_env() == "fast"
+
+    @pytest.mark.parametrize(
+        "value,mode",
+        [
+            ("0", "reference"),
+            ("off", "reference"),
+            ("false", "reference"),
+            ("no", "reference"),
+            ("reference", "reference"),
+            ("ref", "reference"),
+            ("verify", "verify"),
+            ("1", "fast"),
+            ("fast", "fast"),
+            ("anything-else", "fast"),
+        ],
+    )
+    def test_env_parsing(self, monkeypatch, value, mode):
+        monkeypatch.setenv("R2D2_TIMING", value)
+        assert timing_mode_from_env() == mode
+
+    def test_explicit_invalid_value_raises(self):
+        with pytest.raises(ValueError):
+            TimingSimulator(tiny(), vadd_trace(), timing="bogus")
+
+    def test_fast_engine_counted(self):
+        obs.reset()
+        trace = vadd_trace()
+        TimingSimulator(
+            tiny(), trace, dedup=False, timing="fast"
+        ).run()
+        assert (
+            obs.counter_value(
+                "timing.engine", kernel="vadd", engine="fast"
+            )
+            == 1
+        )
+
+    def test_reference_engine_counted(self):
+        obs.reset()
+        trace = vadd_trace()
+        TimingSimulator(
+            tiny(), trace, dedup=False, timing="reference"
+        ).run()
+        assert (
+            obs.counter_value(
+                "timing.engine", kernel="vadd", engine="reference"
+            )
+            == 1
+        )
+
+    def test_verify_bypasses_dedup(self):
+        obs.reset()
+        trace = vadd_trace()
+        TimingSimulator(
+            tiny(), trace, dedup=True, timing="verify"
+        ).run()
+        assert (
+            obs.counter_value(
+                "timing.engine", kernel="vadd", engine="verify"
+            )
+            == 1
+        )
+        # dedup never ran: no dedup.runs tick for this kernel
+        assert obs.counter_value("dedup.runs", kernel="vadd") == 0
+
+    def test_dedup_decline_reason_threaded(self):
+        # Satellite: the dedup engine reports its actual decline
+        # reason, which lands on the fallback counter and the decision
+        # trace, and the chain falls through to the fast engine.
+        obs.reset()
+        cfg = tiny().with_scheduler("rr")
+        trace = vadd_trace(config=cfg)
+        TimingSimulator(cfg, trace, dedup=True).run()
+        assert (
+            obs.counter_value(
+                "dedup.fallback", kernel="vadd", reason="scheduler-rr"
+            )
+            == 1
+        )
+        assert (
+            obs.counter_value(
+                "timing.engine", kernel="vadd", engine="fast"
+            )
+            == 1
+        )
+
+    def test_lat_cache_removed(self):
+        sim = TimingSimulator(tiny(), vadd_trace())
+        assert not hasattr(sim, "_lat_cache")
+
+
+class TestPrepCache:
+    def test_same_trace_config_shares_prep(self):
+        cfg = tiny()
+        trace = vadd_trace(config=cfg)
+        sim1 = TimingSimulator(cfg, trace, dedup=False, timing="fast")
+        sim2 = TimingSimulator(cfg, trace, dedup=False, timing="fast")
+        assert prep_for(sim1) is prep_for(sim2)
+
+    def test_distinct_config_object_rebuilds(self):
+        trace = vadd_trace()
+        p1 = prep_for(
+            TimingSimulator(tiny(), trace, dedup=False, timing="fast")
+        )
+        p2 = prep_for(
+            TimingSimulator(tiny(), trace, dedup=False, timing="fast")
+        )
+        assert p1 is not p2
+
+    def test_custom_policy_identity_keyed(self):
+        cfg = tiny()
+        trace = vadd_trace(config=cfg)
+
+        class Extra(IssuePolicy):
+            def plan_warp(self, block, warp):
+                return WarpIssuePlan(
+                    extra_latency=[3] * len(warp.records)
+                )
+
+        pol = Extra()
+        s1 = TimingSimulator(cfg, trace, policy=pol, dedup=False)
+        s2 = TimingSimulator(cfg, trace, policy=pol, dedup=False)
+        s3 = TimingSimulator(cfg, trace, policy=Extra(), dedup=False)
+        assert prep_for(s1) is prep_for(s2)
+        assert prep_for(s3) is not prep_for(s1)
+
+    def test_cache_evicted_when_trace_collected(self):
+        cfg = tiny()
+        trace = vadd_trace(config=cfg)
+        key = id(trace)
+        prep_for(TimingSimulator(cfg, trace, dedup=False))
+        assert key in _PREP_CACHE
+        del trace
+        gc.collect()
+        assert key not in _PREP_CACHE
+
+
+class _ModelLRU:
+    """Dict-based set-associative LRU oracle for the array-backed
+    :class:`Cache`."""
+
+    def __init__(self, cache):
+        self.line_bytes = cache.config.line_bytes
+        self.num_sets = cache.num_sets
+        self.ways = cache.ways
+        self.sets = [dict() for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+        self.tick = 0
+
+    def access(self, line_addr, allocate=True):
+        self.accesses += 1
+        self.tick += 1
+        index = (line_addr // self.line_bytes) % self.num_sets
+        s = self.sets[index]
+        if line_addr in s:
+            self.hits += 1
+            s[line_addr] = self.tick
+            return True
+        if allocate:
+            if len(s) >= self.ways:
+                victim = min(s, key=s.get)
+                del s[victim]
+            s[line_addr] = self.tick
+        return False
+
+
+class TestArrayCache:
+    def test_matches_lru_model_on_random_stream(self):
+        cache = Cache(
+            CacheConfig(size_bytes=4096, line_bytes=64, ways=4)
+        )
+        model = _ModelLRU(cache)
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 64, 4000)
+        allocs = rng.integers(0, 4, 4000)
+        for addr, alloc in zip(addrs, allocs):
+            line = int(addr) * cache.config.line_bytes
+            allocate = bool(alloc)  # mix of stores-without-allocate
+            assert cache.access(line, allocate=allocate) == model.access(
+                line, allocate=allocate
+            ), line
+        assert cache.stats.accesses == model.accesses
+        assert cache.stats.hits == model.hits
+
+    def test_snapshot_restore_roundtrip(self):
+        cfg = tiny()
+        cache = Cache(cfg.l2)
+        rng = np.random.default_rng(4)
+        for addr in rng.integers(0, 512, 500):
+            cache.access(int(addr) * 64)
+        snap = cache.snapshot()
+        tail = [int(a) * 64 for a in rng.integers(0, 512, 200)]
+        baseline = [cache.access(a) for a in tail]
+        stats_after = (cache.stats.accesses, cache.stats.hits)
+        cache.restore(snap)
+        replay = [cache.access(a) for a in tail]
+        assert replay == baseline
+        assert (cache.stats.accesses, cache.stats.hits) == stats_after
+
+    def test_batched_hierarchy_matches_scalar_path(self, monkeypatch):
+        cfg = tiny()
+        rng = np.random.default_rng(5)
+        batched = MemoryHierarchy(
+            Cache(cfg.l1), Cache(cfg.l2), cfg.latency
+        )
+        scalar = MemoryHierarchy(
+            Cache(cfg.l1), Cache(cfg.l2), cfg.latency
+        )
+        # Force the scalar hierarchy down the per-line loop always.
+        seqs = []
+        for _ in range(300):
+            n = int(rng.integers(1, 9))
+            base = int(rng.integers(0, 256))
+            seqs.append(
+                tuple((base + k) * 64 for k in range(n))
+            )
+        results = []
+        for lines in seqs:
+            store = len(lines) % 3 == 0
+            results.append(batched.access(lines, is_store=store))
+        monkeypatch.setattr(caches_mod, "_BATCH_MIN", 1 << 30)
+        expected = []
+        for lines in seqs:
+            store = len(lines) % 3 == 0
+            expected.append(scalar.access(lines, is_store=store))
+        assert results == expected
+        assert batched.l1.stats.accesses == scalar.l1.stats.accesses
+        assert batched.l1.stats.hits == scalar.l1.stats.hits
+        assert batched.l2.stats.accesses == scalar.l2.stats.accesses
+        assert batched.l2.stats.hits == scalar.l2.stats.hits
