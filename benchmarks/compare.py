@@ -60,6 +60,14 @@ Two independent checks, both of which must pass:
    (default 5.0, ``$BENCH_MIN_TIMING_SPEEDUP`` overrides), with the
    85%% retain gate against ``benchmarks/baseline/BENCH_timing.json``
    and ``--timing-out`` to merge-update it.
+8. **Reduction-tree engine speedup** — every
+   ``test_<stem>_reduction_on`` / ``_off`` pair (megawarp vs serial on
+   the divergent shared-memory reduction tree,
+   ``benchmarks/test_reduction_engines.py``) must show at least
+   ``--min-reduction-speedup`` (default 4.0,
+   ``$BENCH_MIN_REDUCTION_SPEEDUP`` overrides), with the 85%% retain
+   gate against ``benchmarks/baseline/BENCH_reduction.json`` and
+   ``--reduction-out`` to merge-update it.
 
 Exit status 0 on pass, 1 on regression, 2 on usage/IO errors.
 """
@@ -82,6 +90,8 @@ SHARD_ON_SUFFIX = "_shard_on"
 SHARD_OFF_SUFFIX = "_shard_off"
 TIMING_ON_SUFFIX = "_timing_on"
 TIMING_OFF_SUFFIX = "_timing_off"
+REDUCTION_ON_SUFFIX = "_reduction_on"
+REDUCTION_OFF_SUFFIX = "_reduction_off"
 PROVENANCE_ON_BENCH = "test_workload_provenance_on"
 PROVENANCE_OFF_BENCH = "test_workload_provenance_off"
 #: Fraction of the committed speedup the current run must retain.
@@ -145,6 +155,13 @@ def timing_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
     return _on_off_pairs(
         means, TIMING_ON_SUFFIX, TIMING_OFF_SUFFIX,
         "reference_s", "fast_s",
+    )
+
+
+def reduction_pairs(means: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    return _on_off_pairs(
+        means, REDUCTION_ON_SUFFIX, REDUCTION_OFF_SUFFIX,
+        "serial_s", "vector_s",
     )
 
 
@@ -295,6 +312,26 @@ def main(argv: Optional[list] = None) -> int:
              "speedups from the current run",
     )
     parser.add_argument(
+        "--min-reduction-speedup",
+        type=float,
+        default=float(
+            os.environ.get("BENCH_MIN_REDUCTION_SPEEDUP", "4.0")
+        ),
+        help="required megawarp-vs-serial speedup on the reduction-tree "
+             "pair (default: 4.0; $BENCH_MIN_REDUCTION_SPEEDUP "
+             "overrides)",
+    )
+    parser.add_argument(
+        "--reduction-baseline",
+        default="benchmarks/baseline/BENCH_reduction.json",
+        help="committed reduction-speedup artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reduction-out", metavar="PATH", default=None,
+        help="merge-update PATH with the measured reduction-tree "
+             "speedups from the current run",
+    )
+    parser.add_argument(
         "--max-provenance-overhead",
         type=float,
         default=float(
@@ -406,6 +443,14 @@ def main(argv: Optional[list] = None) -> int:
         "reference_s", "fast_s",
         args.min_timing_speedup,
         args.timing_baseline, args.timing_out,
+    )
+
+    # -- check 8: reduction-tree engine speedup -------------------------
+    failed |= _gate_pairs(
+        "reduction", reduction_pairs(current),
+        "serial_s", "vector_s",
+        args.min_reduction_speedup,
+        args.reduction_baseline, args.reduction_out,
     )
 
     return 1 if failed else 0

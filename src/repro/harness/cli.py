@@ -71,6 +71,9 @@ STANDALONE_FIGURES = {
     "sec58": lambda config, scale: experiments.sec58_sm_scaling(
         scale=scale
     ),
+    "reduction": lambda config, scale: experiments.reduction_ablation(
+        config=config, scale=scale
+    ),
 }
 
 ALL_NAMES = list(SUITE_FIGURES) + list(STANDALONE_FIGURES)

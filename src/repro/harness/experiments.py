@@ -476,3 +476,98 @@ def sec58_sm_scaling(
             cells.append(f"{res.speedup('r2d2'):.3f}x")
         table.add_row(n_sms, *cells)
     return table
+
+
+# ----------------------------------------------------------------------
+# Reduction ladder — linearity ablation
+# ----------------------------------------------------------------------
+#: The seven classic reduction variants ordered from fully affine
+#: addressing down to fully divergent — the ablation axis.
+REDUCTION_LADDER: Tuple[Tuple[str, str], ...] = (
+    ("RED5", "affine full unroll"),
+    ("RED4", "affine + warp-sync tail"),
+    ("RED3", "strided shared tree"),
+    ("RED2", "strided shared tree"),
+    ("RED6", "grid-stride + tree"),
+    ("RED1", "interleaved strided"),
+    ("RED0", "divergent tid%(2s)"),
+)
+
+
+def _engine_summary(decisions: Sequence[dict]) -> str:
+    """One cell summarizing the run's engine outcomes, e.g.
+    ``ext:skip(barrier) vec:engage``."""
+    parts = []
+    for engine in ("extrapolate", "vector"):
+        for d in decisions:
+            if d.get("engine") != engine:
+                continue
+            word = str(d.get("decision", "?"))
+            reason = d.get("reason")
+            parts.append(
+                f"{engine[:3]}:{word}" + (f"({reason})" if reason else "")
+            )
+            break
+    return " ".join(parts) if parts else "-"
+
+
+def _top_demotion(abbr: str, scale: str) -> str:
+    """Most frequent analyzer demotion reason for the variant's kernel —
+    the provenance of whatever linearity R2D2 could not prove."""
+    from ..linear import analyze_kernel
+    from ..workloads import get
+
+    kernel = get(abbr).build_kernel(scale)
+    counts: Dict[str, int] = {}
+    for ev in analyze_kernel(kernel).demotions:
+        counts[ev.reason] = counts.get(ev.reason, 0) + 1
+    if not counts:
+        return "-"
+    reason = max(counts, key=lambda r: (counts[r], r))
+    return f"{reason} x{counts[reason]}"
+
+
+def reduction_ablation(
+    config: Optional[GPUConfig] = None,
+    scale: str = "small",
+    suite: Optional[SuiteResults] = None,
+) -> Table:
+    """Fig 12/13-style per-variant table over the reduction ladder.
+
+    Rows run from affine addressing (full unroll) down to divergent
+    ``tid % (2*s)`` branching, showing how much removable redundancy
+    R2D2 still finds at each rung, which engine carried the run, and
+    the dominant analyzer demotion reason (the causal "why not more").
+    """
+    config = config or bench_config()
+    abbrs = [a for a, _ in REDUCTION_LADDER]
+    if suite is None:
+        suite = run_suite(abbrs=abbrs, scale=scale, config=config)
+    table = Table(
+        "Reduction ladder: removable redundancy vs addressing regime",
+        ["app", "addressing", "R2D2 red.", "R2D2 speedup",
+         "linear_frac", "engines", "top demotion"],
+    )
+    reds: List[float] = []
+    spds: List[float] = []
+    for abbr, regime in REDUCTION_LADDER:
+        res = suite[abbr]
+        red = res.instruction_reduction("r2d2")
+        spd = res.speedup("r2d2")
+        r = res["r2d2"]
+        frac = (
+            r.linear_warp_instructions / r.warp_instructions
+            if r.warp_instructions else 0.0
+        )
+        reds.append(red)
+        spds.append(spd)
+        table.add_row(
+            abbr, regime, percent(red), f"{spd:.3f}x", percent(frac),
+            _engine_summary(res.engine_decisions),
+            _top_demotion(abbr, scale),
+        )
+    table.set_summary(
+        "AVG/GEO", "", percent(mean(reds)), f"{geomean(spds):.3f}x",
+        "", "", "",
+    )
+    return table

@@ -118,25 +118,45 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _load_specs(path: Path) -> List[dict]:
+def _load_cases(path: Path) -> List[tuple]:
+    """Yield ``(spec, expect)`` pairs from a case file.
+
+    ``expect`` is normally ``None`` (the case must replay clean).  A
+    corpus wrapper may instead carry ``"expect": [kinds]`` — used for
+    *generator* counterexamples, whose spec is itself unsound (e.g. an
+    out-of-bounds store the generator's interval tracking let through):
+    the spec will always fail, so the regression contract is that it
+    keeps failing with exactly the recorded kinds while the fixed
+    generator no longer produces such specs.
+    """
     data = json.loads(path.read_text())
     if isinstance(data, dict) and "spec" in data:
-        return [data["spec"]]
+        expect = data.get("expect")
+        return [(data["spec"], sorted(expect) if expect else None)]
     if isinstance(data, dict):
-        return [data]
-    return list(data)
+        return [(data, None)]
+    return [(spec, None) for spec in data]
 
 
 def _replay_files(paths: List[Path]) -> int:
     failures = 0
     total = 0
     for path in paths:
-        for spec in _load_specs(path):
+        for spec, expect in _load_cases(path):
             report = check_spec(spec)
             total += 1
             print(f"{path}: ", end="")
             _print_report(report)
-            if not report.ok:
+            if expect is not None:
+                got = sorted({v.kind for v in report.violations})
+                if got == expect:
+                    print(f"    expected violation(s) reproduced: "
+                          f"{', '.join(expect)}")
+                else:
+                    print(f"    expected kinds {expect}, got "
+                          f"{got if got else 'none'}")
+                    failures += 1
+            elif not report.ok:
                 failures += 1
     print(f"replay: {total} case(s), {failures} failing")
     return 1 if failures else 0

@@ -17,7 +17,11 @@ the paper's interesting shapes:
 - divergent shapes (a configurable fraction of specs): predicates over
   loaded data instead of thread ids, and loops whose trip count is a
   masked data value — non-uniform across lanes — so the masked paths of
-  the megawarp vector engine actually get exercised.
+  the megawarp vector engine actually get exercised;
+- shared-memory reduction idioms (specs with a ``shmem`` byte size):
+  strided ``shl``-indexed shared loads/stores, barriers, and halving
+  tree loops — the addressing regime the workload reduction ladder
+  lives in, and exactly the path the seed-13 interval bug sat on.
 
 The generator tracks a concrete value interval per spec value (launch
 geometry and parameter values are chosen first), so every generated
@@ -53,6 +57,19 @@ list; ``ref`` is ``{"v": index}`` or ``{"imm": int}``)::
      "delta": ref}         (inside loop bodies)
     {"op": "store", "buf": i, "index": ref, "scale": n,
      "disp": n, "data": ref, "dtype": "s32|s64"}
+    {"op": "bar"}                   (top level only: must be uniform)
+    {"op": "sh_load", "index": ref, "shift": k, "disp": n,
+     "dtype": "s32|s64"}                                  -> value
+    {"op": "sh_store", "index": ref, "shift": k, "disp": n,
+     "data": ref, "dtype": "s32|s64"}
+    {"op": "treeloop", "start": 2**k, "body": [ops]}      -> stride value
+
+Shared ops address with the canonical reduction idiom
+``cvt.s64(shl(index, shift)) + disp`` and require the spec to carry a
+top-level ``"shmem"`` byte size.  ``treeloop`` appends its stride
+register as a value (``mov start``), runs the body, and closes each trip
+with a barrier and ``stride >>= 1`` — the halving-tree shape — so its
+trip count is uniform by construction and the barrier is legal.
 """
 
 from __future__ import annotations
@@ -91,6 +108,14 @@ _CMPS = {
 
 _I64_MIN, _I64_MAX = -(2 ** 63), 2 ** 63 - 1
 
+#: Representable ranges of the dtypes whose ``cvt`` wraps in the
+#: executor (``_convert`` round-trips through int32).  ``cvt`` to s64 is
+#: the identity on the unwrapped int64 register file.
+_NARROW_RANGES = {
+    DType.S32: (-(2 ** 31), 2 ** 31 - 1),
+    DType.U32: (0, 2 ** 32 - 1),
+}
+
 
 # ======================================================================
 # Spec -> Kernel interpretation
@@ -119,7 +144,10 @@ def build_kernel(spec: Dict) -> Kernel:
             params.append(
                 Param(p["name"], _DTYPES[p.get("dtype", "s64")], False)
             )
-    b = KernelBuilder(spec["name"], params=params)
+    b = KernelBuilder(
+        spec["name"], params=params,
+        shared_mem_bytes=int(spec.get("shmem", 0)),
+    )
     values: List[Reg] = []
     # Pointer bases load in the prologue: a lazily placed ld.param inside
     # a divergent region would leave base 0 in lanes that skipped it.
@@ -260,6 +288,29 @@ def _emit_op(b: KernelBuilder, op: Dict, values: List[Reg], bases) -> None:
             b.st_global(addr, _ref(values, op["data"]), dtype=dt)
         else:
             values.append(b.ld_global(addr, dtype=dt))
+    elif kind == "bar":
+        b.bar()
+    elif kind in ("sh_store", "sh_load"):
+        idx = _ref(values, op["index"])
+        if not isinstance(idx, Reg):
+            # a shrink may have collapsed the index to an immediate
+            idx = b.mov(int(idx), DType.S32)
+        addr = b.cvt(b.shl(idx, int(op["shift"])), DType.S64)
+        dt = _DTYPES[op.get("dtype", "s32")]
+        disp = int(op.get("disp", 0))
+        if kind == "sh_store":
+            b.st_shared(addr, _ref(values, op["data"]), dtype=dt,
+                        disp=disp)
+        else:
+            values.append(b.ld_shared(addr, dtype=dt, disp=disp))
+    elif kind == "treeloop":
+        stride = b.mov(int(op["start"]), DType.S32)
+        values.append(stride)
+        with b.while_loop() as loop:
+            loop.break_if(b.setp(CmpOp.LT, stride, 1))
+            _emit_ops(b, op["body"], values, bases)
+            b.bar()
+            b.mov_to(stride, b.shr(stride, 1))
     else:
         raise ValueError(f"unknown spec op {kind!r}")
 
@@ -269,7 +320,7 @@ def count_stores(ops: List[Dict]) -> int:
     for op in ops:
         if op["op"] == "store":
             n += 1
-        elif op["op"] in ("if", "loop", "dynloop"):
+        elif op["op"] in ("if", "loop", "dynloop", "treeloop"):
             n += count_stores(op["body"])
     return n
 
@@ -335,6 +386,11 @@ class KernelGen:
         self.grid = (gx, gy, 1)
         self.stress = rng.random() < 0.6
         self.divergent = rng.random() < self.divergent_bias
+        #: int32 slots of shared memory (0 = no shared traffic); shared
+        #: specs always get at least one halving-tree pattern
+        self.shmem_slots = (
+            rng.choice([64, 128]) if rng.random() < 0.4 else 0
+        )
 
         self.params: List[Dict] = [
             {
@@ -377,12 +433,14 @@ class KernelGen:
 
         for _ in range(rng.randrange(4, 16)):
             self._random_feature()
+        if self.shmem_slots:
+            self._emit_shtree()
 
         # Every kernel observes at least two values through memory.
         while count_stores(self.ops) < 2:
             self._emit_store(force=True)
 
-        return {
+        spec = {
             "schema": SPEC_SCHEMA,
             "name": name,
             "grid": list(self.grid),
@@ -390,6 +448,9 @@ class KernelGen:
             "params": self.params,
             "ops": self.ops,
         }
+        if self.shmem_slots:
+            spec["shmem"] = self.shmem_slots * 4
+        return spec
 
     # ------------------------------------------------------------------
     # Emission plumbing (keeps value indices in lockstep with build_kernel)
@@ -451,9 +512,39 @@ class KernelGen:
         m = self.vals[int(ref["v"])]
         return m.lo, m.hi, m.tainted
 
-    def _bin_interval(self, fn, a, b, c=None) -> Tuple[int, int, bool]:
-        alo, ahi, at = self._meta(a)
-        blo, bhi, bt = self._meta(b)
+    def _coerced_meta(self, ref, dtype) -> Tuple[int, int, bool]:
+        """Interval of ``ref`` as an operand of a ``dtype``-typed op.
+
+        The builder coerces a register of a different dtype through an
+        explicit ``cvt`` (``KernelBuilder._coerce``), and the executor's
+        ``cvt`` to a 32-bit dtype *wraps* (``_convert`` round-trips
+        through int32).  An s64 register holding a value outside the
+        s32 range therefore reaches an s32-typed op as its wrapped —
+        possibly huge-positive — 32-bit image, not as the tracked
+        value.  Fuzz seed 13 found exactly this hole: an s64 parameter
+        just below ``-2**31`` fed a ``max``-typed s32 bin op, wrapped
+        to ``+2147481873``, and the untainted ``[0, 0]`` interval let
+        the result through as a provably in-bounds store index.
+
+        Immediates are never coerced, same-dtype registers skip the
+        cvt, and widening to s64 is the identity on our unwrapped
+        int64 register file; only a genuine narrowing cvt wraps.
+        """
+        lo, hi, taint = self._meta(ref)
+        if "imm" in ref:
+            return lo, hi, taint
+        src = self.vals[int(ref["v"])].dtype
+        dt = _DTYPES[dtype] if isinstance(dtype, str) else dtype
+        if src is dt or dt not in _NARROW_RANGES:
+            return lo, hi, taint
+        rlo, rhi = _NARROW_RANGES[dt]
+        if rlo <= lo and hi <= rhi:
+            return lo, hi, taint
+        return rlo, rhi, True
+
+    def _bin_interval(self, fn, a, b, dtype, c=None) -> Tuple[int, int, bool]:
+        alo, ahi, at = self._coerced_meta(a, dtype)
+        blo, bhi, bt = self._coerced_meta(b, dtype)
         taint = at or bt
         if fn == "add":
             return alo + blo, ahi + bhi, taint
@@ -463,7 +554,7 @@ class KernelGen:
             corners = [alo * blo, alo * bhi, ahi * blo, ahi * bhi]
             lo, hi = min(corners), max(corners)
             if fn == "mad":
-                clo, chi, ct = self._meta(c)
+                clo, chi, ct = self._coerced_meta(c, dtype)
                 lo, hi, taint = lo + clo, hi + chi, taint or ct
             return lo, hi, taint
         if fn == "shl":
@@ -487,16 +578,16 @@ class KernelGen:
         return _I64_MIN, _I64_MAX, True
 
     def _bin_op(self, fn, a, b, dtype, c=None) -> int:
-        lo, hi, taint = self._bin_interval(fn, a, b, c)
+        lo, hi, taint = self._bin_interval(fn, a, b, dtype, c=c)
         op = {"op": "bin", "fn": fn, "a": a, "b": b, "dtype": dtype}
         if c is not None:
             op["c"] = c
-        if dtype == "s32":
-            # the executor computes in int64 regardless of dtype; the
-            # interval is unaffected, only register naming changes
-            dt = DType.S32
-        else:
-            dt = DType.S64
+        # The executor computes bin *results* in unwrapped int64
+        # regardless of dtype, so the result interval needs no wrap —
+        # but operands of a different register dtype reach the op
+        # through the builder's coercing cvt, which _bin_interval
+        # models via _coerced_meta (the seed-13 hole).
+        dt = DType.S32 if dtype == "s32" else DType.S64
         return self._push_val(op, _Val(dt, lo, hi, tainted=taint))
 
     # ------------------------------------------------------------------
@@ -551,6 +642,8 @@ class KernelGen:
             choices += (
                 ["if"] * 2 + ["dynloop"] * 3 + ["load"] * 2 + ["guard"]
             )
+        if self.shmem_slots:
+            choices += ["shtree"] + ["shaccess"] * 2
         feature = rng.choice(choices)
         if feature == "arith":
             self._emit_arith()
@@ -570,6 +663,10 @@ class KernelGen:
             self._emit_load()
         elif feature == "selp":
             self._emit_selp()
+        elif feature == "shtree":
+            self._emit_shtree()
+        elif feature == "shaccess":
+            self._emit_sh_access()
 
     def _emit_arith(self) -> None:
         rng = self.rng
@@ -686,7 +783,8 @@ class KernelGen:
                 if rng.random() < 0.5
                 else self._ref_of(self._pick_int())
             )
-            slo, shi, st = self._meta(src)
+            # build_kernel cvt-coerces the source to dst's dtype
+            slo, shi, st = self._coerced_meta(src, self.vals[dst].dtype)
             meta = self.vals[dst]
             meta.lo = min(meta.lo, slo)
             meta.hi = max(meta.hi, shi)
@@ -723,7 +821,7 @@ class KernelGen:
                     if rng.random() < 0.5
                     else self._ref_of(self._pick_int())
                 )
-                slo, shi, st = self._meta(src)
+                slo, shi, st = self._coerced_meta(src, self.vals[dst].dtype)
                 meta = self.vals[dst]
                 meta.lo = min(meta.lo, slo)
                 meta.hi = max(meta.hi, shi)
@@ -764,7 +862,9 @@ class KernelGen:
             else:
                 delta = self._ref_of(self.tid)  # non-uniform delta
             fn = rng.choice(["add", "add", "add", "sub"])
-            dlo, dhi, dt = self._meta(delta)
+            # add_to/sub coerce the delta to dst's dtype: an s64
+            # parameter delta into an s32 accumulator wraps first
+            dlo, dhi, dt = self._coerced_meta(delta, self.vals[dst].dtype)
             meta = self.vals[dst]
             if fn == "add":
                 meta.lo += trips * min(0, dlo)
@@ -934,15 +1034,169 @@ class KernelGen:
         )
         alo, ahi, at = self._meta(a)
         blo, bhi, bt = self._meta(b)
+        # the builder widens selp to the widest operand register dtype,
+        # so coercion here only ever widens (identity) — but the result
+        # register's dtype must be recorded faithfully or a later
+        # narrowing coercion of this value would go unmodeled
+        kinds = [
+            self.vals[int(r["v"])].dtype for r in (a, b) if "v" in r
+        ]
+        dt = DType.S64 if DType.S64 in kinds else DType.S32
         self._push_val(
             {"op": "selp", "a": a, "b": b, "pred": pred},
             _Val(
-                DType.S32,
+                dt,
                 min(alo, blo),
                 max(ahi, bhi),
                 tainted=at or bt,
             ),
         )
+
+    # ------------------------------------------------------------------
+    # Shared-memory reduction idioms
+    # ------------------------------------------------------------------
+    def _sh_load_val(self) -> _Val:
+        """Shared slots hold arbitrary previously stored s32 data."""
+        return _Val(DType.S32, -(2 ** 31), 2 ** 31 - 1, tainted=True)
+
+    def _emit_sh_access(self) -> None:
+        """One strided shared access at the top level — in-bounds by the
+        same interval proof as global accesses (scale = ``1 << shift``).
+        Racy index choices are legal: the serial interpreter is
+        deterministic and the megawarp engine bails on cross-row hazards,
+        so the differential contract still holds."""
+        rng = self.rng
+        nbytes = self.shmem_slots * 4
+        disp = 4 * rng.choice([0, 0, 1, 8])
+        pool = self._index_values(4, disp, 4, nbytes)
+        if not pool:
+            return
+        index = rng.choice(pool)
+        if rng.random() < 0.5:
+            self._push_op(
+                {
+                    "op": "sh_store",
+                    "index": self._ref_of(index),
+                    "shift": 2,
+                    "disp": disp,
+                    "data": self._ref_of(self._pick_int()),
+                    "dtype": "s32",
+                }
+            )
+        else:
+            self._push_val(
+                {
+                    "op": "sh_load",
+                    "index": self._ref_of(index),
+                    "shift": 2,
+                    "disp": disp,
+                    "dtype": "s32",
+                },
+                self._sh_load_val(),
+            )
+
+    def _emit_shtree(self) -> None:
+        """The reduction idiom end to end: stage a value into shared
+        memory, barrier, then a halving-stride tree
+        (``if (g < s) sh[g] += sh[g + s]``), then observe a surviving
+        slot through global memory.  The guard bounds both tree accesses
+        by ``2 * stride <= 2 * start <= slots``, so no interval proof on
+        ``g`` itself is needed beyond non-negativity — this is the shape
+        whose operand-coercion interval math hid the seed-13 bug."""
+        rng = self.rng
+        slots = self.shmem_slots
+        nbytes = slots * 4
+        pool = self._index_values(4, 0, 4, nbytes)
+        if not pool:
+            return
+        self._push_op(
+            {
+                "op": "sh_store",
+                "index": self._ref_of(rng.choice(pool)),
+                "shift": 2,
+                "disp": 0,
+                "data": self._ref_of(self._pick_int()),
+                "dtype": "s32",
+            }
+        )
+        self._push_op({"op": "bar"})
+
+        start = rng.choice([s for s in (4, 8, 16, 32, 64)
+                            if 2 * s <= slots])
+        body: List[Dict] = []
+        self._push_op({"op": "treeloop", "start": start, "body": body})
+        stride = len(self.vals)
+        # body ops observe the stride in [1, start]
+        self.vals.append(_Val(DType.S32, 1, start))
+        self._stack.append(body)
+        scoped: List[int] = [stride]
+
+        # guard index: small, non-negative, untainted — so the s32
+        # partner arithmetic below stays faithful to its interval
+        g_pool = [
+            i for i in self._int_values()
+            if not self.vals[i].tainted
+            and 0 <= self.vals[i].lo
+            and self.vals[i].hi <= nbytes
+        ]
+        g = rng.choice(g_pool) if g_pool else self.tid
+        pred = self._push_val(
+            {
+                "op": "setp", "cmp": "lt",
+                "a": self._ref_of(g), "b": self._ref_of(stride),
+            },
+            _Val(DType.PRED, 0, 1, is_pred=True),
+        )
+        scoped.append(pred)
+        if_body: List[Dict] = []
+        self._push_op(
+            {"op": "if", "pred": pred, "negated": False, "body": if_body}
+        )
+        self._stack.append(if_body)
+        mine = self._push_val(
+            {
+                "op": "sh_load", "index": self._ref_of(g),
+                "shift": 2, "disp": 0, "dtype": "s32",
+            },
+            self._sh_load_val(),
+        )
+        partner_idx = self._bin_op(
+            "add", self._ref_of(g), self._ref_of(stride), "s32"
+        )
+        partner = self._push_val(
+            {
+                "op": "sh_load", "index": self._ref_of(partner_idx),
+                "shift": 2, "disp": 0, "dtype": "s32",
+            },
+            self._sh_load_val(),
+        )
+        total = self._bin_op(
+            "add", self._ref_of(mine), self._ref_of(partner), "s32"
+        )
+        self._push_op(
+            {
+                "op": "sh_store", "index": self._ref_of(g),
+                "shift": 2, "disp": 0,
+                "data": self._ref_of(total), "dtype": "s32",
+            }
+        )
+        self._stack.pop()  # close the if
+        scoped.extend([mine, partner_idx, partner, total])
+        self._stack.pop()  # close the treeloop body
+        # body values are undefined on inactive lanes and the stride is
+        # stale (0) after the loop — nothing later may reference them
+        for vid in scoped:
+            self.vals[vid].in_scope = False
+
+        self._push_val(
+            {
+                "op": "sh_load",
+                "index": self._ref_of(rng.choice(pool)),
+                "shift": 2, "disp": 0, "dtype": "s32",
+            },
+            self._sh_load_val(),
+        )
+        self._emit_store(force=True)
 
 
 def generate_spec(

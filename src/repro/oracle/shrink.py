@@ -17,19 +17,21 @@ from typing import Callable, Dict, List, Optional, Set
 #: Ops that append a value slot when interpreted.
 VALUE_OPS = frozenset(
     {"special", "param", "pred_param", "nopval", "bin", "cvt", "setp",
-     "selp", "load"}
+     "selp", "load", "sh_load", "treeloop"}
 )
 
-#: Ops a value-producing slot may be neutralized to (anything but preds;
-#: a pred slot must stay a pred, so setp survives shrinking).
-_NEUTRALIZABLE = VALUE_OPS - {"setp", "nopval"}
+#: Ops a value-producing slot may be neutralized to (anything but preds
+#: and bodied ops: a pred slot must stay a pred, so setp survives
+#: shrinking, and replacing a treeloop would also drop the value slots
+#: its body produces).
+_NEUTRALIZABLE = VALUE_OPS - {"setp", "nopval", "treeloop"}
 
 
 def _walk(ops: List[Dict], path=()):
     """Yield (container, index, op, path) depth-first."""
     for i, op in enumerate(ops):
         yield ops, i, op, path + (i,)
-        if op["op"] in ("if", "loop", "dynloop"):
+        if op["op"] in ("if", "loop", "dynloop", "treeloop"):
             yield from _walk(op["body"], path + (i, "body"))
 
 
@@ -41,7 +43,8 @@ def _candidates(spec: Dict) -> List[Dict]:
     # 1. delete non-value ops / hollow out control bodies
     for ops, i, op, _path in _walk(spec["ops"]):
         kind = op["op"]
-        if kind in ("store", "guard_mov", "mov_to", "update", "if"):
+        if kind in ("store", "guard_mov", "mov_to", "update", "if",
+                    "sh_store", "bar"):
             cand = copy.deepcopy(spec)
             # find the same container in the copy by re-walking
             for c_ops, c_i, c_op, c_path in _walk(cand["ops"]):
@@ -64,13 +67,14 @@ def _candidates(spec: Dict) -> List[Dict]:
                     out.append(cand)
                     break
 
-    # 3. reduce loop trip counts
+    # 3. reduce loop trip counts (treeloop trips are log2(start)+1)
     for _ops, _i, op, _path in _walk(spec["ops"]):
-        if op["op"] == "loop" and int(op["trips"]) > 1:
+        key = {"loop": "trips", "treeloop": "start"}.get(op["op"])
+        if key is not None and int(op[key]) > 1:
             cand = copy.deepcopy(spec)
             for c_ops, c_i, c_op, c_path in _walk(cand["ops"]):
                 if c_path == _path:
-                    c_op["trips"] = int(c_op["trips"]) // 2 or 1
+                    c_op[key] = int(c_op[key]) // 2 or 1
                     out.append(cand)
                     break
 
@@ -82,7 +86,7 @@ def _candidates(spec: Dict) -> List[Dict]:
                 if isinstance(ref, dict) and "imm" in ref:
                     if abs(int(ref["imm"])) > 1:
                         yield path + (i,), key
-            if op.get("op") in ("if", "loop", "dynloop"):
+            if op.get("op") in ("if", "loop", "dynloop", "treeloop"):
                 yield from _imm_sites(op["body"], path + (i, "body"))
 
     for site_path, key in _imm_sites(spec["ops"]):

@@ -141,3 +141,26 @@ def f32_matmul_f32(A: np.ndarray, B: np.ndarray) -> np.ndarray:
         acc = np.float32(A[:, k:k + 1] * B[k:k + 1, :]) + acc
         acc = acc.astype(np.float32)
     return acc
+
+
+# ----------------------------------------------------------------------
+# Reduction family (workloads/reduction)
+# ----------------------------------------------------------------------
+def reduction_input(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Deterministic int32 input for the reduction ladder.
+
+    Values stay in [0, 100) so any association order of partial sums is
+    exact in int32 — the engines can be compared bit-for-bit and the
+    numpy reference needs no widening tricks.
+    """
+    return rng.integers(0, 100, size=n, dtype=np.int32)
+
+
+def reduction_block_sums(x: np.ndarray, chunk: int,
+                         blocks: int) -> np.ndarray:
+    """Per-block partial sums: block ``c`` owns ``x[c*chunk:(c+1)*chunk]``."""
+    assert x.size == chunk * blocks, (x.size, chunk, blocks)
+    return (
+        x.reshape(blocks, chunk).sum(axis=1, dtype=np.int64)
+        .astype(np.int32)
+    )

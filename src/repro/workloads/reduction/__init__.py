@@ -1,0 +1,27 @@
+"""The classic CUDA reduction ladder as a workload family.
+
+Seven variants sweep address generation from fully divergent
+(``tid % (2*s)`` branching) through strided shared-memory trees to
+affine unrolled form; the harness's ``reduction`` figure tabulates how
+much removable redundancy R2D2 finds at each rung.
+"""
+
+from .variants import (
+    ReduceDivergentWorkload,
+    ReduceFirstAddWorkload,
+    ReduceFullUnrollWorkload,
+    ReduceInterleavedWorkload,
+    ReduceMultiElemWorkload,
+    ReduceSequentialWorkload,
+    ReduceWarpUnrollWorkload,
+)
+
+__all__ = [
+    "ReduceDivergentWorkload",
+    "ReduceInterleavedWorkload",
+    "ReduceSequentialWorkload",
+    "ReduceFirstAddWorkload",
+    "ReduceWarpUnrollWorkload",
+    "ReduceFullUnrollWorkload",
+    "ReduceMultiElemWorkload",
+]

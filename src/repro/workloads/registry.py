@@ -65,6 +65,15 @@ def _populate() -> None:
         MvtWorkload,
     )
     from .polybench.mm23 import ThreeMMWorkload, TwoMMWorkload
+    from .reduction import (
+        ReduceDivergentWorkload,
+        ReduceFirstAddWorkload,
+        ReduceFullUnrollWorkload,
+        ReduceInterleavedWorkload,
+        ReduceMultiElemWorkload,
+        ReduceSequentialWorkload,
+        ReduceWarpUnrollWorkload,
+    )
     from .rodinia.backprop import BackpropWorkload
     from .rodinia.bfs import BfsWorkload
     from .rodinia.btree import BTreeWorkload
@@ -125,6 +134,13 @@ def _populate() -> None:
         VGGWorkload,
         FFTWorkload,
         FFTPersistentWorkload,
+        ReduceDivergentWorkload,
+        ReduceInterleavedWorkload,
+        ReduceSequentialWorkload,
+        ReduceFirstAddWorkload,
+        ReduceWarpUnrollWorkload,
+        ReduceFullUnrollWorkload,
+        ReduceMultiElemWorkload,
     ):
         register(cls)
 

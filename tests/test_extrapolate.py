@@ -255,10 +255,19 @@ class TestVerifyMode:
         for path in paths:
             case = json.loads(path.read_text())
             report = check_spec(case["spec"])
-            assert report.ok, (
-                f"{path.name}: "
-                + "; ".join(v.kind for v in report.violations)
-            )
+            expect = case.get("expect")
+            if expect:
+                # generator-bug case: the spec itself is unsound and
+                # must keep failing in exactly the recorded way
+                got = sorted({v.kind for v in report.violations})
+                assert got == sorted(expect), (
+                    f"{path.name}: expected {sorted(expect)}, got {got}"
+                )
+            else:
+                assert report.ok, (
+                    f"{path.name}: "
+                    + "; ".join(v.kind for v in report.violations)
+                )
 
 
 # ----------------------------------------------------------------------

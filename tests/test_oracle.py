@@ -2,6 +2,7 @@
 
 import copy
 import json
+import random
 from pathlib import Path
 
 import pytest
@@ -20,6 +21,7 @@ from repro.oracle import (
     shrink_spec,
 )
 from repro.oracle.invariants import check_dynamic, check_static
+from repro.oracle.kernelgen import _Val
 from repro.oracle.shrink import failing_kinds_checker
 from repro.sim import Device, tiny
 
@@ -60,6 +62,35 @@ class TestKernelGen:
                 v.kind == "original-run-crash" for v in report.violations
             ), f"{spec['name']}: {[str(v) for v in report.violations]}"
 
+    def test_seed13_coercion_wrap_regression(self):
+        """Fuzz seed 13 index 86 used to crash: an s64 parameter just
+        below -2**31 fed an s32-typed max, the builder's coercing cvt
+        wrapped it huge-positive, and the untainted interval let the
+        result through as a store index.  The fixed generator models
+        operand coercion (`_coerced_meta`), so the exact seed must now
+        produce a fully clean spec (corpus: s32-coercion-wrap.json)."""
+        report = check_spec(generate_spec(13, 86))
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_narrowing_operand_coercion_taints_interval(self):
+        """Unit check on the hole itself: an s64 value outside the s32
+        range used as an s32 bin operand must widen to the wrapped
+        dtype range and be tainted (excluded from the index pool)."""
+        gen = KernelGen(random.Random(0))
+        gen.generate("probe")
+        big = gen._push_val(
+            {"op": "param", "index": 0},
+            _Val(DType.S64, -(2 ** 31) - 1776, -(2 ** 31) - 1776),
+        )
+        lo, hi, taint = gen._coerced_meta({"v": big}, "s32")
+        assert (lo, hi) == (-(2 ** 31), 2 ** 31 - 1)
+        assert taint
+        # immediates, same-dtype registers, and widening stay exact
+        assert gen._coerced_meta({"imm": 7}, "s32") == (7, 7, False)
+        assert gen._coerced_meta({"v": big}, "s64")[:2] == (
+            -(2 ** 31) - 1776, -(2 ** 31) - 1776
+        )
+
 
 class TestOracleClean:
     def test_small_fuzz_is_clean(self):
@@ -72,14 +103,24 @@ class TestOracleClean:
             )
 
     def test_corpus_replays_clean(self):
+        """Analyzer counterexamples replay clean; generator
+        counterexamples (``expect`` cases, whose spec is itself
+        unsound) reproduce exactly the recorded violation kinds."""
         cases = sorted(CORPUS.glob("*.json"))
         assert len(cases) >= 3, "committed counterexamples missing"
         for path in cases:
             case = json.loads(path.read_text())
             report = check_spec(case["spec"])
-            assert report.ok, (
-                f"{path.name}: {[str(v) for v in report.violations]}"
-            )
+            expect = case.get("expect")
+            if expect:
+                got = sorted({v.kind for v in report.violations})
+                assert got == sorted(expect), (
+                    f"{path.name}: expected {sorted(expect)}, got {got}"
+                )
+            else:
+                assert report.ok, (
+                    f"{path.name}: {[str(v) for v in report.violations]}"
+                )
 
 
 class TestDetection:

@@ -208,6 +208,8 @@ class TestVerifyEquivalence:
     @pytest.mark.parametrize("scheduler", ["gto", "rr"])
     def test_corpus_specs(self, path, scheduler):
         doc = json.loads(path.read_text())
+        if doc.get("expect"):
+            pytest.skip("generator-bug case: spec crashes by design")
         spec = doc["spec"]
         kernel = build_kernel(spec)
         cfg = tiny().with_scheduler(scheduler)
